@@ -1,0 +1,48 @@
+//! Criterion benches for the gate-level adder substrate: netlist
+//! evaluation throughput and the Figure 4 pair search.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gatesim::adder::{LadnerFischerAdder, RippleCarryAdder};
+use gatesim::stress::StressTracker;
+use gatesim::vectors::{evaluate_all_pairs, SyntheticVector};
+
+fn bench_adders(c: &mut Criterion) {
+    let lf = LadnerFischerAdder::new(32);
+    let rca = RippleCarryAdder::new(32);
+
+    let mut group = c.benchmark_group("adder/add32");
+    group.bench_function("ladner_fischer", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            let (s, _) = lf.add(black_box(x & 0xFFFF_FFFF), black_box(!x & 0xFFFF_FFFF), false);
+            black_box(s)
+        })
+    });
+    group.bench_function("ripple_carry", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            let (s, _) = rca.add(black_box(x & 0xFFFF_FFFF), black_box(!x & 0xFFFF_FFFF), false);
+            black_box(s)
+        })
+    });
+    group.finish();
+}
+
+fn bench_stress(c: &mut Criterion) {
+    let lf = LadnerFischerAdder::new(32);
+    c.bench_function("adder/stress_apply", |b| {
+        let mut tracker = StressTracker::new(lf.netlist());
+        let (a, bb, cin) = SyntheticVector::V8.operands(32);
+        let assignment = lf.input_assignment(a, bb, cin);
+        b.iter(|| tracker.apply(lf.netlist(), black_box(&assignment), 1))
+    });
+    // The whole Figure 4 search (28 pairs).
+    c.bench_function("adder/fig4_pair_search", |b| {
+        b.iter(|| black_box(evaluate_all_pairs(&lf)))
+    });
+}
+
+criterion_group!(benches, bench_adders, bench_stress);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches for the individual NBTI mechanisms and an ablation of
+//! the cache schemes (including the WayFixed variant the paper describes
+//! but does not evaluate).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use penelope::cache_aware::{SchemeKind, SchemeRuntime};
+use penelope::rinv::Rinv;
+use penelope::technique::{balancing_value, KCounter, Technique};
+use uarch::cache::{CacheConfig, SetAssocCache};
+use uarch::regfile::{RegFileConfig, RegisterFile};
+
+fn bench_cache_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache/20k_accesses");
+    for kind in [
+        SchemeKind::Baseline,
+        SchemeKind::set_fixed_50(10_000),
+        SchemeKind::WayFixed {
+            fraction: 0.5,
+            rotation_period: 10_000,
+        },
+        SchemeKind::line_fixed_50(),
+        SchemeKind::line_dynamic_60(0.02, 200),
+    ] {
+        group.bench_function(kind.label(), move |b| {
+            b.iter(|| {
+                let config = kind.effective_cache(CacheConfig::dl0(32, 8));
+                let mut cache = SetAssocCache::new(config);
+                let mut scheme = SchemeRuntime::new(kind, 42);
+                for now in 0..20_000u64 {
+                    // A strided stream with periodic reuse.
+                    let addr = (now % 700) * 64;
+                    let out = cache.access(black_box(addr), now);
+                    scheme.on_access(&mut cache, &out, now);
+                    scheme.on_cycle(&mut cache, now);
+                }
+                black_box(cache.stats().misses())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_regfile(c: &mut Criterion) {
+    c.bench_function("regfile/alloc_write_release", |b| {
+        let mut rf = RegisterFile::new(RegFileConfig::integer());
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            let preg = rf.allocate(now).expect("capacity");
+            rf.write(preg, black_box(0xDEAD_BEEF), now);
+            rf.release(preg, now);
+            black_box(preg)
+        })
+    });
+}
+
+fn bench_techniques(c: &mut Criterion) {
+    c.bench_function("technique/balancing_value", |b| {
+        let mut rinv = Rinv::new(32, 64);
+        rinv.set(0x5555_5555);
+        let mut counter = KCounter::new(0.75);
+        b.iter(|| {
+            black_box(balancing_value(
+                Technique::All1K(0.75),
+                32,
+                &rinv,
+                &mut counter,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache_schemes, bench_regfile, bench_techniques);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for the trace-driven pipeline: baseline simulation
+//! throughput, and the overhead added by each Penelope mechanism's hooks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use penelope::processor::{build, PenelopeConfig};
+use penelope::regfile_aware::RegfileIsvHooks;
+use penelope::sched_aware::SchedulerHooks;
+use tracegen::suite::Suite;
+use tracegen::trace::TraceSpec;
+use uarch::pipeline::{NoHooks, Pipeline, PipelineConfig};
+
+const UOPS: usize = 10_000;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let spec = TraceSpec::new(Suite::Multimedia, 0);
+
+    let mut group = c.benchmark_group("pipeline/run_10k_uops");
+    group.throughput(Throughput::Elements(UOPS as u64));
+
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut pipe = Pipeline::new(PipelineConfig::default());
+            black_box(pipe.run(spec.generate(UOPS), &mut NoHooks))
+        })
+    });
+    group.bench_function("regfile_isv", |b| {
+        b.iter(|| {
+            let mut pipe = Pipeline::new(PipelineConfig::default());
+            let mut hooks = RegfileIsvHooks::new(1024);
+            black_box(pipe.run(spec.generate(UOPS), &mut hooks))
+        })
+    });
+    group.bench_function("scheduler_balancer", |b| {
+        b.iter(|| {
+            let mut pipe = Pipeline::new(PipelineConfig::default());
+            let mut hooks = SchedulerHooks::paper_default(1024);
+            black_box(pipe.run(spec.generate(UOPS), &mut hooks))
+        })
+    });
+    group.bench_function("penelope_full", |b| {
+        b.iter(|| {
+            let config = PenelopeConfig::default();
+            let (mut pipe, mut hooks) = build(&config);
+            black_box(pipe.run(spec.generate(UOPS), &mut hooks))
+        })
+    });
+    group.finish();
+}
+
+fn bench_tracegen(c: &mut Criterion) {
+    let spec = TraceSpec::new(Suite::Server, 0);
+    let mut group = c.benchmark_group("tracegen/generate_10k_uops");
+    group.throughput(Throughput::Elements(UOPS as u64));
+    group.bench_function("server", |b| {
+        b.iter(|| black_box(spec.generate(UOPS).count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_tracegen);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates the §4.2–4.6 NBTIefficiency comparison.
+use penelope::{experiments, report};
+
+fn main() {
+    penelope_bench::header("NBTIefficiency comparison", "§4.2-4.6");
+    let rows = experiments::efficiency_summary(penelope_bench::scale_from_env());
+    print!("{}", report::render_efficiency(&rows));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 1: interface-trap density under alternating
+//! stress/relax phases.
+use penelope::{experiments, report};
+
+fn main() {
+    penelope_bench::header("Figure 1", "NBTI stress/recovery dynamics, §2.2");
+    print!("{}", report::render_fig1(&experiments::fig1()));
+}

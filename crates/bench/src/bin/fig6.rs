@@ -1,0 +1,8 @@
+//! Regenerates Figure 6: register-file bit bias, baseline vs ISV.
+use penelope::{experiments, report};
+
+fn main() {
+    penelope_bench::header("Figure 6", "register-file balancing, §4.4");
+    let f = experiments::fig6(penelope_bench::scale_from_env());
+    print!("{}", report::render_fig6(&f));
+}

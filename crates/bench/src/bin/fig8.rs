@@ -1,0 +1,8 @@
+//! Regenerates Figure 8: scheduler bit bias, baseline vs ALL1/ALL1-K%/ISV.
+use penelope::{experiments, report};
+
+fn main() {
+    penelope_bench::header("Figure 8", "scheduler balancing, §4.5");
+    let f = experiments::fig8(penelope_bench::scale_from_env());
+    print!("{}", report::render_fig8(&f));
+}

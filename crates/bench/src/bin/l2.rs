@@ -1,0 +1,10 @@
+//! Regenerates the L2 study extension: periodic inversion vs Penelope on a
+//! slow second-level cache.
+use penelope::l2_study::{l2_study, render_l2_study};
+
+fn main() {
+    penelope_bench::header("L2 study", "extension of §3 / Table 4");
+    let scale = penelope_bench::scale_from_env();
+    let rows = l2_study(&scale.workload(), scale.uops_per_trace);
+    print!("{}", render_l2_study(&rows));
+}

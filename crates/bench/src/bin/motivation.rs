@@ -1,0 +1,8 @@
+//! Regenerates the §1.1 motivation statistics (data bias in the pipeline).
+use penelope::{experiments, report};
+
+fn main() {
+    penelope_bench::header("Motivation statistics", "§1.1");
+    let m = experiments::motivation(penelope_bench::scale_from_env());
+    print!("{}", report::render_motivation(&m));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 3: performance loss of the cache inversion schemes
+//! across DL0 and DTLB geometries. The most expensive binary (36 workload
+//! runs at standard scale).
+use penelope::{experiments, report};
+
+fn main() {
+    penelope_bench::header("Table 3", "cache-scheme performance loss, §4.6");
+    let scale = penelope_bench::scale_from_env();
+    let t = experiments::table3(scale);
+    print!("{}", report::render_table3(&t));
+    println!();
+    print!("{}", report::render_tail(&experiments::table3_tail(scale)));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the §4.7 whole-processor summary (Table 4's quantitative
+//! half): all mechanisms composed, aggregated with equations (2)-(4).
+use penelope::{experiments, report};
+
+fn main() {
+    penelope_bench::header("Whole-processor summary", "§4.7 / Table 4");
+    let t = experiments::table4(penelope_bench::scale_from_env());
+    print!("{}", report::render_table4(&t));
+}

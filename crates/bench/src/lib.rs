@@ -1,0 +1,57 @@
+//! Shared helpers for the Penelope benchmark harness.
+//!
+//! Every `penelope-bench` binary regenerates one table or figure of the
+//! paper. The experiment size is chosen with the `PENELOPE_SCALE`
+//! environment variable: `quick`, `standard` (default) or `thorough`.
+//! At any scale the *shape* of the paper's results is reproduced; larger
+//! scales reduce sampling noise.
+
+use penelope::experiments::Scale;
+
+/// Reads the experiment scale from `PENELOPE_SCALE` (default: standard).
+///
+/// # Example
+///
+/// ```
+/// std::env::remove_var("PENELOPE_SCALE");
+/// assert_eq!(penelope_bench::scale_from_env(), penelope::experiments::Scale::standard());
+/// ```
+pub fn scale_from_env() -> Scale {
+    match std::env::var("PENELOPE_SCALE").as_deref() {
+        Ok("quick") => Scale::quick(),
+        Ok("thorough") => Scale::thorough(),
+        Ok(other) if !other.is_empty() && other != "standard" => {
+            eprintln!("unknown PENELOPE_SCALE {other:?}; using standard");
+            Scale::standard()
+        }
+        _ => Scale::standard(),
+    }
+}
+
+/// Prints a standard header naming the artifact being regenerated.
+pub fn header(what: &str, paper_ref: &str) {
+    println!("=== Penelope reproduction: {what} ({paper_ref}) ===");
+    let scale = scale_from_env();
+    println!(
+        "scale: {} traces/suite x {} uops, time/{}\n",
+        scale.traces_per_suite, scale.uops_per_trace, scale.time_scale
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_standard() {
+        std::env::remove_var("PENELOPE_SCALE");
+        assert_eq!(scale_from_env(), Scale::standard());
+    }
+
+    #[test]
+    fn quick_scale_is_recognized() {
+        std::env::set_var("PENELOPE_SCALE", "quick");
+        assert_eq!(scale_from_env(), Scale::quick());
+        std::env::remove_var("PENELOPE_SCALE");
+    }
+}

@@ -1,0 +1,132 @@
+//! The combinational-block strategy applied to the Ladner-Fischer adder
+//! (§3.1, evaluated in §4.3).
+//!
+//! During idle periods the adder's input latches are loaded with one of two
+//! synthetic vectors, alternated round-robin. The pair is chosen by
+//! evaluating all 28 combinations of the eight `<InputA, InputB, CarryIn>`
+//! vectors (Figure 4) and picking the one that leaves the fewest narrow
+//! PMOS fully stressed, breaking ties by input-latch balance (§3.3) — which
+//! lands on the paper's `1+8` (`<0,0,0>` / `<1,1,1>`) pair.
+
+use gatesim::adder::AdderNetlist;
+use gatesim::vectors::{best_pair, MixedCampaign, PairStress, VectorPair};
+use nbti_model::guardband::{Guardband, GuardbandModel};
+use nbti_model::metric::BlockCost;
+use tracegen::trace::TraceSpec;
+use tracegen::uop::UopClass;
+
+/// Samples real adder operand triples `(a, b, carry_in)` from the integer
+/// additions of a trace.
+pub fn real_adder_inputs(spec: &TraceSpec, uops: usize) -> Vec<(u64, u64, bool)> {
+    spec.generate(uops)
+        .filter(|u| u.class == UopClass::IntAlu)
+        .map(|u| (u64::from(u.src1_val), u64::from(u.src2_val), u.carry_in))
+        .collect()
+}
+
+/// The idle-input protection mechanism for one adder.
+#[derive(Debug, Clone)]
+pub struct AdderProtection {
+    pair: VectorPair,
+    selection: PairStress,
+}
+
+impl AdderProtection {
+    /// Selects the best idle pair for `adder` by the Figure 4 search.
+    pub fn select(adder: &AdderNetlist) -> Self {
+        let selection = best_pair(adder);
+        AdderProtection {
+            pair: selection.pair,
+            selection,
+        }
+    }
+
+    /// The selected pair.
+    pub fn pair(&self) -> VectorPair {
+        self.pair
+    }
+
+    /// The Figure 4 statistics of the selected pair.
+    pub fn selection(&self) -> &PairStress {
+        &self.selection
+    }
+
+    /// Guardband required when the adder is busy with `real_inputs` for
+    /// `utilization` of the time and heals with the selected pair
+    /// otherwise (a Figure 5 scenario).
+    pub fn guardband<I>(
+        &self,
+        adder: &AdderNetlist,
+        utilization: f64,
+        real_inputs: I,
+        model: &GuardbandModel,
+    ) -> Guardband
+    where
+        I: IntoIterator<Item = (u64, u64, bool)>,
+    {
+        MixedCampaign::new(utilization, self.pair).guardband(adder, real_inputs, model)
+    }
+
+    /// The §4.3 cost record: storing two hardwired vectors costs no
+    /// measurable area/TDP, idle-time activity does not raise TDP, and no
+    /// critical path changes — only the guardband remains.
+    pub fn block_cost(guardband: Guardband) -> BlockCost {
+        BlockCost::new(1.0, 1.0, guardband.fraction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatesim::adder::LadnerFischerAdder;
+    use tracegen::suite::Suite;
+
+    #[test]
+    fn selects_the_papers_pair() {
+        let adder = LadnerFischerAdder::new(32);
+        let protection = AdderProtection::select(&adder);
+        assert_eq!(protection.pair().label(), "1+8");
+    }
+
+    #[test]
+    fn real_inputs_have_biased_carry() {
+        let spec = TraceSpec::new(Suite::Kernels, 3);
+        let inputs = real_adder_inputs(&spec, 20_000);
+        assert!(inputs.len() > 1_000);
+        let carries = inputs.iter().filter(|(_, _, c)| *c).count() as f64 / inputs.len() as f64;
+        assert!(carries < 0.10, "carry-in should be rare, got {carries}");
+    }
+
+    #[test]
+    fn guardband_matches_figure_5_shape() {
+        let adder = LadnerFischerAdder::new(32);
+        let protection = AdderProtection::select(&adder);
+        let model = GuardbandModel::paper_calibrated();
+        let inputs = real_adder_inputs(&TraceSpec::new(Suite::SpecInt2000, 0), 6_000);
+
+        // Unprotected (always real inputs): the full 20%.
+        let unprotected = protection.guardband(&adder, 1.0, inputs.iter().copied(), &model);
+        assert!(unprotected.fraction() > 0.15, "got {unprotected}");
+
+        // Paper's three utilizations: 30% → 7.4%, 21% → 5.8%, 11% → ~4%.
+        let mut prev = 0.0;
+        for (util, expected) in [(0.11, 0.040), (0.21, 0.058), (0.30, 0.074)] {
+            let gb = protection
+                .guardband(&adder, util, inputs.iter().copied(), &model)
+                .fraction();
+            assert!(gb >= prev, "monotone in utilization");
+            assert!(
+                (gb - expected).abs() < 0.02,
+                "util {util}: got {gb}, paper {expected}"
+            );
+            prev = gb;
+        }
+    }
+
+    #[test]
+    fn efficiency_matches_section_4_3() {
+        let gb = Guardband::new(0.074).unwrap();
+        let cost = AdderProtection::block_cost(gb);
+        assert!((cost.nbti_efficiency() - 1.24).abs() < 0.01);
+    }
+}

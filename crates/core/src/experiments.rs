@@ -1,0 +1,1092 @@
+//! Drivers regenerating every figure and table of the paper's evaluation.
+//!
+//! Each function returns a plain-data result struct; the `report` module
+//! renders them as text and the `penelope-bench` binaries print them. The
+//! same drivers back the integration tests, at a smaller [`Scale`].
+//!
+//! | Paper artifact | Driver |
+//! |---|---|
+//! | Figure 1 (NIT dynamics) | [`fig1`] |
+//! | §1.1 motivation stats | [`motivation`] |
+//! | Figure 4 (idle-vector pairs) | [`fig4`] |
+//! | Figure 5 (adder guardbands) | [`fig5`] |
+//! | Figure 6 (register-file bias) | [`fig6`] |
+//! | Figure 8 (scheduler bias) | [`fig8`] |
+//! | Table 3 (cache perf loss) | [`table3`] |
+//! | §4.2–4.6 efficiencies | [`efficiency_summary`] |
+//! | §4.7 whole processor | [`table4`] |
+
+use gatesim::adder::LadnerFischerAdder;
+use gatesim::vectors::{evaluate_all_pairs, PairStress};
+use nbti_model::duty::Duty;
+use nbti_model::guardband::GuardbandModel;
+use nbti_model::metric::{BlockCost, ProcessorAggregator};
+use nbti_model::rd::RdModel;
+use tracegen::trace::Workload;
+use tracegen::uop::UopClass;
+use uarch::cache::CacheConfig;
+use uarch::pipeline::{
+    AdderPolicy, Hooks, NoHooks, Pipeline, PipelineConfig, RunResult,
+};
+use uarch::scheduler::Field;
+
+use crate::adder_aware::{real_adder_inputs, AdderProtection};
+use crate::cache_aware::SchemeKind;
+use crate::invert_mode::{full_guardband_baseline, InvertMode};
+use crate::processor::{build, PenelopeConfig};
+use crate::regfile_aware::{RegfileIsv, RegfileIsvHooks};
+use crate::sched_aware::{worst_figure8_bias, SchedulerBalancer, SchedulerHooks, SchedulerPolicy};
+
+/// Experiment size: how many traces, how long, and how much the paper's
+/// wall-clock constants (10M-cycle periods etc.) are compressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Traces sampled per Table 1 suite.
+    pub traces_per_suite: usize,
+    /// Uops generated per trace (the paper uses 10M IA32 instructions).
+    pub uops_per_trace: usize,
+    /// Divisor applied to the paper's cycle-count constants.
+    pub time_scale: u64,
+}
+
+impl Scale {
+    /// Smallest useful scale (unit/integration tests).
+    pub fn quick() -> Self {
+        Scale {
+            traces_per_suite: 1,
+            uops_per_trace: 8_000,
+            time_scale: 1_000,
+        }
+    }
+
+    /// Default benchmarking scale.
+    pub fn standard() -> Self {
+        Scale {
+            traces_per_suite: 2,
+            uops_per_trace: 30_000,
+            time_scale: 200,
+        }
+    }
+
+    /// Heavier sweep (several traces per suite).
+    pub fn thorough() -> Self {
+        Scale {
+            traces_per_suite: 5,
+            uops_per_trace: 60_000,
+            time_scale: 50,
+        }
+    }
+
+    /// The workload population at this scale.
+    pub fn workload(&self) -> Workload {
+        Workload::sample(self.traces_per_suite)
+    }
+}
+
+/// Runs the whole workload through one pipeline, merging per-trace results.
+pub fn run_workload<H: Hooks>(
+    config: PipelineConfig,
+    scale: Scale,
+    hooks: &mut H,
+) -> (Pipeline, RunResult) {
+    let mut pipe = Pipeline::new(config);
+    let mut total: Option<RunResult> = None;
+    for spec in scale.workload().specs() {
+        let r = pipe.run(spec.generate(scale.uops_per_trace), hooks);
+        match &mut total {
+            Some(t) => t.merge(&r),
+            None => total = Some(r),
+        }
+    }
+    (pipe, total.expect("workload is never empty"))
+}
+
+// ---------------------------------------------------------------- Figure 1
+
+/// Figure 1: normalized interface-trap density under alternating
+/// stress/relax phases. Returns `(time, nit)` samples.
+pub fn fig1() -> Vec<(f64, f64)> {
+    let model = RdModel::symmetric(0.004).expect("valid rate");
+    model
+        .simulate_alternating(100.0, 100.0, 6, 24)
+        .expect("valid parameters")
+}
+
+// ------------------------------------------------------------- §1.1 stats
+
+/// The §1.1 motivation measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Motivation {
+    /// Fraction of additions whose carry-in is "0" (paper: >90%).
+    pub carry_in_zero: f64,
+    /// Integer register file per-bit bias range (paper: 65–90%).
+    pub int_bias_min: f64,
+    /// Upper end of the integer bias range.
+    pub int_bias_max: f64,
+    /// Worst scheduler field bias (paper: ~100% for some fields).
+    pub sched_worst_bias: f64,
+    /// Mean adder utilization under uniform distribution (paper: 21%).
+    pub adder_util_uniform: f64,
+    /// Min/max adder utilization under prioritized allocation
+    /// (paper: 11–30%).
+    pub adder_util_prioritized: (f64, f64),
+}
+
+/// Measures the §1.1 motivation statistics on the baseline processor.
+pub fn motivation(scale: Scale) -> Motivation {
+    // Carry-in bias straight from the uop stream.
+    let mut adds = 0u64;
+    let mut carries = 0u64;
+    for spec in scale.workload().specs() {
+        for uop in spec.generate(scale.uops_per_trace) {
+            if uop.class == UopClass::IntAlu {
+                adds += 1;
+                carries += u64::from(uop.carry_in);
+            }
+        }
+    }
+
+    let (mut pipe, uniform_result) =
+        run_workload(PipelineConfig::default(), scale, &mut NoHooks);
+    let now = pipe.now();
+    pipe.parts.int_rf.sync(now);
+    let biases = pipe.parts.int_rf.residency().biases();
+    let int_bias_min = biases.iter().map(|d| d.fraction()).fold(1.0, f64::min);
+    let int_bias_max = biases.iter().map(|d| d.fraction()).fold(0.0, f64::max);
+    pipe.parts.sched.sync(now);
+    let sched_worst_bias = Field::ALL
+        .iter()
+        .filter(|f| **f != Field::Opcode)
+        .flat_map(|f| pipe.parts.sched.field_residency(*f).biases())
+        .map(|d| d.fraction())
+        .fold(0.0, f64::max);
+
+    let prio_config = PipelineConfig {
+        adder_policy: AdderPolicy::Prioritized,
+        ..PipelineConfig::default()
+    };
+    let (_, prio_result) = run_workload(prio_config, scale, &mut NoHooks);
+    let prio = prio_result.adder_utilization();
+    let prio_alu: Vec<f64> = vec![prio[0], prio[1]];
+    let prio_min = prio_alu.iter().cloned().fold(1.0, f64::min);
+    let prio_max = prio_alu.iter().cloned().fold(0.0, f64::max);
+
+    let uniform = uniform_result.adder_utilization();
+
+    Motivation {
+        carry_in_zero: 1.0 - carries as f64 / adds.max(1) as f64,
+        int_bias_min,
+        int_bias_max,
+        sched_worst_bias,
+        adder_util_uniform: (uniform[0] + uniform[1]) / 2.0,
+        adder_util_prioritized: (prio_min, prio_max),
+    }
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+/// Figure 4: all 28 idle-vector pairs on the 32-bit Ladner-Fischer adder.
+pub fn fig4() -> Vec<PairStress> {
+    let adder = LadnerFischerAdder::new(32);
+    evaluate_all_pairs(&adder)
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+/// One bar of Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// Scenario label, e.g. `"21% real + 000 + 111"`.
+    pub label: String,
+    /// Guardband required.
+    pub guardband: f64,
+}
+
+/// Figure 5: adder guardband for real inputs only and for the three
+/// utilization scenarios healed by the best vector pair.
+pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
+    let adder = LadnerFischerAdder::new(32);
+    let protection = AdderProtection::select(&adder);
+    let model = GuardbandModel::paper_calibrated();
+    let mut inputs = Vec::new();
+    for spec in scale.workload().specs() {
+        inputs.extend(real_adder_inputs(
+            spec,
+            (scale.uops_per_trace / 4).max(512),
+        ));
+    }
+    let mut rows = vec![Fig5Row {
+        label: "real inputs".into(),
+        guardband: protection
+            .guardband(&adder, 1.0, inputs.iter().copied(), &model)
+            .fraction(),
+    }];
+    for util in [0.30, 0.21, 0.11] {
+        rows.push(Fig5Row {
+            label: format!("{:.0}% real + 000 + 111", util * 100.0),
+            guardband: protection
+                .guardband(&adder, util, inputs.iter().copied(), &model)
+                .fraction(),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+/// Figure 6: per-bit bias of both register files, baseline vs ISV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6 {
+    /// Integer file, baseline, per-bit bias towards 0.
+    pub int_baseline: Vec<f64>,
+    /// Integer file with ISV.
+    pub int_isv: Vec<f64>,
+    /// FP file, baseline.
+    pub fp_baseline: Vec<f64>,
+    /// FP file with ISV.
+    pub fp_isv: Vec<f64>,
+    /// Fraction of time integer registers are free (paper: 54%).
+    pub int_free: f64,
+    /// Fraction of time FP registers are free (paper: 69%).
+    pub fp_free: f64,
+    /// ISV update success rate, integer (paper: 92%).
+    pub int_port_rate: f64,
+    /// ISV update success rate, FP (paper: 86%).
+    pub fp_port_rate: f64,
+}
+
+impl Fig6 {
+    fn worst(bias: &[f64]) -> f64 {
+        bias.iter()
+            .map(|b| b.max(1.0 - b))
+            .fold(0.0, f64::max)
+    }
+
+    /// Worst cell duty of the integer file, baseline.
+    pub fn int_baseline_worst(&self) -> f64 {
+        Self::worst(&self.int_baseline)
+    }
+
+    /// Worst cell duty of the integer file under ISV.
+    pub fn int_isv_worst(&self) -> f64 {
+        Self::worst(&self.int_isv)
+    }
+
+    /// Worst cell duty of the FP file, baseline.
+    pub fn fp_baseline_worst(&self) -> f64 {
+        Self::worst(&self.fp_baseline)
+    }
+
+    /// Worst cell duty of the FP file under ISV.
+    pub fn fp_isv_worst(&self) -> f64 {
+        Self::worst(&self.fp_isv)
+    }
+}
+
+/// Runs Figure 6: baseline and ISV register files over the workload.
+pub fn fig6(scale: Scale) -> Fig6 {
+    let to_fracs = |biases: Vec<Duty>| -> Vec<f64> {
+        biases.into_iter().map(|d| d.fraction()).collect()
+    };
+
+    let (mut base, _) = run_workload(PipelineConfig::default(), scale, &mut NoHooks);
+    let now = base.now();
+    base.parts.int_rf.sync(now);
+    base.parts.fp_rf.sync(now);
+    let int_baseline = to_fracs(base.parts.int_rf.residency().biases());
+    let fp_baseline = to_fracs(base.parts.fp_rf.residency().biases());
+    let int_free = base.parts.int_rf.free_fraction(now);
+    let fp_free = base.parts.fp_rf.free_fraction(now);
+
+    let mut hooks = RegfileIsvHooks::new(scale.time_scale.max(64));
+    let (mut isv, _) = run_workload(PipelineConfig::default(), scale, &mut hooks);
+    let now = isv.now();
+    isv.parts.int_rf.sync(now);
+    isv.parts.fp_rf.sync(now);
+    let int_isv = to_fracs(isv.parts.int_rf.residency().biases());
+    let fp_isv = to_fracs(isv.parts.fp_rf.residency().biases());
+
+    Fig6 {
+        int_baseline,
+        int_isv,
+        fp_baseline,
+        fp_isv,
+        int_free,
+        fp_free,
+        int_port_rate: hooks.int.update_success_rate(),
+        fp_port_rate: hooks.fp.update_success_rate(),
+    }
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+/// One bit of Figure 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Row {
+    /// Field the bit belongs to.
+    pub field: Field,
+    /// Bit index within the field.
+    pub bit: usize,
+    /// Baseline bias towards 0.
+    pub baseline: f64,
+    /// Bias with the Penelope techniques.
+    pub protected: f64,
+}
+
+/// Figure 8: per-bit scheduler bias, baseline vs ALL1/ALL1-K%/ISV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8 {
+    /// All plotted bits (every field but the opcode, in Table 2 order).
+    pub rows: Vec<Fig8Row>,
+    /// Worst baseline cell duty (paper: ~100%).
+    pub worst_baseline: f64,
+    /// Worst protected cell duty (paper: 63.2%).
+    pub worst_protected: f64,
+    /// Scheduler occupancy (paper: 63%).
+    pub occupancy: f64,
+    /// Data-field occupancy (paper: 25–30%).
+    pub data_occupancy: f64,
+}
+
+/// Runs Figure 8: a baseline run doubles as the profiling run for the K
+/// values (the paper profiles 100 of its 531 traces), then the protected
+/// configuration runs with the derived policy.
+pub fn fig8(scale: Scale) -> Fig8 {
+    let (mut base, _) = run_workload(PipelineConfig::default(), scale, &mut NoHooks);
+    let now = base.now();
+    base.parts.sched.sync(now);
+    let occupancy = base.parts.sched.occupancy(now);
+    let data_occupancy = base.parts.sched.data_occupancy(now);
+
+    let policy = SchedulerPolicy::from_scheduler(&mut base.parts.sched, now);
+    let mut hooks = SchedulerHooks {
+        balancer: SchedulerBalancer::new(policy, scale.time_scale.max(64)),
+    };
+    let (mut prot, _) = run_workload(PipelineConfig::default(), scale, &mut hooks);
+    let now_p = prot.now();
+    prot.parts.sched.sync(now_p);
+
+    let mut rows = Vec::new();
+    for field in Field::ALL {
+        if field == Field::Opcode {
+            continue;
+        }
+        let b = base.parts.sched.field_residency(field).biases();
+        let p = prot.parts.sched.field_residency(field).biases();
+        for bit in 0..field.width() {
+            rows.push(Fig8Row {
+                field,
+                bit,
+                baseline: b[bit].fraction(),
+                protected: p[bit].fraction(),
+            });
+        }
+    }
+    Fig8 {
+        worst_baseline: worst_figure8_bias(&base.parts.sched).fraction(),
+        worst_protected: worst_figure8_bias(&prot.parts.sched).fraction(),
+        rows,
+        occupancy,
+        data_occupancy,
+    }
+}
+
+// ----------------------------------------------------------------- Table 3
+
+/// One row of Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Structure and geometry, e.g. `"DL0 8-way 32KB"`.
+    pub label: String,
+    /// Performance loss of `SetFixed50%`.
+    pub set_fixed: f64,
+    /// Performance loss of `LineFixed50%`.
+    pub line_fixed: f64,
+    /// Performance loss of `LineDynamic60%`.
+    pub line_dynamic: f64,
+}
+
+/// Table 3: average performance loss of the three schemes across DL0 and
+/// DTLB geometries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3 {
+    /// All rows, DL0 first (8-way then 4-way, by size), then DTLB.
+    pub rows: Vec<Table3Row>,
+}
+
+fn scheme_cpi(
+    base_config: PipelineConfig,
+    dl0_scheme: SchemeKind,
+    dtlb_scheme: SchemeKind,
+    scale: Scale,
+    seed: u64,
+) -> f64 {
+    let config = PenelopeConfig {
+        pipeline: base_config,
+        dl0_scheme,
+        dtlb_scheme,
+        btb_scheme: SchemeKind::Baseline,
+        sample_period: u64::MAX / 2, // regfile/sched mechanisms irrelevant here
+        seed,
+        ..PenelopeConfig::default()
+    };
+    let (mut pipe, mut hooks) = build(&config);
+    // Only the cache schemes matter for Table 3: run with cache hooks only.
+    let mut total: Option<RunResult> = None;
+    for spec in scale.workload().specs() {
+        let r = pipe.run(spec.generate(scale.uops_per_trace), &mut hooks);
+        match &mut total {
+            Some(t) => t.merge(&r),
+            None => total = Some(r),
+        }
+    }
+    total.expect("workload non-empty").cpi()
+}
+
+/// Runs the full Table 3 sweep. This is the most expensive experiment:
+/// (6 DL0 + 3 DTLB geometries) × (baseline + 3 schemes) workload runs.
+pub fn table3(scale: Scale) -> Table3 {
+    let rotation = (10_000_000 / scale.time_scale).max(2_000);
+    let mut rows = Vec::new();
+
+    for ways in [8u16, 4] {
+        for kb in [32u32, 16, 8] {
+            let base_config = PipelineConfig {
+                dl0: CacheConfig::dl0(kb, ways),
+                ..PipelineConfig::default()
+            };
+            let baseline = scheme_cpi(
+                base_config,
+                SchemeKind::Baseline,
+                SchemeKind::Baseline,
+                scale,
+                1,
+            );
+            let loss = |cpi: f64| (cpi / baseline - 1.0).max(0.0);
+            let set_fixed = scheme_cpi(
+                base_config,
+                SchemeKind::set_fixed_50(rotation),
+                SchemeKind::Baseline,
+                scale,
+                2,
+            );
+            let line_fixed = scheme_cpi(
+                base_config,
+                SchemeKind::line_fixed_50(),
+                SchemeKind::Baseline,
+                scale,
+                3,
+            );
+            let line_dynamic = scheme_cpi(
+                base_config,
+                SchemeKind::line_dynamic_60(SchemeKind::dl0_threshold(kb), scale.time_scale),
+                SchemeKind::Baseline,
+                scale,
+                4,
+            );
+            rows.push(Table3Row {
+                label: format!("DL0 {ways}-way {kb}KB"),
+                set_fixed: loss(set_fixed),
+                line_fixed: loss(line_fixed),
+                line_dynamic: loss(line_dynamic),
+            });
+        }
+    }
+
+    for entries in [128u32, 64, 32] {
+        let base_config = PipelineConfig {
+            dtlb_entries: entries,
+            ..PipelineConfig::default()
+        };
+        let baseline = scheme_cpi(
+            base_config,
+            SchemeKind::Baseline,
+            SchemeKind::Baseline,
+            scale,
+            5,
+        );
+        let loss = |cpi: f64| (cpi / baseline - 1.0).max(0.0);
+        let set_fixed = scheme_cpi(
+            base_config,
+            SchemeKind::Baseline,
+            SchemeKind::set_fixed_50(rotation),
+            scale,
+            6,
+        );
+        let line_fixed = scheme_cpi(
+            base_config,
+            SchemeKind::Baseline,
+            SchemeKind::line_fixed_50(),
+            scale,
+            7,
+        );
+        let line_dynamic = scheme_cpi(
+            base_config,
+            SchemeKind::Baseline,
+            SchemeKind::line_dynamic_60(SchemeKind::dtlb_threshold(entries), scale.time_scale),
+            scale,
+            8,
+        );
+        rows.push(Table3Row {
+            label: format!("DTLB 8-way {entries} ent."),
+            set_fixed: loss(set_fixed),
+            line_fixed: loss(line_fixed),
+            line_dynamic: loss(line_dynamic),
+        });
+    }
+
+    Table3 { rows }
+}
+
+// -------------------------------------------------- §4.2–4.6 efficiencies
+
+/// One efficiency comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficiencyRow {
+    /// Design point name.
+    pub name: String,
+    /// Its cost record.
+    pub cost: BlockCost,
+    /// `NBTIefficiency` (lower is better).
+    pub efficiency: f64,
+    /// The value the paper reports, for comparison.
+    pub paper: f64,
+}
+
+impl EfficiencyRow {
+    fn new(name: &str, cost: BlockCost, paper: f64) -> Self {
+        EfficiencyRow {
+            name: name.into(),
+            efficiency: cost.nbti_efficiency(),
+            cost,
+            paper,
+        }
+    }
+}
+
+/// The §4.2–4.6 efficiency comparison: the two conventional designs and
+/// the four Penelope case studies, with measured inputs where available.
+pub fn efficiency_summary(scale: Scale) -> Vec<EfficiencyRow> {
+    let model = GuardbandModel::paper_calibrated();
+    let mut rows = vec![
+        EfficiencyRow::new(
+            "baseline (full guardband)",
+            full_guardband_baseline(&model),
+            1.73,
+        ),
+        EfficiencyRow::new(
+            "invert periodically",
+            InvertMode::paper_default().block_cost(Duty::new(0.9).expect("valid"), &model),
+            1.41,
+        ),
+    ];
+
+    // Adder: measured utilization → guardband.
+    let adder = LadnerFischerAdder::new(32);
+    let protection = AdderProtection::select(&adder);
+    let (_, run) = run_workload(PipelineConfig::default(), scale, &mut NoHooks);
+    let util = run.max_adder_utilization().clamp(0.0, 1.0);
+    let inputs: Vec<(u64, u64, bool)> = scale
+        .workload()
+        .specs()
+        .iter()
+        .take(3)
+        .flat_map(|s| real_adder_inputs(s, (scale.uops_per_trace / 4).max(512)))
+        .collect();
+    let adder_gb = protection.guardband(&adder, util, inputs, &model);
+    rows.push(EfficiencyRow::new(
+        "Penelope adder (round-robin inputs)",
+        AdderProtection::block_cost(adder_gb),
+        1.24,
+    ));
+
+    // Register file: measured worst bias under ISV.
+    let f6 = fig6(scale);
+    let worst_rf = f6.int_isv_worst().max(f6.fp_isv_worst());
+    rows.push(EfficiencyRow::new(
+        "Penelope register file (ISV at release)",
+        RegfileIsv::block_cost(Duty::saturating(worst_rf), &model),
+        1.12,
+    ));
+
+    // Scheduler: measured worst residual bias.
+    let f8 = fig8(scale);
+    rows.push(EfficiencyRow::new(
+        "Penelope scheduler (ALL1/ALL1-K%/ISV)",
+        SchedulerBalancer::block_cost(Duty::saturating(f8.worst_protected), &model),
+        1.24,
+    ));
+
+    // DL0: LineFixed50% CPI loss on the 32KB 8-way geometry.
+    let base = scheme_cpi(
+        PipelineConfig::default(),
+        SchemeKind::Baseline,
+        SchemeKind::Baseline,
+        scale,
+        11,
+    );
+    let lf = scheme_cpi(
+        PipelineConfig::default(),
+        SchemeKind::line_fixed_50(),
+        SchemeKind::Baseline,
+        scale,
+        12,
+    );
+    let dl0_cost = BlockCost::new((lf / base).max(1.0), 1.01, model.best_case().fraction());
+    rows.push(EfficiencyRow::new(
+        "Penelope DL0 (LineFixed50%)",
+        dl0_cost,
+        1.09,
+    ));
+
+    rows
+}
+
+// ----------------------------------------------------------------- §4.7
+
+/// The §4.7 whole-processor summary (Table 4's quantitative side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4 {
+    /// Per-block cost records, in the paper's order: adder, register file,
+    /// scheduler, DL0, DTLB.
+    pub blocks: Vec<(String, BlockCost)>,
+    /// Combined CPI of all mechanisms running together, relative to the
+    /// baseline (paper: 1.007).
+    pub combined_cpi: f64,
+    /// The aggregated processor cost.
+    pub processor: BlockCost,
+    /// `NBTIefficiency` of the Penelope processor (paper: 1.28).
+    pub efficiency: f64,
+    /// `NBTIefficiency` of the all-guardband baseline (1.73).
+    pub baseline_efficiency: f64,
+}
+
+/// Runs everything together and aggregates with equations (2)–(4).
+pub fn table4(scale: Scale) -> Table4 {
+    let model = GuardbandModel::paper_calibrated();
+
+    // Baseline CPI; the run doubles as the profiling pass for the
+    // scheduler's K values (§4.5).
+    let (mut base_pipe, base_run) = run_workload(PipelineConfig::default(), scale, &mut NoHooks);
+    let base_now = base_pipe.now();
+    let sched_policy = SchedulerPolicy::from_scheduler(&mut base_pipe.parts.sched, base_now);
+
+    // Penelope: all mechanisms at once. The §4.7 composition covers the
+    // paper's five blocks; the BTB extension is evaluated separately.
+    let config = PenelopeConfig {
+        sample_period: scale.time_scale.max(64),
+        btb_scheme: SchemeKind::Baseline,
+        sched_policy,
+        ..PenelopeConfig::default()
+    };
+    let (mut pipe, mut hooks) = build(&config);
+    let mut total: Option<RunResult> = None;
+    for spec in scale.workload().specs() {
+        let r = pipe.run(spec.generate(scale.uops_per_trace), &mut hooks);
+        match &mut total {
+            Some(t) => t.merge(&r),
+            None => total = Some(r),
+        }
+    }
+    let pen_run = total.expect("workload non-empty");
+    let combined_cpi = pen_run.cpi() / base_run.cpi();
+    let now = pipe.now();
+
+    // Adder guardband at the measured utilization.
+    let adder = LadnerFischerAdder::new(32);
+    let protection = AdderProtection::select(&adder);
+    let util = pen_run.max_adder_utilization().clamp(0.0, 1.0);
+    let inputs: Vec<(u64, u64, bool)> = scale
+        .workload()
+        .specs()
+        .iter()
+        .take(3)
+        .flat_map(|s| real_adder_inputs(s, (scale.uops_per_trace / 4).max(512)))
+        .collect();
+    let adder_gb = protection.guardband(&adder, util, inputs, &model);
+
+    // Register files under ISV (from the combined run).
+    pipe.parts.int_rf.sync(now);
+    pipe.parts.fp_rf.sync(now);
+    let rf_worst = pipe
+        .parts
+        .int_rf
+        .residency()
+        .worst_cell_duty()
+        .fraction()
+        .max(pipe.parts.fp_rf.residency().worst_cell_duty().fraction());
+
+    // Scheduler under the balancer.
+    pipe.parts.sched.sync(now);
+    let sched_worst = worst_figure8_bias(&pipe.parts.sched);
+
+    // Caches: effective bias from the measured inverted-time fraction,
+    // assuming the paper's ~90% data bias for cache bit cells.
+    let dl0_frac = hooks.dl0.inverted_fraction(&pipe.parts.dl0, now);
+    let dtlb_frac = hooks.dtlb.inverted_fraction(pipe.parts.dtlb.cache(), now);
+    let cache_bias = |frac: f64| Duty::saturating(crate::cache_aware::effective_bias(0.9, frac));
+
+    let blocks = vec![
+        (
+            "adder".to_string(),
+            BlockCost::new(1.0, 1.0, adder_gb.fraction()),
+        ),
+        (
+            "register file".to_string(),
+            BlockCost::new(
+                1.0,
+                1.01,
+                model.cell_guardband(Duty::saturating(rf_worst)).fraction(),
+            ),
+        ),
+        (
+            "scheduler".to_string(),
+            BlockCost::new(1.0, 1.02, model.cell_guardband(sched_worst).fraction()),
+        ),
+        (
+            "DL0".to_string(),
+            BlockCost::new(1.0, 1.01, model.cell_guardband(cache_bias(dl0_frac)).fraction()),
+        ),
+        (
+            "DTLB".to_string(),
+            BlockCost::new(
+                1.0,
+                1.01,
+                model.cell_guardband(cache_bias(dtlb_frac)).fraction(),
+            ),
+        ),
+    ];
+
+    let agg = ProcessorAggregator::equal_weights(blocks.len()).expect("non-empty");
+    let costs: Vec<BlockCost> = blocks.iter().map(|(_, c)| *c).collect();
+    let processor = agg
+        .combine(&costs, combined_cpi.max(1.0))
+        .expect("valid aggregation");
+
+    Table4 {
+        blocks,
+        combined_cpi,
+        efficiency: processor.nbti_efficiency(),
+        processor,
+        baseline_efficiency: full_guardband_baseline(&model).nbti_efficiency(),
+    }
+}
+
+// ------------------------------------------------- Table 3 tail statistic
+
+/// Per-program loss-tail statistics for one scheme (§4.6: "the fraction of
+/// programs that lose more than 5% (10%) performance for the 16KB 8-way
+/// DL0 is 7.0% (2.8%) for SetFixed50%, 7.2% (2.5%) for LineFixed50%, and
+/// only 4.4% (1.1%) for LineDynamic60%").
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Fraction of traces losing more than 5%.
+    pub over_5: f64,
+    /// Fraction of traces losing more than 10%.
+    pub over_10: f64,
+    /// Mean loss across traces.
+    pub mean_loss: f64,
+}
+
+/// Measures the per-program loss distribution on the 16KB 8-way DL0.
+pub fn table3_tail(scale: Scale) -> Vec<TailRow> {
+    let base_config = PipelineConfig {
+        dl0: CacheConfig::dl0(16, 8),
+        ..PipelineConfig::default()
+    };
+    // Per-trace baseline CPIs.
+    let per_trace = |dl0_scheme: SchemeKind, seed: u64| -> Vec<f64> {
+        let config = PenelopeConfig {
+            pipeline: base_config,
+            dl0_scheme,
+            dtlb_scheme: SchemeKind::Baseline,
+            btb_scheme: SchemeKind::Baseline,
+            sample_period: u64::MAX / 2,
+            seed,
+            ..PenelopeConfig::default()
+        };
+        let (mut pipe, mut hooks) = build(&config);
+        scale
+            .workload()
+            .specs()
+            .iter()
+            .map(|spec| pipe.run(spec.generate(scale.uops_per_trace), &mut hooks).cpi())
+            .collect()
+    };
+    let baseline = per_trace(SchemeKind::Baseline, 31);
+    let rotation = (10_000_000 / scale.time_scale).max(2_000);
+    let schemes = [
+        SchemeKind::set_fixed_50(rotation),
+        SchemeKind::line_fixed_50(),
+        SchemeKind::line_dynamic_60(SchemeKind::dl0_threshold(16), scale.time_scale),
+    ];
+    schemes
+        .into_iter()
+        .map(|scheme| {
+            let cpis = per_trace(scheme, 32);
+            let losses: Vec<f64> = cpis
+                .iter()
+                .zip(&baseline)
+                .map(|(s, b)| (s / b - 1.0).max(0.0))
+                .collect();
+            let n = losses.len().max(1) as f64;
+            TailRow {
+                scheme: scheme.label(),
+                over_5: losses.iter().filter(|l| **l > 0.05).count() as f64 / n,
+                over_10: losses.iter().filter(|l| **l > 0.10).count() as f64 / n,
+                mean_loss: losses.iter().sum::<f64>() / n,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- Extensions
+
+/// One row of the BTB extension experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BtbRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// CPI loss relative to the unprotected BTB.
+    pub cpi_loss: f64,
+    /// BTB miss ratio.
+    pub miss_ratio: f64,
+    /// Average inverted fraction (NBTI benefit).
+    pub inverted_fraction: f64,
+}
+
+/// Extension: the §3.2.1 schemes applied to the branch target buffer (the
+/// paper names the branch predictor as cache-like but evaluates only the
+/// DL0 and DTLB).
+pub fn btb_extension(scale: Scale) -> Vec<BtbRow> {
+    let rotation = (10_000_000 / scale.time_scale).max(2_000);
+    let schemes = [
+        SchemeKind::Baseline,
+        SchemeKind::set_fixed_50(rotation),
+        SchemeKind::WayFixed {
+            fraction: 0.5,
+            rotation_period: rotation,
+        },
+        SchemeKind::line_fixed_50(),
+        SchemeKind::line_dynamic_60(0.02, scale.time_scale),
+    ];
+    let mut rows = Vec::new();
+    let mut baseline_cpi = None;
+    for scheme in schemes {
+        let config = PenelopeConfig {
+            dl0_scheme: SchemeKind::Baseline,
+            dtlb_scheme: SchemeKind::Baseline,
+            btb_scheme: scheme,
+            sample_period: u64::MAX / 2,
+            ..PenelopeConfig::default()
+        };
+        let (mut pipe, mut hooks) = build(&config);
+        let mut total: Option<RunResult> = None;
+        for spec in scale.workload().specs() {
+            let r = pipe.run(spec.generate(scale.uops_per_trace), &mut hooks);
+            match &mut total {
+                Some(t) => t.merge(&r),
+                None => total = Some(r),
+            }
+        }
+        let cpi = total.expect("workload non-empty").cpi();
+        let baseline = *baseline_cpi.get_or_insert(cpi);
+        let now = pipe.now();
+        rows.push(BtbRow {
+            scheme: scheme.label(),
+            cpi_loss: (cpi / baseline - 1.0).max(0.0),
+            miss_ratio: pipe.parts.btb.stats().miss_ratio(),
+            inverted_fraction: hooks.btb.inverted_fraction(pipe.parts.btb.cache(), now),
+        });
+    }
+    rows
+}
+
+/// One row of the Vmin/energy extension (§2/§5: mitigating NBTI lowers
+/// Vmin, "leading to higher power efficiency").
+#[derive(Debug, Clone, PartialEq)]
+pub struct VminRow {
+    /// Structure name.
+    pub structure: String,
+    /// Worst cell duty, baseline.
+    pub baseline_duty: f64,
+    /// Worst cell duty under Penelope.
+    pub penelope_duty: f64,
+    /// Relative Vmin increase required, baseline.
+    pub baseline_vmin: f64,
+    /// Relative Vmin increase under Penelope.
+    pub penelope_vmin: f64,
+    /// Storage-energy ratio of Penelope vs baseline at the guardbanded
+    /// Vmin (`E ∝ V²`).
+    pub energy_ratio: f64,
+}
+
+/// Extension: Vmin and storage-energy impact for the storage structures,
+/// from measured biases.
+pub fn vmin_extension(scale: Scale) -> Vec<VminRow> {
+    use nbti_model::guardband::VminModel;
+    let vmin = VminModel::paper_calibrated();
+
+    let (mut base, _) = run_workload(PipelineConfig::default(), scale, &mut NoHooks);
+    let base_now = base.now();
+    base.parts.int_rf.sync(base_now);
+    base.parts.fp_rf.sync(base_now);
+    base.parts.sched.sync(base_now);
+
+    let config = PenelopeConfig {
+        sample_period: scale.time_scale.max(64),
+        ..PenelopeConfig::default()
+    };
+    let (mut pen, mut hooks) = build(&config);
+    for spec in scale.workload().specs() {
+        let _ = pen.run(spec.generate(scale.uops_per_trace), &mut hooks);
+    }
+    let pen_now = pen.now();
+    pen.parts.int_rf.sync(pen_now);
+    pen.parts.fp_rf.sync(pen_now);
+    pen.parts.sched.sync(pen_now);
+
+    let mut rows = Vec::new();
+    let mut push = |name: &str, b: Duty, p: Duty| {
+        let bv = vmin.vmin_increase(b);
+        let pv = vmin.vmin_increase(p);
+        rows.push(VminRow {
+            structure: name.to_string(),
+            baseline_duty: b.cell_worst().fraction(),
+            penelope_duty: p.cell_worst().fraction(),
+            baseline_vmin: bv,
+            penelope_vmin: pv,
+            energy_ratio: vmin.energy_factor(p) / vmin.energy_factor(b),
+        });
+    };
+    push(
+        "INT register file",
+        base.parts.int_rf.residency().worst_cell_duty(),
+        pen.parts.int_rf.residency().worst_cell_duty(),
+    );
+    push(
+        "FP register file",
+        base.parts.fp_rf.residency().worst_cell_duty(),
+        pen.parts.fp_rf.residency().worst_cell_duty(),
+    );
+    push(
+        "scheduler",
+        worst_figure8_bias(&base.parts.sched),
+        worst_figure8_bias(&pen.parts.sched),
+    );
+    let dl0_frac = hooks.dl0.inverted_fraction(&pen.parts.dl0, pen_now);
+    push(
+        "DL0",
+        Duty::saturating(0.9),
+        Duty::saturating(crate::cache_aware::effective_bias(0.9, dl0_frac)),
+    );
+    rows
+}
+
+/// One row of the design-parameter ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Parameter description, e.g. `"SetFixed rotation = 50000"`.
+    pub label: String,
+    /// CPI loss relative to the unprotected baseline.
+    pub cpi_loss: f64,
+    /// Worst residual cell duty of the studied structure (lower = better
+    /// balancing), where applicable.
+    pub worst_duty: Option<f64>,
+}
+
+/// Extension: ablations over the design parameters DESIGN.md calls out —
+/// the SetFixed rotation period and the ISV sampling period.
+pub fn ablation(scale: Scale) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+
+    // SetFixed rotation period: shorter rotations heal more evenly but
+    // flush more often.
+    let baseline = scheme_cpi(
+        PipelineConfig::default(),
+        SchemeKind::Baseline,
+        SchemeKind::Baseline,
+        scale,
+        21,
+    );
+    for rotation in [5_000u64, 20_000, 100_000] {
+        let cpi = scheme_cpi(
+            PipelineConfig::default(),
+            SchemeKind::set_fixed_50(rotation),
+            SchemeKind::Baseline,
+            scale,
+            22,
+        );
+        rows.push(AblationRow {
+            label: format!("SetFixed50% rotation {rotation}"),
+            cpi_loss: (cpi / baseline - 1.0).max(0.0),
+            worst_duty: None,
+        });
+    }
+
+    // ISV sampling period: stale RINV samples balance almost as well —
+    // the paper's claim that sampling every "thousands or millions of
+    // cycles" suffices.
+    for period in [64u64, 1_024, 16_384] {
+        let mut hooks = RegfileIsvHooks::new(period);
+        let (mut pipe, _) = run_workload(PipelineConfig::default(), scale, &mut hooks);
+        let now = pipe.now();
+        pipe.parts.int_rf.sync(now);
+        rows.push(AblationRow {
+            label: format!("ISV sample period {period}"),
+            // ISV writes use only idle ports: CPI is untouched by design.
+            cpi_loss: 0.0,
+            worst_duty: Some(
+                pipe.parts
+                    .int_rf
+                    .residency()
+                    .worst_cell_duty()
+                    .fraction(),
+            ),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_has_sawtooth_series() {
+        let series = fig1();
+        assert!(series.len() > 100);
+        assert_eq!(series[0].1, 0.0);
+        let max = series.iter().map(|(_, n)| *n).fold(0.0, f64::max);
+        assert!(max > 0.1, "degradation accumulates");
+        // Not monotone: recovery phases pull nit down.
+        let rises = series.windows(2).filter(|w| w[1].1 > w[0].1).count();
+        let falls = series.windows(2).filter(|w| w[1].1 < w[0].1).count();
+        assert!(rises > 10 && falls > 10);
+    }
+
+    #[test]
+    fn fig4_has_28_pairs() {
+        let pairs = fig4();
+        assert_eq!(pairs.len(), 28);
+    }
+
+    #[test]
+    fn efficiency_rows_cover_all_designs() {
+        let rows = efficiency_summary(Scale::quick());
+        assert_eq!(rows.len(), 6);
+        assert!((rows[0].efficiency - 1.728).abs() < 1e-3);
+        assert!((rows[1].efficiency - 1.41).abs() < 0.02);
+        // Every Penelope mechanism beats periodic inversion.
+        for row in &rows[2..] {
+            assert!(
+                row.efficiency < rows[1].efficiency,
+                "{} at {} is not better than inversion",
+                row.name,
+                row.efficiency
+            );
+        }
+    }
+}

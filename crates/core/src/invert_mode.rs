@@ -1,0 +1,100 @@
+//! The conventional alternative: operating memory-like blocks in inverted
+//! mode half of the time (§3, worked out in §4.2).
+//!
+//! A global invert bit flips periodically; reads and writes pass through
+//! XNOR gates that invert/deinvert data, so every bit cell stores each
+//! polarity ~50% of the time and the NBTI guardband drops to the 2% floor.
+//! The cost is the XNOR on the read/write paths: about 1 FO4 of a 10 FO4
+//! cycle, a 10% delay hit — acceptable for slow structures (L2), painful
+//! for register files, schedulers and L1 caches. The technique does not
+//! apply to combinational blocks at all: inverted and non-inverted inputs
+//! may stress the *same* PMOS transistors.
+
+use nbti_model::duty::Duty;
+use nbti_model::guardband::GuardbandModel;
+use nbti_model::metric::BlockCost;
+
+/// Parameters of the periodic-inversion design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvertMode {
+    /// Relative cycle-time stretch from the XNOR on the data paths
+    /// (1 FO4 over a 10 FO4 cycle → 1.10).
+    pub delay_factor: f64,
+    /// Fraction of time spent in inverted mode.
+    pub inverted_fraction: f64,
+}
+
+impl InvertMode {
+    /// The paper's design point: XNOR costs 10% delay, inversion half of
+    /// the time.
+    pub fn paper_default() -> Self {
+        InvertMode {
+            delay_factor: 1.10,
+            inverted_fraction: 0.5,
+        }
+    }
+
+    /// Bias of a bit cell under periodic inversion.
+    pub fn balanced_bias(&self, baseline_bias: Duty) -> Duty {
+        let b = baseline_bias.fraction();
+        let f = self.inverted_fraction;
+        Duty::saturating((1.0 - f) * b + f * (1.0 - b))
+    }
+
+    /// The §4.2 cost record: delay stretched by the XNOR, guardband at the
+    /// post-balancing level, negligible TDP change.
+    pub fn block_cost(&self, baseline_bias: Duty, model: &GuardbandModel) -> BlockCost {
+        let gb = model.cell_guardband(self.balanced_bias(baseline_bias));
+        BlockCost::new(self.delay_factor, 1.0, gb.fraction())
+    }
+}
+
+impl Default for InvertMode {
+    fn default() -> Self {
+        InvertMode::paper_default()
+    }
+}
+
+/// The do-nothing design: pay the full worst-case guardband (§4.2's 1.73).
+pub fn full_guardband_baseline(model: &GuardbandModel) -> BlockCost {
+    BlockCost::new(1.0, 1.0, model.worst_case().fraction())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_efficiency_is_1_73() {
+        let model = GuardbandModel::paper_calibrated();
+        let cost = full_guardband_baseline(&model);
+        assert!((cost.nbti_efficiency() - 1.728).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invert_mode_efficiency_is_1_41() {
+        let model = GuardbandModel::paper_calibrated();
+        let cost = InvertMode::paper_default().block_cost(Duty::new(0.9).unwrap(), &model);
+        // (1.1 · 1.02)³ ≈ 1.41.
+        assert!((cost.nbti_efficiency() - 1.412).abs() < 1e-2);
+    }
+
+    #[test]
+    fn half_time_inversion_balances_any_bias() {
+        let m = InvertMode::paper_default();
+        for b in [0.0, 0.3, 0.9, 1.0] {
+            let balanced = m.balanced_bias(Duty::new(b).unwrap());
+            assert!((balanced.fraction() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn partial_inversion_balances_partially() {
+        let m = InvertMode {
+            delay_factor: 1.1,
+            inverted_fraction: 0.25,
+        };
+        let balanced = m.balanced_bias(Duty::new(0.9).unwrap());
+        assert!((balanced.fraction() - 0.7).abs() < 1e-12);
+    }
+}

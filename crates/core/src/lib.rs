@@ -1,0 +1,54 @@
+//! Penelope: the NBTI-aware processor (MICRO 2007).
+//!
+//! This crate implements the paper's contribution on top of the
+//! reproduction substrates:
+//!
+//! - [`rinv`]: the per-structure `RINV` register holding inverted sampled
+//!   values, updated periodically from live data (§3.2.2);
+//! - [`technique`]: the balancing techniques for explicitly managed blocks
+//!   — `ALL1`/`ALL0`, `ALL1-K%`/`ALL0-K%` and `ISV` — with the casuistic of
+//!   Figure 3 that picks one per field ([`technique::choose_technique`]);
+//! - [`regfile_aware`]: the NBTI-aware register file of §4.4
+//!   (invert-at-release through spare write ports);
+//! - [`sched_aware`]: the NBTI-aware scheduler of §4.5 (per-field
+//!   techniques, profiled K values);
+//! - [`cache_aware`]: the cache-like schemes of §3.2.1/§4.6 — `SetFixed`,
+//!   `WayFixed`, `LineFixed` and `LineDynamic` with its
+//!   warm-up/measure/decide activity test;
+//! - [`adder_aware`]: the combinational-block strategy of §3.1/§4.3
+//!   (idle-vector pair selection and guardband accounting for the
+//!   Ladner-Fischer adder);
+//! - [`invert_mode`]: the conventional alternative — operating memory
+//!   structures in inverted mode half of the time — used as the paper's
+//!   comparison point;
+//! - [`l2_study`]: an extension quantifying where invert mode *does* make
+//!   sense (slow L2-like structures, per §3 and Table 4);
+//! - [`processor`]: the whole-processor assembly and the §4.7 aggregation;
+//! - [`experiments`]: drivers that regenerate every figure and table of the
+//!   evaluation (used by the `penelope-bench` binaries and the integration
+//!   tests);
+//! - [`report`]: plain-text rendering of the figures/tables.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use penelope::experiments::{self, Scale};
+//!
+//! // Reproduce the §4.2 worked examples: the all-guardband baseline and
+//! // the periodic-inversion design.
+//! let eff = experiments::efficiency_summary(Scale::quick());
+//! let baseline = eff.iter().find(|e| e.name == "baseline (full guardband)").unwrap();
+//! assert!((baseline.efficiency - 1.73).abs() < 0.01);
+//! ```
+
+pub mod adder_aware;
+pub mod cache_aware;
+pub mod experiments;
+pub mod invert_mode;
+pub mod l2_study;
+pub mod processor;
+pub mod regfile_aware;
+pub mod report;
+pub mod rinv;
+pub mod sched_aware;
+pub mod technique;

@@ -1,0 +1,383 @@
+//! Plain-text rendering of the regenerated figures and tables.
+//!
+//! Each `render_*` function takes the corresponding result struct from
+//! [`crate::experiments`] and produces the text the `penelope-bench`
+//! binaries print, with the paper's reference values alongside.
+
+use crate::experiments::{Fig5Row, Fig6, Fig8, Motivation, Table3, Table4};
+use gatesim::vectors::PairStress;
+
+fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Renders Figure 1 as an ASCII series (time, nit, bar).
+pub fn render_fig1(series: &[(f64, f64)]) -> String {
+    let mut out = String::from(
+        "Figure 1: N_IT under alternating stress/relax (normalized)\n\
+         time      nit\n",
+    );
+    let max = series.iter().map(|(_, n)| *n).fold(1e-9, f64::max);
+    for (t, n) in series.iter().step_by(6) {
+        let bar = "#".repeat(((n / max) * 50.0).round() as usize);
+        out.push_str(&format!("{t:>8.0}  {n:.4} {bar}\n"));
+    }
+    out
+}
+
+/// Renders the §1.1 motivation statistics.
+pub fn render_motivation(m: &Motivation) -> String {
+    format!(
+        "Section 1.1 motivation (measured vs paper)\n\
+         carry-in zero probability : {} (paper: >90%)\n\
+         INT regfile bit bias      : {} .. {} (paper: 65%..90%)\n\
+         scheduler worst bit bias  : {} (paper: ~100%)\n\
+         adder util (uniform)      : {} (paper: 21%)\n\
+         adder util (prioritized)  : {} .. {} (paper: 11%..30%)\n",
+        pct(m.carry_in_zero),
+        pct(m.int_bias_min),
+        pct(m.int_bias_max),
+        pct(m.sched_worst_bias),
+        pct(m.adder_util_uniform),
+        pct(m.adder_util_prioritized.0),
+        pct(m.adder_util_prioritized.1),
+    )
+}
+
+/// Renders Figure 4 (one bar per vector pair).
+pub fn render_fig4(pairs: &[PairStress]) -> String {
+    let mut out = String::from(
+        "Figure 4: narrow PMOS at 100% zero-signal probability per idle pair\n\
+         pair   %narrow@100%   worst narrow duty\n",
+    );
+    for p in pairs {
+        out.push_str(&format!(
+            "{:>5}  {:>12}   {}\n",
+            p.pair.label(),
+            pct(p.narrow_fully_stressed),
+            p.worst_narrow_duty,
+        ));
+    }
+    let best = pairs
+        .iter()
+        .min_by(|a, b| {
+            (a.narrow_fully_stressed, a.pair.latch_imbalance())
+                .partial_cmp(&(b.narrow_fully_stressed, b.pair.latch_imbalance()))
+                .expect("finite")
+        })
+        .expect("non-empty");
+    out.push_str(&format!(
+        "best pair: {} (paper: 1+8)\n",
+        best.pair.label()
+    ));
+    out
+}
+
+/// Renders Figure 5.
+pub fn render_fig5(rows: &[Fig5Row]) -> String {
+    let mut out = String::from("Figure 5: adder NBTI guardband (paper: 20% / 7.4% / 5.8% / ~4%)\n");
+    for r in rows {
+        out.push_str(&format!("{:<24} {}\n", r.label, pct(r.guardband)));
+    }
+    out
+}
+
+/// Renders Figure 6 (worst-case summary plus per-bit series).
+pub fn render_fig6(f: &Fig6) -> String {
+    let series = |name: &str, bias: &[f64]| {
+        let mut s = format!("{name}: ");
+        for b in bias {
+            s.push_str(&format!("{:.0} ", b * 100.0));
+        }
+        s.push('\n');
+        s
+    };
+    let mut out = String::from("Figure 6: register-file bit bias towards 0 (percent per bit)\n");
+    out.push_str(&series("INT baseline", &f.int_baseline));
+    out.push_str(&series("INT ISV     ", &f.int_isv));
+    out.push_str(&series("FP  baseline", &f.fp_baseline));
+    out.push_str(&series("FP  ISV     ", &f.fp_isv));
+    out.push_str(&format!(
+        "worst INT: {} -> {} (paper: 89.9% -> 48.5%)\n\
+         worst FP : {} -> {} (paper: 84.2% -> 45.5%)\n\
+         free time: INT {} (paper 54%), FP {} (paper 69%)\n\
+         ISV port success: INT {} (paper 92%), FP {} (paper 86%)\n",
+        pct(f.int_baseline_worst()),
+        pct(f.int_isv_worst()),
+        pct(f.fp_baseline_worst()),
+        pct(f.fp_isv_worst()),
+        pct(f.int_free),
+        pct(f.fp_free),
+        pct(f.int_port_rate),
+        pct(f.fp_port_rate),
+    ));
+    out
+}
+
+/// Renders Figure 8.
+pub fn render_fig8(f: &Fig8) -> String {
+    let mut out = String::from(
+        "Figure 8: scheduler bit bias towards 0 (baseline vs ALL1/ALL1-K%/ISV)\n\
+         field        bit  baseline  protected\n",
+    );
+    for r in &f.rows {
+        out.push_str(&format!(
+            "{:<12} {:>3}  {:>8}  {:>9}\n",
+            r.field.name(),
+            r.bit + 1,
+            pct(r.baseline),
+            pct(r.protected),
+        ));
+    }
+    out.push_str(&format!(
+        "worst bias: {} -> {} (paper: ~100% -> 63.2%)\n\
+         occupancy {} (paper 63%), data fields {} (paper 25-30%)\n",
+        pct(f.worst_baseline),
+        pct(f.worst_protected),
+        pct(f.occupancy),
+        pct(f.data_occupancy),
+    ));
+    out
+}
+
+/// Renders Table 3.
+pub fn render_table3(t: &Table3) -> String {
+    let mut out = String::from(
+        "Table 3: average performance loss\n\
+         configuration        SetFixed50%  LineFixed50%  LineDynamic60%\n",
+    );
+    for r in &t.rows {
+        out.push_str(&format!(
+            "{:<20} {:>11}  {:>12}  {:>14}\n",
+            r.label,
+            pct(r.set_fixed),
+            pct(r.line_fixed),
+            pct(r.line_dynamic),
+        ));
+    }
+    out.push_str(
+        "(paper DL0 8-way 32/16/8KB: 0.75/1.30/1.60 | 0.53/1.14/1.60 | 0.45/0.69/0.96;\n\
+         paper DTLB 128/64/32: 0.32/0.55/1.31 | 0.34/0.47/1.18 | 0.14/0.32/0.97)\n",
+    );
+    out
+}
+
+/// Renders the efficiency table of §4.2–4.6.
+pub fn render_efficiency(rows: &[crate::experiments::EfficiencyRow]) -> String {
+    let mut out = String::from(
+        "NBTIefficiency = (Delay·(1+guardband))³·TDP — lower is better\n\
+         design point                              delay   TDP  guardband  efficiency  paper\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<41} {:>5.3} {:>5.3}  {:>8}  {:>10.3}  {:>5.2}\n",
+            r.name,
+            r.cost.delay(),
+            r.cost.tdp(),
+            pct(r.cost.guardband()),
+            r.efficiency,
+            r.paper,
+        ));
+    }
+    out
+}
+
+/// Renders the §4.7 whole-processor summary.
+pub fn render_table4(t: &Table4) -> String {
+    let mut out = String::from(
+        "Section 4.7: the Penelope processor (equations 2-4, equal TDP weights)\n\
+         block           delay   TDP  guardband\n",
+    );
+    for (name, cost) in &t.blocks {
+        out.push_str(&format!(
+            "{:<15} {:>5.3} {:>5.3}  {:>8}\n",
+            name,
+            cost.delay(),
+            cost.tdp(),
+            pct(cost.guardband()),
+        ));
+    }
+    out.push_str(&format!(
+        "combined CPI: {:.4} (paper: 1.007)\n\
+         processor: delay {:.4}, TDP {:.4}, guardband {} (paper: 1.007 / 1.01 / 7.4%)\n\
+         NBTIefficiency: {:.3} vs baseline {:.3} (paper: 1.28 vs 1.73)\n",
+        t.combined_cpi,
+        t.processor.delay(),
+        t.processor.tdp(),
+        pct(t.processor.guardband()),
+        t.efficiency,
+        t.baseline_efficiency,
+    ));
+    out
+}
+
+/// Renders the per-program loss-tail statistics of §4.6.
+pub fn render_tail(rows: &[crate::experiments::TailRow]) -> String {
+    let mut out = String::from(
+        "Per-program loss tail, DL0 16KB 8-way (paper: >5% / >10% of programs:
+         SetFixed 7.0/2.8, LineFixed 7.2/2.5, LineDynamic 4.4/1.1)
+         scheme           >5% loss  >10% loss  mean loss
+",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>8}  {:>9}  {:>9}
+",
+            r.scheme,
+            pct(r.over_5),
+            pct(r.over_10),
+            pct(r.mean_loss),
+        ));
+    }
+    out
+}
+
+/// Renders the BTB extension experiment.
+pub fn render_btb(rows: &[crate::experiments::BtbRow]) -> String {
+    let mut out = String::from(
+        "Extension: inversion schemes on the branch target buffer\n\
+         scheme           CPI loss  BTB miss ratio  inverted fraction\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>8}  {:>14}  {:>17}\n",
+            r.scheme,
+            pct(r.cpi_loss),
+            pct(r.miss_ratio),
+            pct(r.inverted_fraction),
+        ));
+    }
+    out
+}
+
+/// Renders the Vmin/energy extension.
+pub fn render_vmin(rows: &[crate::experiments::VminRow]) -> String {
+    let mut out = String::from(
+        "Extension: Vmin and storage energy (E = V^2) from measured biases\n\
+         structure           duty base->pen   Vmin base->pen   energy ratio\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<19} {:>5} -> {:<5}  {:>6} -> {:<6}  {:>10.4}\n",
+            r.structure,
+            pct(r.baseline_duty),
+            pct(r.penelope_duty),
+            pct(r.baseline_vmin),
+            pct(r.penelope_vmin),
+            r.energy_ratio,
+        ));
+    }
+    out
+}
+
+/// Renders the design-parameter ablation.
+pub fn render_ablation(rows: &[crate::experiments::AblationRow]) -> String {
+    let mut out = String::from(
+        "Extension: design-parameter ablation\n\
+         parameter                      CPI loss  worst residual duty\n",
+    );
+    for r in rows {
+        let duty = r
+            .worst_duty
+            .map_or("-".to_string(), pct);
+        out.push_str(&format!(
+            "{:<30} {:>8}  {:>19}\n",
+            r.label,
+            pct(r.cpi_loss),
+            duty,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{self, Scale};
+
+    #[test]
+    fn fig1_rendering_is_nonempty() {
+        let text = render_fig1(&experiments::fig1());
+        assert!(text.contains("Figure 1"));
+        assert!(text.lines().count() > 10);
+    }
+
+    #[test]
+    fn fig4_rendering_names_best_pair() {
+        let text = render_fig4(&experiments::fig4());
+        assert!(text.contains("best pair: 1+8"));
+    }
+
+    #[test]
+    fn fig5_rendering_has_four_rows() {
+        let text = render_fig5(&experiments::fig5(Scale::quick()));
+        assert!(text.contains("real inputs"));
+        assert!(text.contains("21% real"));
+    }
+
+    #[test]
+    fn percentage_formatting() {
+        assert_eq!(pct(0.058), "5.80%");
+    }
+
+    #[test]
+    fn motivation_rendering_shows_paper_references() {
+        let m = experiments::Motivation {
+            carry_in_zero: 0.94,
+            int_bias_min: 0.65,
+            int_bias_max: 0.90,
+            sched_worst_bias: 0.999,
+            adder_util_uniform: 0.21,
+            adder_util_prioritized: (0.11, 0.30),
+        };
+        let text = render_motivation(&m);
+        assert!(text.contains("94.00%"));
+        assert!(text.contains("paper: 21%"));
+    }
+
+    #[test]
+    fn table3_rendering_includes_paper_row() {
+        let t = experiments::Table3 {
+            rows: vec![experiments::Table3Row {
+                label: "DL0 8-way 32KB".into(),
+                set_fixed: 0.0075,
+                line_fixed: 0.0053,
+                line_dynamic: 0.0045,
+            }],
+        };
+        let text = render_table3(&t);
+        assert!(text.contains("DL0 8-way 32KB"));
+        assert!(text.contains("0.75%"));
+        assert!(text.contains("paper DTLB"));
+    }
+
+    #[test]
+    fn extension_renderers_produce_tables() {
+        let btb = vec![experiments::BtbRow {
+            scheme: "LineFixed50%".into(),
+            cpi_loss: 0.028,
+            miss_ratio: 0.28,
+            inverted_fraction: 0.5,
+        }];
+        assert!(render_btb(&btb).contains("LineFixed50%"));
+
+        let vmin = vec![experiments::VminRow {
+            structure: "DL0".into(),
+            baseline_duty: 0.9,
+            penelope_duty: 0.5,
+            baseline_vmin: 0.082,
+            penelope_vmin: 0.01,
+            energy_ratio: 0.87,
+        }];
+        assert!(render_vmin(&vmin).contains("0.8700"));
+
+        let abl = vec![experiments::AblationRow {
+            label: "ISV sample period 64".into(),
+            cpi_loss: 0.0,
+            worst_duty: Some(0.52),
+        }];
+        let text = render_ablation(&abl);
+        assert!(text.contains("ISV sample period 64"));
+        assert!(text.contains("52.00%"));
+    }
+}

@@ -1,0 +1,458 @@
+//! The NBTI-aware scheduler (§4.5): per-field balancing techniques.
+//!
+//! Each field of a released slot is rewritten with balancing contents
+//! through a spare allocation port. The technique per field (in the paper's
+//! default, per *bit* for the latency field) follows the Figure 3 casuistic:
+//!
+//! - `ALL1`: latency bits 4–5, port, flags, shift1, shift2;
+//! - `ALL1-K%`: latency bits 1–3 (K = 95/75/95%), taken (50%), tos (50%),
+//!   ready1/ready2 (60%);
+//! - `ISV`: SRC1 data, SRC2 data, immediate (sampled from register
+//!   reads/bypasses and from the instruction);
+//! - nothing: register tags and MOB id (self-balanced), the valid bit
+//!   (always live), and the opcode (balanced by smart encoding).
+//!
+//! K values may also be *profiled*: [`SchedulerPolicy::from_scheduler`]
+//! derives per-bit techniques from a measurement run, the way the paper
+//! derives its Ks from 100 profiling traces.
+
+use nbti_model::duty::Duty;
+use nbti_model::guardband::GuardbandModel;
+use nbti_model::metric::BlockCost;
+use uarch::pipeline::Hooks;
+use uarch::scheduler::{EntryValues, Field, Scheduler, SlotId};
+
+use crate::rinv::Rinv;
+use crate::technique::{choose_technique, KCounter, Technique};
+
+/// Inverted/non-inverted residency timestamps for one sampled entry — the
+/// §3.2.2 gate deciding whether ISV writes should happen right now. The
+/// paper uses "2 timestamps of 10 bits each" for the scheduler: one shared
+/// by the SRC data fields, one for the immediate.
+#[derive(Debug, Clone, Copy, Default)]
+struct IsvGate {
+    inverted: bool,
+    since: u64,
+    time_inverted: u64,
+    time_normal: u64,
+}
+
+impl IsvGate {
+    fn flip(&mut self, inverted: bool, now: u64) {
+        let elapsed = now.saturating_sub(self.since);
+        if self.inverted {
+            self.time_inverted += elapsed;
+        } else {
+            self.time_normal += elapsed;
+        }
+        self.inverted = inverted;
+        self.since = now;
+    }
+
+    fn should_invert(&self, now: u64) -> bool {
+        let open = now.saturating_sub(self.since);
+        let (inv, norm) = if self.inverted {
+            (self.time_inverted + open, self.time_normal)
+        } else {
+            (self.time_inverted, self.time_normal + open)
+        };
+        norm >= inv
+    }
+}
+
+/// Per-bit technique assignment for every scheduler field.
+#[derive(Debug, Clone)]
+pub struct SchedulerPolicy {
+    bits: [Vec<Technique>; 18],
+}
+
+impl SchedulerPolicy {
+    /// The paper's classification (§4.5).
+    pub fn paper_default() -> Self {
+        let mut bits: [Vec<Technique>; 18] =
+            std::array::from_fn(|i| vec![Technique::None; Field::ALL[i].width()]);
+        let set = |bits: &mut [Vec<Technique>; 18], f: Field, t: Technique| {
+            bits[f.index()] = vec![t; f.width()];
+        };
+        // ALL1 fields.
+        set(&mut bits, Field::Port, Technique::All1);
+        set(&mut bits, Field::Flags, Technique::All1);
+        set(&mut bits, Field::Shift1, Technique::All1);
+        set(&mut bits, Field::Shift2, Technique::All1);
+        // Latency: bits 1–3 are ALL1-K%, bits 4–5 ALL1 (paper numbering is
+        // 1-based).
+        bits[Field::Latency.index()] = vec![
+            Technique::All1K(0.95),
+            Technique::All1K(0.75),
+            Technique::All1K(0.95),
+            Technique::All1,
+            Technique::All1,
+        ];
+        set(&mut bits, Field::Taken, Technique::All1K(0.50));
+        set(&mut bits, Field::Tos, Technique::All1K(0.50));
+        set(&mut bits, Field::Ready1, Technique::All1K(0.60));
+        set(&mut bits, Field::Ready2, Technique::All1K(0.60));
+        // ISV fields.
+        set(&mut bits, Field::Src1Data, Technique::Isv);
+        set(&mut bits, Field::Src2Data, Technique::Isv);
+        set(&mut bits, Field::Immediate, Technique::Isv);
+        // Tags, MOB id: self-balanced. Valid: unprotectable. Opcode:
+        // balanced by encoding. All remain Technique::None.
+        SchedulerPolicy { bits }
+    }
+
+    /// Derives a policy from a profiling run: for each bit, applies the
+    /// Figure 3 casuistic to its measured occupancy and bias (the paper
+    /// computes its K values from 100 random traces the same way).
+    ///
+    /// Self-balanced fields, the valid bit and the opcode keep
+    /// [`Technique::None`]; fields free most of the time get ISV.
+    pub fn from_scheduler(sched: &mut Scheduler, now: u64) -> Self {
+        sched.sync(now);
+        let occupancy = sched.occupancy(now);
+        let data_occupancy = sched.data_occupancy(now);
+        let mut bits: [Vec<Technique>; 18] =
+            std::array::from_fn(|i| vec![Technique::None; Field::ALL[i].width()]);
+        for field in Field::ALL {
+            if field.is_self_balanced() || field == Field::Valid || field == Field::Opcode {
+                continue;
+            }
+            let occ = if field.is_data() {
+                data_occupancy
+            } else {
+                occupancy
+            };
+            let residency = sched.field_residency(field);
+            for (bit, slot) in bits[field.index()].iter_mut().enumerate() {
+                // Total-time bias approximates busy-time bias because idle
+                // cells keep their last (busy-distribution) contents.
+                let b0 = residency.bias(bit).fraction();
+                *slot = choose_technique(occ, b0, 1.0 - b0);
+            }
+        }
+        SchedulerPolicy { bits }
+    }
+
+    /// The technique protecting one bit of a field.
+    pub fn technique(&self, field: Field, bit: usize) -> Technique {
+        self.bits[field.index()][bit]
+    }
+
+    /// Whether any bit of the field receives balancing writes.
+    pub fn protects(&self, field: Field) -> bool {
+        self.bits[field.index()]
+            .iter()
+            .any(|t| !matches!(t, Technique::None))
+    }
+}
+
+/// The balancing mechanism: slot-release rewrites driven by a policy.
+#[derive(Debug, Clone)]
+pub struct SchedulerBalancer {
+    policy: SchedulerPolicy,
+    /// K-counters, one per (field, bit) that needs one.
+    counters: [Vec<KCounter>; 18],
+    /// RINV images for the ISV fields.
+    rinv_src1: Rinv,
+    rinv_src2: Rinv,
+    rinv_imm: Rinv,
+    /// ISV timestamp gates: one shared by the SRC data fields, one for the
+    /// immediate, sampled on slot 0.
+    gate_data: IsvGate,
+    gate_imm: IsvGate,
+    attempts: u64,
+    successes: u64,
+}
+
+/// The slot whose residency the ISV gates sample (fixed, like the paper's
+/// fixed sampled entry).
+const SAMPLED_SLOT: SlotId = 0;
+
+impl SchedulerBalancer {
+    /// Creates the mechanism with the given policy; ISV fields sample every
+    /// `sample_period` cycles.
+    pub fn new(policy: SchedulerPolicy, sample_period: u64) -> Self {
+        let counters: [Vec<KCounter>; 18] = std::array::from_fn(|i| {
+            policy.bits[i]
+                .iter()
+                .map(|t| match t {
+                    Technique::All1K(k) | Technique::All0K(k) => KCounter::new(*k),
+                    _ => KCounter::new(1.0),
+                })
+                .collect()
+        });
+        SchedulerBalancer {
+            policy,
+            counters,
+            rinv_src1: Rinv::new(32, sample_period),
+            rinv_src2: Rinv::new(32, sample_period),
+            rinv_imm: Rinv::new(16, sample_period),
+            gate_data: IsvGate::default(),
+            gate_imm: IsvGate::default(),
+            attempts: 0,
+            successes: 0,
+        }
+    }
+
+    /// With the paper's default classification.
+    pub fn paper_default(sample_period: u64) -> Self {
+        SchedulerBalancer::new(SchedulerPolicy::paper_default(), sample_period)
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> &SchedulerPolicy {
+        &self.policy
+    }
+
+    /// Samples the ISV RINVs from a newly captured slot (values come from
+    /// the register file read/bypass network and the instruction itself),
+    /// and updates the sampled-slot gates.
+    pub fn on_allocated(&mut self, slot: SlotId, values: &EntryValues, now: u64) {
+        if values.is_driven(Field::Src1Data) {
+            self.rinv_src1.offer(values.get(Field::Src1Data), now);
+        }
+        if values.is_driven(Field::Src2Data) {
+            self.rinv_src2.offer(values.get(Field::Src2Data), now);
+        }
+        if values.is_driven(Field::Immediate) {
+            self.rinv_imm.offer(values.get(Field::Immediate), now);
+        }
+        if slot == SAMPLED_SLOT {
+            if values.is_driven(Field::Src1Data) || values.is_driven(Field::Src2Data) {
+                self.gate_data.flip(false, now);
+            }
+            if values.is_driven(Field::Immediate) {
+                self.gate_imm.flip(false, now);
+            }
+        }
+    }
+
+    /// Handles a slot release: rewrites the slot's protectable fields with
+    /// balancing contents through a spare allocation port (one port per
+    /// slot rewrite; updates that find no port are dropped).
+    pub fn on_released(&mut self, sched: &mut Scheduler, slot: SlotId, now: u64) {
+        self.attempts += 1;
+        if sched.is_busy(slot) || !sched.consume_port(now) {
+            return;
+        }
+        self.successes += 1;
+        for field in Field::ALL {
+            // ISV-protected fields honor their timestamp gate: writing
+            // inverted samples into every released slot forever would swing
+            // the bias past 50% the other way.
+            let gated = self.policy.bits[field.index()]
+                .iter()
+                .any(|t| matches!(t, Technique::Isv));
+            if gated {
+                let gate = if field == Field::Immediate {
+                    &self.gate_imm
+                } else {
+                    &self.gate_data
+                };
+                if !gate.should_invert(now) {
+                    continue;
+                }
+            }
+            if let Some(value) = self.field_value(field) {
+                sched.write_field(slot, field, value, now);
+                if gated && slot == SAMPLED_SLOT {
+                    let gate = if field == Field::Immediate {
+                        &mut self.gate_imm
+                    } else {
+                        &mut self.gate_data
+                    };
+                    gate.flip(true, now);
+                }
+            }
+        }
+    }
+
+    fn field_value(&mut self, field: Field) -> Option<u128> {
+        let idx = field.index();
+        if !self.policy.protects(field) {
+            return None;
+        }
+        let mut value = 0u128;
+        #[allow(clippy::needless_range_loop)] // bit indexes three arrays
+        for bit in 0..field.width() {
+            let t = self.policy.bits[idx][bit];
+            let one = match t {
+                Technique::All1 => true,
+                Technique::All0 => false,
+                Technique::All1K(_) => self.counters[idx][bit].tick(),
+                Technique::All0K(_) => !self.counters[idx][bit].tick(),
+                Technique::Isv => {
+                    let rinv = match field {
+                        Field::Src1Data => &self.rinv_src1,
+                        Field::Src2Data => &self.rinv_src2,
+                        Field::Immediate => &self.rinv_imm,
+                        // ISV on a non-data field samples the same image as
+                        // src1 (profiled policies may assign it).
+                        _ => &self.rinv_src1,
+                    };
+                    (rinv.value() >> bit) & 1 == 1
+                }
+                Technique::None => continue,
+            };
+            if one {
+                value |= 1 << bit;
+            }
+        }
+        Some(value)
+    }
+
+    /// Fraction of releases whose balancing write went through (the paper
+    /// finds ports available 77% of the time).
+    pub fn update_success_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            1.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+
+    /// The §4.5 cost record: ~2% TDP (RINV + counters + timestamps), no
+    /// delay impact, guardband from the worst residual bias.
+    pub fn block_cost(worst_bias: Duty, model: &GuardbandModel) -> BlockCost {
+        let gb = model.cell_guardband(worst_bias);
+        BlockCost::new(1.0, 1.02, gb.fraction())
+    }
+}
+
+/// Hook adapter for the scheduler balancer.
+#[derive(Debug, Clone)]
+pub struct SchedulerHooks {
+    /// The wrapped mechanism.
+    pub balancer: SchedulerBalancer,
+}
+
+impl SchedulerHooks {
+    /// With the paper's default policy.
+    pub fn paper_default(sample_period: u64) -> Self {
+        SchedulerHooks {
+            balancer: SchedulerBalancer::paper_default(sample_period),
+        }
+    }
+}
+
+impl Hooks for SchedulerHooks {
+    fn scheduler_allocated(
+        &mut self,
+        _sched: &mut Scheduler,
+        slot: SlotId,
+        values: &EntryValues,
+        now: u64,
+    ) {
+        self.balancer.on_allocated(slot, values, now);
+    }
+
+    fn scheduler_released(&mut self, sched: &mut Scheduler, slot: SlotId, now: u64) {
+        self.balancer.on_released(sched, slot, now);
+    }
+}
+
+/// Worst cell duty over the protectable bits of Figure 8 (every field but
+/// the opcode; the paper plots exactly that set).
+pub fn worst_figure8_bias(sched: &Scheduler) -> Duty {
+    Field::ALL
+        .iter()
+        .filter(|f| **f != Field::Opcode)
+        .map(|f| sched.field_residency(*f).worst_cell_duty())
+        .fold(Duty::ZERO, |w, d| if d > w { d } else { w })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracegen::suite::Suite;
+    use tracegen::trace::TraceSpec;
+    use uarch::pipeline::{NoHooks, Pipeline, PipelineConfig};
+
+    #[test]
+    fn paper_policy_classification() {
+        let p = SchedulerPolicy::paper_default();
+        assert_eq!(p.technique(Field::Flags, 0), Technique::All1);
+        assert_eq!(p.technique(Field::Latency, 4), Technique::All1);
+        assert!(matches!(
+            p.technique(Field::Latency, 1),
+            Technique::All1K(k) if (k - 0.75).abs() < 1e-9
+        ));
+        assert_eq!(p.technique(Field::Src1Data, 13), Technique::Isv);
+        assert_eq!(p.technique(Field::DstTag, 0), Technique::None);
+        assert_eq!(p.technique(Field::Valid, 0), Technique::None);
+        assert!(!p.protects(Field::MobId));
+        assert!(p.protects(Field::Taken));
+    }
+
+    #[test]
+    fn balancer_reduces_scheduler_bias() {
+        let trace = || TraceSpec::new(Suite::Office, 2).generate(40_000);
+
+        let mut base = Pipeline::new(PipelineConfig::default());
+        base.run(trace(), &mut NoHooks);
+        let now = base.now();
+        base.parts.sched.sync(now);
+        let base_worst = worst_figure8_bias(&base.parts.sched);
+
+        // K values are profiled, exactly as the paper derives them from
+        // 100 profiling traces (§4.5).
+        let policy = SchedulerPolicy::from_scheduler(&mut base.parts.sched, now);
+        let mut aware = Pipeline::new(PipelineConfig::default());
+        let mut hooks = SchedulerHooks {
+            balancer: SchedulerBalancer::new(policy, 256),
+        };
+        aware.run(trace(), &mut hooks);
+        let now = aware.now();
+        aware.parts.sched.sync(now);
+        let aware_worst = worst_figure8_bias(&aware.parts.sched);
+
+        // Paper: worst bias falls from ~100% to 63.2% (their occupancy is
+        // 63%; ours is ~70%, and the floor is set by the valid bit, which
+        // cannot be protected).
+        assert!(base_worst.fraction() > 0.95, "baseline worst {base_worst}");
+        assert!(
+            aware_worst.fraction() < 0.85,
+            "aware {aware_worst} vs baseline {base_worst}"
+        );
+        assert!(aware_worst.fraction() < base_worst.fraction() - 0.1);
+    }
+
+    #[test]
+    fn profiled_policy_matches_casuistic_expectations() {
+        let mut pipe = Pipeline::new(PipelineConfig::default());
+        pipe.run(
+            TraceSpec::new(Suite::SpecInt2000, 0).generate(30_000),
+            &mut NoHooks,
+        );
+        let now = pipe.now();
+        let occupancy = pipe.parts.sched.occupancy(now);
+        let policy = SchedulerPolicy::from_scheduler(&mut pipe.parts.sched, now);
+        // Flags bits are ~always 0 while busy: above 50% occupancy the
+        // casuistic picks an ALL1 variant, below it falls back to ISV.
+        if occupancy > 0.5 {
+            assert!(matches!(
+                policy.technique(Field::Flags, 5),
+                Technique::All1 | Technique::All1K(_)
+            ));
+        } else {
+            assert_eq!(policy.technique(Field::Flags, 5), Technique::Isv);
+        }
+        // Data fields are free most of the time → ISV.
+        assert_eq!(policy.technique(Field::Src1Data, 0), Technique::Isv);
+        // Self-balanced fields are untouched.
+        assert_eq!(policy.technique(Field::MobId, 0), Technique::None);
+    }
+
+    #[test]
+    fn update_success_rate_reported() {
+        let mut pipe = Pipeline::new(PipelineConfig::default());
+        let mut hooks = SchedulerHooks::paper_default(256);
+        pipe.run(
+            TraceSpec::new(Suite::Kernels, 0).generate(20_000),
+            &mut hooks,
+        );
+        let rate = hooks.balancer.update_success_rate();
+        assert!(rate > 0.3, "success rate {rate}");
+        assert!(hooks.balancer.attempts > 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the Penelope mechanisms.
+
+use nbti_model::duty::Duty;
+use penelope::cache_aware::{effective_bias, SchemeKind, XorShift};
+use penelope::invert_mode::InvertMode;
+use penelope::rinv::Rinv;
+use penelope::technique::{balancing_value, choose_technique, KCounter, Technique};
+use proptest::prelude::*;
+use uarch::cache::CacheConfig;
+
+proptest! {
+    #[test]
+    fn rinv_stores_the_masked_complement(value in any::<u64>(), width in 1usize..=64) {
+        let mut rinv = Rinv::new(width, 1);
+        prop_assert!(rinv.offer(u128::from(value), 0));
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        prop_assert_eq!(rinv.value() as u64, !value & mask);
+    }
+
+    #[test]
+    fn kcounter_distributes_majority_exactly(k in 0.0f64..=1.0) {
+        let mut counter = KCounter::new(k);
+        let majority = (0..32).filter(|_| counter.tick()).count();
+        prop_assert_eq!(majority as f64 / 32.0, counter.fraction());
+        // And the pattern repeats.
+        let again = (0..32).filter(|_| counter.tick()).count();
+        prop_assert_eq!(majority, again);
+    }
+
+    #[test]
+    fn casuistic_always_chooses_something_sane(occ in 0.0f64..=1.0, b0 in 0.0f64..=1.0) {
+        let technique = choose_technique(occ, b0, 1.0 - b0);
+        match technique {
+            Technique::Isv => prop_assert!(occ <= 0.5),
+            Technique::All1 => prop_assert!(occ * b0 > 0.5),
+            Technique::All0 => prop_assert!(occ * (1.0 - b0) > 0.5),
+            Technique::All1K(k) | Technique::All0K(k) => {
+                prop_assert!((0.0..=1.0).contains(&k));
+                prop_assert!(occ > 0.5);
+            }
+            Technique::None => prop_assert!(false, "casuistic never abstains"),
+        }
+    }
+
+    #[test]
+    fn feasible_k_values_achieve_perfect_balance(occ in 0.501f64..=0.95, b0 in 0.0f64..=1.0) {
+        // When the casuistic picks ALL1-K%, writing 1 during K of the idle
+        // time must land total zero-time at exactly 50%.
+        if let Technique::All1K(k) = choose_technique(occ, b0, 1.0 - b0) {
+            if k < 1.0 - 1e-9 && k > 1e-9 {
+                let total_zero = occ * b0 + (1.0 - occ) * (1.0 - k);
+                prop_assert!((total_zero - 0.5).abs() < 1e-9, "zero time {total_zero}");
+            }
+        }
+    }
+
+    #[test]
+    fn balancing_values_fit_the_field(width in 1usize..=64, k in 0.0f64..=1.0) {
+        let mut rinv = Rinv::new(width, 1);
+        rinv.set(u128::MAX);
+        let mut counter = KCounter::new(k);
+        for technique in [
+            Technique::All1,
+            Technique::All0,
+            Technique::All1K(k),
+            Technique::All0K(k),
+            Technique::Isv,
+        ] {
+            if let Some(v) = balancing_value(technique, width, &rinv, &mut counter) {
+                prop_assert_eq!(v >> width, 0, "{:?} overflowed the field", technique);
+            }
+        }
+    }
+
+    #[test]
+    fn effective_bias_is_bounded_and_involutive(b in 0.0f64..=1.0, f in 0.0f64..=1.0) {
+        let eb = effective_bias(b, f);
+        prop_assert!((0.0..=1.0).contains(&eb));
+        // Full inversion is complement; none is identity.
+        prop_assert!((effective_bias(b, 0.0) - b).abs() < 1e-12);
+        prop_assert!((effective_bias(b, 1.0) - (1.0 - b)).abs() < 1e-12);
+        // 50% inversion balances everything.
+        prop_assert!((effective_bias(b, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invert_mode_balances_any_bias_at_half(b in 0.0f64..=1.0) {
+        let balanced = InvertMode::paper_default().balanced_bias(Duty::new(b).unwrap());
+        prop_assert!((balanced.fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xorshift_below_respects_bound(seed in any::<u64>(), bound in 1usize..10_000) {
+        let mut rng = XorShift::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn effective_cache_geometry_stays_consistent(kb in 1u32..=64, ways_pow in 0u32..=3) {
+        let ways = 1u16 << ways_pow;
+        let base = CacheConfig::dl0(kb * 8, ways * 2); // keep lines divisible
+        for kind in [
+            SchemeKind::Baseline,
+            SchemeKind::set_fixed_50(1000),
+            SchemeKind::WayFixed { fraction: 0.5, rotation_period: 1000 },
+            SchemeKind::line_fixed_50(),
+        ] {
+            let eff = kind.effective_cache(base);
+            prop_assert!(eff.size_bytes <= base.size_bytes);
+            prop_assert!(eff.ways <= base.ways);
+            prop_assert!(eff.lines() >= 1);
+            // Geometry must still divide evenly.
+            let _ = eff.sets();
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! PMOS transistor enumeration and width classes.
+//!
+//! Every input of every gate corresponds to one PMOS in the pull-up network.
+//! Transistor width matters for NBTI: wider PMOS degrade markedly less
+//! (paper §2, citing \[19\]), and in a real layout gates driving large loads
+//! are upsized. We mirror that by classifying the PMOS of a gate as *wide*
+//! when the gate's output fanout reaches a threshold, and *narrow*
+//! otherwise.
+
+use crate::gate::{GateId, NetId};
+use crate::netlist::Netlist;
+
+/// Index of a PMOS transistor within a netlist's flattened transistor list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PmosId(pub(crate) u32);
+
+impl PmosId {
+    /// Index into [`PmosTable::transistors`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Width class of a transistor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WidthClass {
+    /// Minimum-size device: vulnerable to NBTI.
+    Narrow,
+    /// Upsized device (high-fanout driver): tolerates NBTI well.
+    Wide,
+}
+
+/// One PMOS transistor: which gate it belongs to, which net drives its gate
+/// terminal, and its width class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pmos {
+    /// Gate instance containing the transistor.
+    pub gate: GateId,
+    /// Net driving the transistor's gate terminal. The PMOS is under NBTI
+    /// stress while this net is at logic "0".
+    pub driven_by: NetId,
+    /// Width class (from output fanout of the containing gate).
+    pub width: WidthClass,
+}
+
+/// Flattened table of all PMOS transistors in a netlist.
+///
+/// # Example
+///
+/// ```
+/// use gatesim::netlist::NetlistBuilder;
+/// use gatesim::pmos::{PmosTable, WidthClass};
+///
+/// let mut b = NetlistBuilder::new();
+/// let a = b.input();
+/// let c = b.input();
+/// let n = b.nand2(a, c);
+/// b.mark_output(n);
+/// let netlist = b.finish();
+///
+/// let table = PmosTable::build(&netlist, 3);
+/// assert_eq!(table.len(), 2);
+/// assert!(table.transistors().iter().all(|t| t.width == WidthClass::Narrow));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PmosTable {
+    transistors: Vec<Pmos>,
+    fanout_threshold: u32,
+}
+
+impl PmosTable {
+    /// Default fanout at or above which a gate's transistors are classified
+    /// wide. In the Ladner-Fischer prefix tree this captures the upsized
+    /// carry-propagation nodes, which is exactly the set the paper observes
+    /// to be wide.
+    pub const DEFAULT_WIDE_FANOUT: u32 = 3;
+
+    /// Enumerates every PMOS of `netlist`, classifying a gate's transistors
+    /// as wide when the gate output drives at least `fanout_threshold` gate
+    /// inputs.
+    pub fn build(netlist: &Netlist, fanout_threshold: u32) -> Self {
+        let mut transistors = Vec::with_capacity(netlist.pmos_count());
+        for (gi, gate) in netlist.gates().iter().enumerate() {
+            let explicitly_wide = netlist.is_explicitly_wide(GateId(gi as u32));
+            let width = if explicitly_wide || netlist.fanout(gate.output()) >= fanout_threshold {
+                WidthClass::Wide
+            } else {
+                WidthClass::Narrow
+            };
+            for &input in gate.inputs() {
+                transistors.push(Pmos {
+                    gate: GateId(gi as u32),
+                    driven_by: input,
+                    width,
+                });
+            }
+        }
+        PmosTable {
+            transistors,
+            fanout_threshold,
+        }
+    }
+
+    /// Builds with [`PmosTable::DEFAULT_WIDE_FANOUT`].
+    pub fn with_default_threshold(netlist: &Netlist) -> Self {
+        PmosTable::build(netlist, Self::DEFAULT_WIDE_FANOUT)
+    }
+
+    /// All transistors, in gate order then input order.
+    pub fn transistors(&self) -> &[Pmos] {
+        &self.transistors
+    }
+
+    /// Number of transistors.
+    pub fn len(&self) -> usize {
+        self.transistors.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transistors.is_empty()
+    }
+
+    /// The fanout threshold used for width classification.
+    pub fn fanout_threshold(&self) -> u32 {
+        self.fanout_threshold
+    }
+
+    /// Number of narrow transistors.
+    pub fn narrow_count(&self) -> usize {
+        self.transistors
+            .iter()
+            .filter(|t| t.width == WidthClass::Narrow)
+            .count()
+    }
+
+    /// Number of wide transistors.
+    pub fn wide_count(&self) -> usize {
+        self.len() - self.narrow_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    fn fanout_chain() -> Netlist {
+        // One inverter driving 4 loads (wide), 4 leaf inverters (narrow).
+        let mut b = NetlistBuilder::new();
+        let a = b.input();
+        let hub = b.inv(a);
+        for _ in 0..4 {
+            let x = b.inv(hub);
+            b.mark_output(x);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn wide_classification_by_fanout() {
+        let n = fanout_chain();
+        let table = PmosTable::build(&n, 3);
+        // 5 inverters → 5 PMOS. The hub inverter's PMOS is wide.
+        assert_eq!(table.len(), 5);
+        assert_eq!(table.wide_count(), 1);
+        assert_eq!(table.narrow_count(), 4);
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let n = fanout_chain();
+        let strict = PmosTable::build(&n, 5);
+        assert_eq!(strict.wide_count(), 0);
+        let loose = PmosTable::build(&n, 1);
+        // Leaf inverters have fanout 0 (< 1), hub has 4.
+        assert_eq!(loose.wide_count(), 1);
+        assert_eq!(loose.fanout_threshold(), 1);
+    }
+
+    #[test]
+    fn transistor_records_driving_net() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input();
+        let c = b.input();
+        let out = b.nand2(a, c);
+        b.mark_output(out);
+        let n = b.finish();
+        let table = PmosTable::with_default_threshold(&n);
+        assert_eq!(table.transistors()[0].driven_by, a);
+        assert_eq!(table.transistors()[1].driven_by, c);
+        assert_eq!(table.transistors()[0].gate, table.transistors()[1].gate);
+    }
+
+    #[test]
+    fn empty_netlist_has_empty_table() {
+        let b = NetlistBuilder::new();
+        let n = b.finish();
+        let table = PmosTable::with_default_threshold(&n);
+        assert!(table.is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests: adder correctness over the full operand space and
+//! stress-tracking invariants.
+
+use gatesim::adder::{LadnerFischerAdder, RippleCarryAdder};
+use gatesim::netlist::NetlistBuilder;
+use gatesim::stress::StressTracker;
+use gatesim::vectors::{evaluate_pair, SyntheticVector, VectorPair};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ladner_fischer_32_matches_u32_addition(a in any::<u32>(), b in any::<u32>(), cin in any::<bool>()) {
+        let adder = LadnerFischerAdder::new(32);
+        let (sum, cout) = adder.add(u64::from(a), u64::from(b), cin);
+        let wide = u64::from(a) + u64::from(b) + u64::from(cin);
+        prop_assert_eq!(sum, wide & 0xFFFF_FFFF);
+        prop_assert_eq!(cout, wide >> 32 != 0);
+    }
+
+    #[test]
+    fn ladner_fischer_64_matches_u64_addition(a in any::<u64>(), b in any::<u64>(), cin in any::<bool>()) {
+        let adder = LadnerFischerAdder::new(64);
+        let (sum, cout) = adder.add(a, b, cin);
+        let (s1, c1) = a.overflowing_add(b);
+        let (s2, c2) = s1.overflowing_add(u64::from(cin));
+        prop_assert_eq!(sum, s2);
+        prop_assert_eq!(cout, c1 || c2);
+    }
+
+    #[test]
+    fn both_adders_agree(width in 1usize..=16, a in any::<u64>(), b in any::<u64>(), cin in any::<bool>()) {
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let lf = LadnerFischerAdder::new(width);
+        let rca = RippleCarryAdder::new(width);
+        prop_assert_eq!(lf.add(a, b, cin), rca.add(a, b, cin));
+    }
+
+    #[test]
+    fn netlist_evaluation_is_pure(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        let mut builder = NetlistBuilder::new();
+        let x = builder.input();
+        let y = builder.input();
+        let z = builder.input();
+        let g1 = builder.aoi21(x, y, z);
+        let g2 = builder.xor2(g1, x);
+        builder.mark_output(g2);
+        let netlist = builder.finish();
+        let v1 = netlist.evaluate(&[a, b, c]);
+        let v2 = netlist.evaluate(&[a, b, c]);
+        prop_assert_eq!(v1.get(g2), v2.get(g2));
+        // And it matches the boolean formula.
+        let expected = !((a && b) || c) ^ a;
+        prop_assert_eq!(v1.get(g2), expected);
+    }
+
+    #[test]
+    fn pair_stress_duties_are_quantized(i in 0usize..8, j in 0usize..8) {
+        prop_assume!(i < j);
+        let adder = LadnerFischerAdder::new(8);
+        let pair = VectorPair {
+            first: SyntheticVector::ALL[i],
+            second: SyntheticVector::ALL[j],
+        };
+        let stress = evaluate_pair(&adder, pair);
+        // Alternating two vectors can only give 0, 1/2 or 1.
+        let f = stress.worst_narrow_duty.fraction();
+        prop_assert!(
+            (f - 0.0).abs() < 1e-12 || (f - 0.5).abs() < 1e-12 || (f - 1.0).abs() < 1e-12
+        );
+        prop_assert!((0.0..=1.0).contains(&stress.narrow_fully_stressed));
+    }
+
+    #[test]
+    fn stress_tracker_observes_all_time(durations in prop::collection::vec(1u64..50, 1..20)) {
+        let adder = LadnerFischerAdder::new(4);
+        let mut tracker = StressTracker::new(adder.netlist());
+        let mut total = 0;
+        for (i, d) in durations.iter().enumerate() {
+            let v = SyntheticVector::ALL[i % 8];
+            let (a, b, cin) = v.operands(4);
+            tracker.apply(adder.netlist(), &adder.input_assignment(a, b, cin), *d);
+            total += d;
+        }
+        prop_assert_eq!(tracker.observed_time(), total);
+        for (_, duty) in tracker.duties() {
+            prop_assert!((0.0..=1.0).contains(&duty.fraction()));
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Zero-signal-probability (duty cycle) accounting.
+//!
+//! NBTI degrades a PMOS transistor while its gate sees a logic "0". All of
+//! Penelope's mechanisms therefore reason about the *fraction of time* each
+//! signal spends at "0". This module provides:
+//!
+//! - [`Duty`]: a validated `[0, 1]` fraction of time at "0".
+//! - [`DutyAccumulator`]: an event-driven accumulator for one signal. Time is
+//!   measured in cycles and recorded only when the signal changes (or when a
+//!   measurement is taken), so tracking is O(1) per update rather than
+//!   O(cycles).
+//!
+//! Per-*word* accounting (tracking 32/80/144 bits of a structure entry at
+//! once) lives in the `uarch` crate's `bitstats` module, built on top of the
+//! same conventions.
+
+use crate::{Error, Result};
+
+/// Fraction of time a signal spends at logic "0" (the zero-signal
+/// probability of the paper).
+///
+/// For a PMOS transistor whose gate is driven by the signal, this is the
+/// fraction of time the transistor is under NBTI stress.
+///
+/// # Example
+///
+/// ```
+/// use nbti_model::duty::Duty;
+/// # fn main() -> Result<(), nbti_model::Error> {
+/// let d = Duty::new(0.9)?;
+/// assert_eq!(d.fraction(), 0.9);
+/// // In a 6T SRAM cell the two cross-coupled PMOS see complementary duties;
+/// // the cell ages at the pace of the worse of the two.
+/// assert_eq!(d.cell_worst().fraction(), 0.9);
+/// assert_eq!(Duty::new(0.3)?.cell_worst().fraction(), 0.7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Duty(f64);
+
+impl Duty {
+    /// A signal that is never "0" (no NBTI stress at all).
+    pub const ZERO: Duty = Duty(0.0);
+    /// Perfect balancing: "0" exactly half of the time.
+    pub const BALANCED: Duty = Duty(0.5);
+    /// A signal that is always "0" (continuous stress).
+    pub const FULL: Duty = Duty(1.0);
+
+    /// Creates a duty cycle from a fraction of time at "0".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ProbabilityOutOfRange`] if `fraction` is not a finite
+    /// value within `[0, 1]`.
+    pub fn new(fraction: f64) -> Result<Self> {
+        if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+            return Err(Error::ProbabilityOutOfRange {
+                what: "duty",
+                value: fraction,
+            });
+        }
+        Ok(Duty(fraction))
+    }
+
+    /// Creates a duty cycle, clamping out-of-range finite values into
+    /// `[0, 1]`.
+    ///
+    /// Useful when the fraction is derived from floating-point arithmetic
+    /// that may land at `1.0 + ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is NaN.
+    pub fn saturating(fraction: f64) -> Self {
+        assert!(!fraction.is_nan(), "duty must not be NaN");
+        Duty(fraction.clamp(0.0, 1.0))
+    }
+
+    /// The fraction of time at "0", within `[0, 1]`.
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// Duty of the complementary signal (time at "1").
+    pub fn complement(self) -> Duty {
+        Duty(1.0 - self.0)
+    }
+
+    /// Worst duty inside a bit cell storing this signal.
+    ///
+    /// A bit cell is two cross-coupled inverters, so one PMOS sees the stored
+    /// value and the other its complement: the cell fails when the *more*
+    /// stressed of the two wears out. Perfect balancing (`0.5`) is the best
+    /// achievable point, exactly as the paper argues in §3.2.
+    pub fn cell_worst(self) -> Duty {
+        Duty(self.0.max(1.0 - self.0))
+    }
+
+    /// Distance from the optimal 50% balancing, as reported in the paper
+    /// ("39.9% from the optimal").
+    pub fn imbalance(self) -> f64 {
+        (self.0 - 0.5).abs()
+    }
+
+    /// Combines two duties observed for the same transistor over two phases
+    /// of operation, where `weight` is the fraction of time spent in the
+    /// first phase.
+    ///
+    /// This is how the adder case study combines real-input stress (during
+    /// busy time) with synthetic-input stress (during idle time).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weight` is outside `[0, 1]`.
+    pub fn mix(self, other: Duty, weight: f64) -> Result<Duty> {
+        if !weight.is_finite() || !(0.0..=1.0).contains(&weight) {
+            return Err(Error::ProbabilityOutOfRange {
+                what: "mix weight",
+                value: weight,
+            });
+        }
+        Ok(Duty(self.0 * weight + other.0 * (1.0 - weight)))
+    }
+}
+
+impl std::fmt::Display for Duty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+/// Event-driven duty accumulator for a single signal.
+///
+/// Record transitions (or samples) with [`DutyAccumulator::record`]; at any
+/// point, [`DutyAccumulator::duty`] returns the fraction of observed time the
+/// signal was "0".
+///
+/// # Example
+///
+/// ```
+/// use nbti_model::duty::DutyAccumulator;
+///
+/// let mut acc = DutyAccumulator::new();
+/// acc.record(false, 30); // signal was 0 for 30 cycles
+/// acc.record(true, 10);  // then 1 for 10 cycles
+/// assert_eq!(acc.duty().fraction(), 0.75);
+/// assert_eq!(acc.total_time(), 40);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DutyAccumulator {
+    zero_time: u64,
+    total_time: u64,
+}
+
+impl DutyAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the signal held `value` for `duration` cycles.
+    ///
+    /// `value == false` means logic "0" (PMOS under stress).
+    pub fn record(&mut self, value: bool, duration: u64) {
+        if !value {
+            self.zero_time += duration;
+        }
+        self.total_time += duration;
+    }
+
+    /// Total observed time in cycles.
+    pub fn total_time(&self) -> u64 {
+        self.total_time
+    }
+
+    /// Time spent at logic "0", in cycles.
+    pub fn zero_time(&self) -> u64 {
+        self.zero_time
+    }
+
+    /// Fraction of observed time at "0".
+    ///
+    /// Returns [`Duty::ZERO`] when nothing has been observed yet.
+    pub fn duty(&self) -> Duty {
+        if self.total_time == 0 {
+            Duty::ZERO
+        } else {
+            Duty::saturating(self.zero_time as f64 / self.total_time as f64)
+        }
+    }
+
+    /// Merges the observations of another accumulator into this one.
+    pub fn merge(&mut self, other: &DutyAccumulator) {
+        self.zero_time += other.zero_time;
+        self.total_time += other.total_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Duty::new(-0.1).is_err());
+        assert!(Duty::new(1.1).is_err());
+        assert!(Duty::new(f64::NAN).is_err());
+        assert!(Duty::new(f64::INFINITY).is_err());
+        assert!(Duty::new(0.0).is_ok());
+        assert!(Duty::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Duty::saturating(1.0 + 1e-12).fraction(), 1.0);
+        assert_eq!(Duty::saturating(-0.5).fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn saturating_rejects_nan() {
+        let _ = Duty::saturating(f64::NAN);
+    }
+
+    #[test]
+    fn cell_worst_is_symmetric_around_half() {
+        let d = Duty::new(0.899).unwrap();
+        assert!((d.cell_worst().fraction() - 0.899).abs() < 1e-12);
+        let d = Duty::new(0.101).unwrap();
+        assert!((d.cell_worst().fraction() - 0.899).abs() < 1e-12);
+        assert_eq!(Duty::BALANCED.cell_worst(), Duty::BALANCED);
+    }
+
+    #[test]
+    fn mix_matches_adder_case_study() {
+        // 21% utilization with fully-stressed real inputs, idle time balanced:
+        // worst transistor duty = 0.21*1.0 + 0.79*0.5 = 0.605.
+        let real = Duty::FULL;
+        let idle = Duty::BALANCED;
+        let mixed = real.mix(idle, 0.21).unwrap();
+        assert!((mixed.fraction() - 0.605).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_rejects_bad_weight() {
+        assert!(Duty::FULL.mix(Duty::ZERO, 1.5).is_err());
+        assert!(Duty::FULL.mix(Duty::ZERO, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn accumulator_tracks_time() {
+        let mut acc = DutyAccumulator::new();
+        assert_eq!(acc.duty(), Duty::ZERO);
+        acc.record(false, 10);
+        acc.record(true, 30);
+        assert_eq!(acc.zero_time(), 10);
+        assert_eq!(acc.total_time(), 40);
+        assert!((acc.duty().fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_merge_adds_observations() {
+        let mut a = DutyAccumulator::new();
+        a.record(false, 10);
+        let mut b = DutyAccumulator::new();
+        b.record(true, 10);
+        a.merge(&b);
+        assert_eq!(a.total_time(), 20);
+        assert!((a.duty().fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_as_percentage() {
+        assert_eq!(Duty::new(0.899).unwrap().to_string(), "89.9%");
+    }
+}

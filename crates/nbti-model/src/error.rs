@@ -1,0 +1,64 @@
+use std::fmt;
+
+/// Error type for invalid model parameters and inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A probability-like quantity was outside `[0, 1]` or not finite.
+    ProbabilityOutOfRange {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A model parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A collection argument that must be non-empty was empty.
+    EmptyInput {
+        /// Name of the offending argument.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ProbabilityOutOfRange { what, value } => {
+                write!(f, "{what} must be within [0, 1], got {value}")
+            }
+            Error::NonPositiveParameter { what, value } => {
+                write!(f, "{what} must be strictly positive, got {value}")
+            }
+            Error::EmptyInput { what } => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = Error::ProbabilityOutOfRange {
+            what: "duty",
+            value: 1.5,
+        };
+        let text = err.to_string();
+        assert!(text.contains("duty"));
+        assert!(text.contains("1.5"));
+        assert!(text.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

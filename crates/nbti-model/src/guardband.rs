@@ -1,0 +1,303 @@
+//! Duty-cycle → guardband and Vmin models, calibrated from the paper.
+//!
+//! The paper reduces all electrical detail to a handful of anchors:
+//!
+//! - a transistor stressed 100% of the time costs the full **20%** cycle-time
+//!   guardband (\[1\], §4.2);
+//! - perfect balancing (50% duty) reduces the guardband **10X**, to **2%**;
+//! - in between, the guardbands it reports (7.4% at duty 0.65, 5.8% at
+//!   0.605, ~4% at 0.555, 6.7% at 0.632, 3.6% at 0.545) all fall on the
+//!   straight line `2% + 36%·(duty − 0.5)`.
+//!
+//! [`GuardbandModel::paper_calibrated`] encodes exactly that line, clamped to
+//! `[2%, 20%]`. Below 50% duty the floor applies: the minimum guardband
+//! covers process margins that balancing cannot remove.
+//!
+//! For storage structures the analogous quantity is the increase of the
+//! minimum retention voltage (Vmin): 10% Vth shift (duty 1) requires ~10%
+//! higher Vmin, while balanced patterns shift Vth one order of magnitude
+//! less (\[1\], §1). [`VminModel`] uses the same linear interpolation between
+//! those anchors, and converts the Vmin increase into a storage energy
+//! factor via `E ∝ V²`.
+
+use crate::duty::Duty;
+use crate::{Error, Result};
+
+/// A relative cycle-time guardband (e.g. `0.20` for 20%).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Guardband(f64);
+
+impl Guardband {
+    /// Creates a guardband from a fraction of the cycle time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `fraction` is not finite or is negative.
+    pub fn new(fraction: f64) -> Result<Self> {
+        if !fraction.is_finite() || fraction < 0.0 {
+            return Err(Error::ProbabilityOutOfRange {
+                what: "guardband",
+                value: fraction,
+            });
+        }
+        Ok(Guardband(fraction))
+    }
+
+    /// The guardband as a fraction of the cycle time.
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The larger of two guardbands (equation 4 of the paper combines block
+    /// guardbands with `MAX`).
+    pub fn max(self, other: Guardband) -> Guardband {
+        Guardband(self.0.max(other.0))
+    }
+}
+
+impl std::fmt::Display for Guardband {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+/// Mapping from worst-case PMOS duty cycle to the required cycle-time
+/// guardband.
+///
+/// # Example
+///
+/// ```
+/// use nbti_model::duty::Duty;
+/// use nbti_model::guardband::GuardbandModel;
+///
+/// # fn main() -> Result<(), nbti_model::Error> {
+/// let m = GuardbandModel::paper_calibrated();
+/// // Adder at 21% utilization, idle time balanced by the 000/111 vectors:
+/// let worst = Duty::FULL.mix(Duty::BALANCED, 0.21)?;
+/// assert!((m.guardband(worst).fraction() - 0.058).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardbandModel {
+    floor: f64,
+    slope: f64,
+    cap: f64,
+}
+
+impl GuardbandModel {
+    /// The calibration recovered from the numbers reported in the paper:
+    /// `guardband = clamp(2% + 36%·(duty − 0.5), 2%, 20%)`.
+    pub fn paper_calibrated() -> Self {
+        GuardbandModel {
+            floor: 0.02,
+            slope: 0.36,
+            cap: 0.20,
+        }
+    }
+
+    /// Creates a custom linear model with the given floor, slope and cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any parameter is not finite, if `floor` or
+    /// `slope` is negative, or if `cap < floor`.
+    pub fn with_parameters(floor: f64, slope: f64, cap: f64) -> Result<Self> {
+        for (what, value) in [("floor", floor), ("slope", slope), ("cap", cap)] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(Error::NonPositiveParameter { what, value });
+            }
+        }
+        if cap < floor {
+            return Err(Error::NonPositiveParameter {
+                what: "cap (must be >= floor)",
+                value: cap,
+            });
+        }
+        Ok(GuardbandModel { floor, slope, cap })
+    }
+
+    /// Guardband required for a block whose most stressed PMOS has the given
+    /// duty cycle.
+    pub fn guardband(&self, worst_duty: Duty) -> Guardband {
+        let raw = self.floor + self.slope * (worst_duty.fraction() - 0.5);
+        Guardband(raw.clamp(self.floor, self.cap))
+    }
+
+    /// Guardband for a *storage* block given the worst per-bit bias towards
+    /// "0" (applies [`Duty::cell_worst`] first, because the complementary
+    /// PMOS of the cell may be the stressed one).
+    pub fn cell_guardband(&self, worst_bias: Duty) -> Guardband {
+        self.guardband(worst_bias.cell_worst())
+    }
+
+    /// Guardband of an unprotected block (full 20% by default).
+    pub fn worst_case(&self) -> Guardband {
+        Guardband(self.cap)
+    }
+
+    /// Minimum achievable guardband (2% by default).
+    pub fn best_case(&self) -> Guardband {
+        Guardband(self.floor)
+    }
+}
+
+impl Default for GuardbandModel {
+    fn default() -> Self {
+        GuardbandModel::paper_calibrated()
+    }
+}
+
+/// Threshold-voltage shift and Vmin model for storage structures.
+///
+/// Anchors from the paper: 10% Vth shift under continuous stress, one order
+/// of magnitude less (1%) under perfect balancing; a 10% Vth shift requires
+/// ~10% higher Vmin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VminModel {
+    shift_floor: f64,
+    shift_slope: f64,
+    shift_cap: f64,
+}
+
+impl VminModel {
+    /// Calibration per the anchors above:
+    /// `vth_shift = clamp(1% + 18%·(duty − 0.5), 1%, 10%)`.
+    pub fn paper_calibrated() -> Self {
+        VminModel {
+            shift_floor: 0.01,
+            shift_slope: 0.18,
+            shift_cap: 0.10,
+        }
+    }
+
+    /// Relative threshold-voltage shift at end of life for the worst cell
+    /// PMOS duty.
+    pub fn vth_shift(&self, worst_bias: Duty) -> f64 {
+        let d = worst_bias.cell_worst().fraction();
+        (self.shift_floor + self.shift_slope * (d - 0.5)).clamp(self.shift_floor, self.shift_cap)
+    }
+
+    /// Relative Vmin increase required to keep the cell readable at end of
+    /// life (≈ the Vth shift; "10% Vmin increase may be required to tolerate
+    /// 10% VTH shifts").
+    pub fn vmin_increase(&self, worst_bias: Duty) -> f64 {
+        self.vth_shift(worst_bias)
+    }
+
+    /// Relative storage energy at the guardbanded Vmin, from `E ∝ V²`.
+    pub fn energy_factor(&self, worst_bias: Duty) -> f64 {
+        let v = 1.0 + self.vmin_increase(worst_bias);
+        v * v
+    }
+}
+
+impl Default for VminModel {
+    fn default() -> Self {
+        VminModel::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> GuardbandModel {
+        GuardbandModel::paper_calibrated()
+    }
+
+    fn d(x: f64) -> Duty {
+        Duty::new(x).unwrap()
+    }
+
+    #[test]
+    fn anchors_from_the_paper() {
+        // Full stress: 20%. Balanced: 2% (the 10X reduction).
+        assert!((m().guardband(d(1.0)).fraction() - 0.20).abs() < 1e-12);
+        assert!((m().guardband(d(0.5)).fraction() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adder_guardbands_match_figure_5() {
+        // 30% / 21% / 11% utilization → 7.4% / 5.8% / ~4.0%.
+        for (util, expected) in [(0.30, 0.074), (0.21, 0.058), (0.11, 0.0398)] {
+            let worst = Duty::FULL.mix(Duty::BALANCED, util).unwrap();
+            let got = m().guardband(worst).fraction();
+            assert!(
+                (got - expected).abs() < 1e-3,
+                "util {util}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn register_file_guardband_matches_section_4_4() {
+        // Worst FP bias 45.5% towards 0 → worst cell duty 54.5% → 3.6%.
+        let gb = m().cell_guardband(d(0.455));
+        assert!((gb.fraction() - 0.0362).abs() < 1e-3, "got {gb}");
+    }
+
+    #[test]
+    fn scheduler_guardband_matches_section_4_5() {
+        // Worst residual bias 63.2% → 6.7% guardband.
+        let gb = m().cell_guardband(d(0.632));
+        assert!((gb.fraction() - 0.0675).abs() < 1e-3, "got {gb}");
+    }
+
+    #[test]
+    fn below_half_duty_hits_the_floor() {
+        assert_eq!(m().guardband(d(0.0)), m().best_case());
+        assert_eq!(m().guardband(d(0.49)), m().best_case());
+    }
+
+    #[test]
+    fn guardband_monotone_in_duty() {
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let gb = m().guardband(d(i as f64 / 100.0)).fraction();
+            assert!(gb >= prev);
+            prev = gb;
+        }
+    }
+
+    #[test]
+    fn with_parameters_validates() {
+        assert!(GuardbandModel::with_parameters(-0.1, 0.3, 0.2).is_err());
+        assert!(GuardbandModel::with_parameters(0.02, 0.36, 0.01).is_err());
+        assert!(GuardbandModel::with_parameters(0.02, 0.36, 0.20).is_ok());
+    }
+
+    #[test]
+    fn guardband_max_combines() {
+        let a = Guardband::new(0.074).unwrap();
+        let b = Guardband::new(0.02).unwrap();
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn guardband_new_validates() {
+        assert!(Guardband::new(-0.01).is_err());
+        assert!(Guardband::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_formats_as_percentage() {
+        assert_eq!(Guardband::new(0.058).unwrap().to_string(), "5.8%");
+    }
+
+    #[test]
+    fn vmin_anchors() {
+        let v = VminModel::paper_calibrated();
+        assert!((v.vth_shift(d(1.0)) - 0.10).abs() < 1e-12);
+        assert!((v.vth_shift(d(0.5)) - 0.01).abs() < 1e-12);
+        // Symmetric in bias direction.
+        assert!((v.vth_shift(d(0.0)) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vmin_energy_factor_is_squared_voltage() {
+        let v = VminModel::paper_calibrated();
+        let e = v.energy_factor(d(1.0));
+        assert!((e - 1.1f64 * 1.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,54 @@
+//! NBTI (negative bias temperature instability) physics and cost models.
+//!
+//! This crate is the foundation of the Penelope reproduction. It provides:
+//!
+//! - [`duty`]: event-driven accounting of the *zero-signal probability* of a
+//!   signal, i.e. the fraction of time a PMOS transistor sees a logic "0" at
+//!   its gate (and therefore ages). The paper calls this quantity the
+//!   transistor's bias or duty cycle; we call it [`duty::Duty`].
+//! - [`rd`]: a reaction–diffusion style model of interface-trap generation
+//!   and recovery. It reproduces the qualitative dynamics of Figure 1 of the
+//!   paper: degradation slows down as traps accumulate, recovery is fastest
+//!   right after stress ends, and full recovery needs infinite relax time.
+//! - [`guardband`]: the calibrated mapping from worst-case duty cycle to the
+//!   cycle-time guardband a block must pay, and to the Vmin increase of
+//!   storage structures. The calibration is recovered from the numbers the
+//!   paper itself reports (see `DESIGN.md`).
+//! - [`lifetime`]: a power-law lifetime model giving lifetime-extension
+//!   factors when duty is reduced (the "at least 4X" claim of the paper).
+//! - [`metric`]: the `NBTIefficiency` metric (equation 1) and the
+//!   processor-level aggregation rules (equations 2–4).
+//!
+//! # Example
+//!
+//! ```
+//! use nbti_model::duty::Duty;
+//! use nbti_model::guardband::GuardbandModel;
+//! use nbti_model::metric::BlockCost;
+//!
+//! # fn main() -> Result<(), nbti_model::Error> {
+//! let model = GuardbandModel::paper_calibrated();
+//! // A PMOS stressed 100% of the time needs the full 20% guardband...
+//! assert!((model.guardband(Duty::new(1.0)?).fraction() - 0.20).abs() < 1e-12);
+//! // ...while perfect balancing (50%) reduces it tenfold, to 2%.
+//! assert!((model.guardband(Duty::new(0.5)?).fraction() - 0.02).abs() < 1e-12);
+//!
+//! // The conventional design pays the whole guardband: efficiency 1.73.
+//! let baseline = BlockCost::new(1.0, 1.0, 0.20);
+//! assert!((baseline.nbti_efficiency() - 1.728).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod duty;
+pub mod guardband;
+pub mod lifetime;
+pub mod metric;
+pub mod rd;
+
+mod error;
+
+pub use error::Error;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,330 @@
+//! The `NBTIefficiency` metric (equation 1) and processor-level aggregation
+//! (equations 2–4).
+//!
+//! The paper compares NBTI mitigation techniques with a single figure of
+//! merit that cubes delay, like `PD³`/`ED²` for power-aware designs:
+//!
+//! ```text
+//! NBTIefficiency = (Delay · (1 + NBTIguardband))³ · TDP        (1)
+//! ```
+//!
+//! All quantities are *relative* to the unguardbanded baseline design. The
+//! guardband term enters the delay product because the guardband stretches
+//! the cycle time. The worked examples of §4.2 pin the form of the
+//! expression: the all-guardband baseline is `(1·1.2)³·1 = 1.73` and the
+//! periodic-inversion design `(1.1·1.02)³·1 = 1.41`.
+//!
+//! For a whole processor (§4.7):
+//!
+//! ```text
+//! Delay      = CPI · MAX(CycleTime_i)      (2)  — CPI needs full simulation
+//! TDP        = Σ TDP_i                     (3)  — weighted by block share
+//! Guardband  = MAX(Guardband_i)            (4)
+//! ```
+
+use crate::guardband::Guardband;
+use crate::{Error, Result};
+
+/// Relative delay, TDP and NBTI guardband of one block (or one whole
+/// processor), all normalized to the baseline design.
+///
+/// # Example
+///
+/// ```
+/// use nbti_model::metric::BlockCost;
+///
+/// // §4.2: pay the whole 20% guardband → 1.73.
+/// let baseline = BlockCost::new(1.0, 1.0, 0.20);
+/// assert!((baseline.nbti_efficiency() - 1.728).abs() < 1e-6);
+///
+/// // §4.2: operate inverted half the time (10% slower, 2% guardband) → 1.41.
+/// let invert = BlockCost::new(1.10, 1.0, 0.02);
+/// assert!((invert.nbti_efficiency() - 1.4122).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockCost {
+    delay: f64,
+    tdp: f64,
+    guardband: f64,
+}
+
+impl BlockCost {
+    /// Creates a cost record from relative delay, relative TDP and the
+    /// guardband fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any component is not finite or is negative.
+    pub fn new(delay: f64, tdp: f64, guardband: f64) -> Self {
+        debug_assert!(delay.is_finite() && delay >= 0.0);
+        debug_assert!(tdp.is_finite() && tdp >= 0.0);
+        debug_assert!(guardband.is_finite() && guardband >= 0.0);
+        BlockCost {
+            delay,
+            tdp,
+            guardband,
+        }
+    }
+
+    /// Creates a cost record, validating all components.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any component is negative or not finite.
+    pub fn try_new(delay: f64, tdp: f64, guardband: f64) -> Result<Self> {
+        for (what, value) in [("delay", delay), ("tdp", tdp), ("guardband", guardband)] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(Error::NonPositiveParameter { what, value });
+            }
+        }
+        Ok(BlockCost {
+            delay,
+            tdp,
+            guardband,
+        })
+    }
+
+    /// Relative delay (cycles × cycle time), baseline = 1.0.
+    pub fn delay(&self) -> f64 {
+        self.delay
+    }
+
+    /// Relative thermal design power, baseline = 1.0.
+    pub fn tdp(&self) -> f64 {
+        self.tdp
+    }
+
+    /// NBTI guardband as a fraction of the cycle time.
+    pub fn guardband(&self) -> f64 {
+        self.guardband
+    }
+
+    /// The guardband as a typed [`Guardband`].
+    pub fn guardband_typed(&self) -> Guardband {
+        Guardband::new(self.guardband).expect("guardband validated at construction")
+    }
+
+    /// Equation (1): `(delay · (1 + guardband))³ · tdp`. Lower is better.
+    pub fn nbti_efficiency(&self) -> f64 {
+        let effective_delay = self.delay * (1.0 + self.guardband);
+        effective_delay.powi(3) * self.tdp
+    }
+}
+
+/// Aggregates per-block costs into a whole-processor [`BlockCost`]
+/// following equations (2)–(4).
+///
+/// The CPI cross-impact of simultaneously active mechanisms cannot be
+/// derived from per-block numbers (the paper makes the same point), so the
+/// combined CPI is supplied by the caller from a full simulation. Cycle time
+/// is the max over blocks; TDP is the weighted sum of block TDPs; guardband
+/// is the max over blocks.
+///
+/// # Example
+///
+/// The §4.7 composition: five equal-weight blocks, combined CPI 1.007,
+/// guardbands {7.4%, 3.6%, 6.7%, 2%, 2%}, TDPs {1, 1.01, 1.02, 1.01, 1.01}.
+///
+/// ```
+/// use nbti_model::metric::{BlockCost, ProcessorAggregator};
+///
+/// # fn main() -> Result<(), nbti_model::Error> {
+/// let blocks = [
+///     BlockCost::new(1.0, 1.00, 0.074), // adder
+///     BlockCost::new(1.0, 1.01, 0.036), // register file
+///     BlockCost::new(1.0, 1.02, 0.067), // scheduler
+///     BlockCost::new(1.0, 1.01, 0.02),  // DL0
+///     BlockCost::new(1.0, 1.01, 0.02),  // DTLB
+/// ];
+/// let proc = ProcessorAggregator::equal_weights(blocks.len())?
+///     .combine(&blocks, 1.007)?;
+/// assert!((proc.nbti_efficiency() - 1.28).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessorAggregator {
+    weights: Vec<f64>,
+}
+
+impl ProcessorAggregator {
+    /// Creates an aggregator with one TDP weight per block; weights must sum
+    /// to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weights` is empty, contains a non-finite or
+    /// negative value, or does not sum to 1 (±1e-6).
+    pub fn new(weights: Vec<f64>) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(Error::EmptyInput { what: "weights" });
+        }
+        let mut sum = 0.0;
+        for &w in &weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(Error::NonPositiveParameter {
+                    what: "weight",
+                    value: w,
+                });
+            }
+            sum += w;
+        }
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(Error::ProbabilityOutOfRange {
+                what: "sum of weights",
+                value: sum,
+            });
+        }
+        Ok(ProcessorAggregator { weights })
+    }
+
+    /// Equal TDP share for each of `n` blocks (the §4.7 assumption).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is zero.
+    pub fn equal_weights(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::EmptyInput { what: "blocks" });
+        }
+        ProcessorAggregator::new(vec![1.0 / n as f64; n])
+    }
+
+    /// Combines per-block costs with the simulated whole-processor CPI.
+    ///
+    /// The resulting delay is `combined_cpi × MAX(block cycle-time factor)`,
+    /// where each block's cycle-time factor is its relative delay (a block
+    /// that stretched the cycle, e.g. by adding XNORs on the read path,
+    /// stretches the whole processor's cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of blocks does not match the number of
+    /// weights, or if `combined_cpi` is not strictly positive.
+    pub fn combine(&self, blocks: &[BlockCost], combined_cpi: f64) -> Result<BlockCost> {
+        if blocks.len() != self.weights.len() {
+            return Err(Error::EmptyInput {
+                what: "blocks (must match weights length)",
+            });
+        }
+        if !combined_cpi.is_finite() || combined_cpi <= 0.0 {
+            return Err(Error::NonPositiveParameter {
+                what: "combined_cpi",
+                value: combined_cpi,
+            });
+        }
+        let cycle_time = blocks.iter().map(|b| b.delay()).fold(0.0, f64::max);
+        let tdp = blocks
+            .iter()
+            .zip(&self.weights)
+            .map(|(b, w)| b.tdp() * w)
+            .sum::<f64>();
+        let guardband = blocks.iter().map(|b| b.guardband()).fold(0.0, f64::max);
+        // Note: per-block delay entries already normalized to cycle-time
+        // factors; CPI impact is carried by combined_cpi (equation 2).
+        BlockCost::try_new(combined_cpi * cycle_time, tdp, guardband)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_efficiency_is_1_73() {
+        let c = BlockCost::new(1.0, 1.0, 0.20);
+        assert!((c.nbti_efficiency() - 1.728).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_inversion_efficiency_is_1_41() {
+        let c = BlockCost::new(1.10, 1.0, 0.02);
+        assert!((c.nbti_efficiency() - 1.412).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adder_efficiency_is_1_24() {
+        let c = BlockCost::new(1.0, 1.0, 0.074);
+        assert!((c.nbti_efficiency() - 1.239).abs() < 1e-3);
+    }
+
+    #[test]
+    fn register_file_efficiency_is_1_12() {
+        let c = BlockCost::new(1.0, 1.01, 0.036);
+        assert!((c.nbti_efficiency() - 1.1231).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scheduler_efficiency_is_1_24() {
+        let c = BlockCost::new(1.0, 1.02, 0.067);
+        assert!((c.nbti_efficiency() - 1.2395).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dl0_efficiency_is_1_09() {
+        let c = BlockCost::new(1.0053, 1.01, 0.02);
+        assert!((c.nbti_efficiency() - 1.089).abs() < 1e-3);
+    }
+
+    #[test]
+    fn processor_aggregation_matches_section_4_7() {
+        let blocks = [
+            BlockCost::new(1.0, 1.00, 0.074),
+            BlockCost::new(1.0, 1.01, 0.036),
+            BlockCost::new(1.0, 1.02, 0.067),
+            BlockCost::new(1.0, 1.01, 0.02),
+            BlockCost::new(1.0, 1.01, 0.02),
+        ];
+        let agg = ProcessorAggregator::equal_weights(5).unwrap();
+        let proc = agg.combine(&blocks, 1.007).unwrap();
+        assert!((proc.delay() - 1.007).abs() < 1e-12);
+        assert!((proc.tdp() - 1.01).abs() < 1e-3);
+        assert!((proc.guardband() - 0.074).abs() < 1e-12);
+        assert!((proc.nbti_efficiency() - 1.28).abs() < 0.01);
+    }
+
+    #[test]
+    fn aggregator_rejects_bad_weights() {
+        assert!(ProcessorAggregator::new(vec![]).is_err());
+        assert!(ProcessorAggregator::new(vec![0.5, 0.6]).is_err());
+        assert!(ProcessorAggregator::new(vec![-0.5, 1.5]).is_err());
+        assert!(ProcessorAggregator::equal_weights(0).is_err());
+    }
+
+    #[test]
+    fn combine_rejects_mismatched_lengths_and_bad_cpi() {
+        let agg = ProcessorAggregator::equal_weights(2).unwrap();
+        let blocks = [BlockCost::new(1.0, 1.0, 0.02)];
+        assert!(agg.combine(&blocks, 1.0).is_err());
+        let blocks2 = [
+            BlockCost::new(1.0, 1.0, 0.02),
+            BlockCost::new(1.0, 1.0, 0.02),
+        ];
+        assert!(agg.combine(&blocks2, 0.0).is_err());
+        assert!(agg.combine(&blocks2, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cycle_time_is_max_over_blocks() {
+        let blocks = [
+            BlockCost::new(1.10, 1.0, 0.02), // a block that stretched the cycle
+            BlockCost::new(1.0, 1.0, 0.02),
+        ];
+        let agg = ProcessorAggregator::equal_weights(2).unwrap();
+        let proc = agg.combine(&blocks, 1.0).unwrap();
+        assert!((proc.delay() - 1.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_new_validates() {
+        assert!(BlockCost::try_new(-1.0, 1.0, 0.0).is_err());
+        assert!(BlockCost::try_new(1.0, f64::NAN, 0.0).is_err());
+        assert!(BlockCost::try_new(1.0, 1.0, 0.2).is_ok());
+    }
+
+    #[test]
+    fn guardband_typed_round_trips() {
+        let c = BlockCost::new(1.0, 1.0, 0.074);
+        assert!((c.guardband_typed().fraction() - 0.074).abs() < 1e-12);
+    }
+}

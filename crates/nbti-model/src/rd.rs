@@ -1,0 +1,324 @@
+//! Reaction–diffusion style model of NBTI stress and recovery.
+//!
+//! The paper (§2) describes NBTI as progressive breaking of Si–H bonds at
+//! the silicon/oxide interface while the PMOS gate sees "0" (stress), and a
+//! *self-healing* effect while the gate sees "1" (relax): hydrogen drifts
+//! back and re-passivates interface traps. The two rates are proportional to
+//! the populations involved:
+//!
+//! - stress: traps are generated from the *remaining* Si–H bonds, so
+//!   generation slows down as traps accumulate;
+//! - relax: traps are annealed in proportion to the *current* trap count, so
+//!   recovery is fastest right after stress ends and full recovery needs
+//!   infinite time.
+//!
+//! With the trap count normalized to the total bond population
+//! (`nit ∈ [0, 1]`):
+//!
+//! ```text
+//! stress:  dn/dt =  k_stress · (1 − n)
+//! relax:   dn/dt = −k_relax  · n
+//! ```
+//!
+//! Both phases integrate exactly over a step of length `dt`, so simulation
+//! never needs small sub-steps. Under fast alternation with duty `d` the
+//! trap density converges to the steady state
+//! `n* = k_s·d / (k_s·d + k_r·(1 − d))`, which for symmetric rates is simply
+//! `n* = d` — the paper's premise that long-term degradation tracks the
+//! zero-signal probability.
+
+use crate::duty::Duty;
+use crate::{Error, Result};
+
+/// Rate constants of the stress/relax dynamics.
+///
+/// # Example
+///
+/// ```
+/// use nbti_model::rd::RdModel;
+/// use nbti_model::duty::Duty;
+///
+/// # fn main() -> Result<(), nbti_model::Error> {
+/// let model = RdModel::symmetric(1e-3)?;
+/// // With symmetric rates, steady-state trap density equals the duty cycle.
+/// let ss = model.steady_state(Duty::new(0.7)?);
+/// assert!((ss - 0.7).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RdModel {
+    k_stress: f64,
+    k_relax: f64,
+}
+
+impl RdModel {
+    /// Creates a model with independent stress and relax rates (per cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonPositiveParameter`] if either rate is not a
+    /// strictly positive finite value.
+    pub fn new(k_stress: f64, k_relax: f64) -> Result<Self> {
+        for (what, value) in [("k_stress", k_stress), ("k_relax", k_relax)] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(Error::NonPositiveParameter { what, value });
+            }
+        }
+        Ok(RdModel { k_stress, k_relax })
+    }
+
+    /// Creates a model whose stress and relax rates are equal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `rate` is not strictly positive and finite.
+    pub fn symmetric(rate: f64) -> Result<Self> {
+        RdModel::new(rate, rate)
+    }
+
+    /// Stress rate constant (fraction of remaining bonds broken per cycle).
+    pub fn k_stress(&self) -> f64 {
+        self.k_stress
+    }
+
+    /// Relax rate constant (fraction of current traps annealed per cycle).
+    pub fn k_relax(&self) -> f64 {
+        self.k_relax
+    }
+
+    /// Advances `state` by `dt` cycles with the gate under stress
+    /// (`stressed == true`, gate at "0") or relaxing (gate at "1").
+    ///
+    /// Uses the exact exponential solution, so arbitrarily long steps are
+    /// fine.
+    pub fn step(&self, state: &mut RdState, stressed: bool, dt: f64) {
+        debug_assert!(dt >= 0.0, "dt must be non-negative");
+        if stressed {
+            let decay = (-self.k_stress * dt).exp();
+            state.nit = 1.0 - (1.0 - state.nit) * decay;
+        } else {
+            state.nit *= (-self.k_relax * dt).exp();
+        }
+    }
+
+    /// Long-run normalized trap density under fast alternation with the
+    /// given duty cycle.
+    pub fn steady_state(&self, duty: Duty) -> f64 {
+        let d = duty.fraction();
+        let num = self.k_stress * d;
+        let den = self.k_stress * d + self.k_relax * (1.0 - d);
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Simulates alternating stress/relax phases and returns `(time, nit)`
+    /// samples — the series plotted in Figure 1 of the paper.
+    ///
+    /// The waveform starts with a stress phase of `stress_len` cycles,
+    /// followed by a relax phase of `relax_len` cycles, repeated `periods`
+    /// times, sampling `samples_per_phase` points per phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any length or count is zero.
+    pub fn simulate_alternating(
+        &self,
+        stress_len: f64,
+        relax_len: f64,
+        periods: usize,
+        samples_per_phase: usize,
+    ) -> Result<Vec<(f64, f64)>> {
+        for (what, value) in [("stress_len", stress_len), ("relax_len", relax_len)] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(Error::NonPositiveParameter { what, value });
+            }
+        }
+        if periods == 0 || samples_per_phase == 0 {
+            return Err(Error::EmptyInput {
+                what: "periods and samples_per_phase",
+            });
+        }
+        let mut out = Vec::with_capacity(periods * samples_per_phase * 2 + 1);
+        let mut state = RdState::fresh();
+        let mut t = 0.0;
+        out.push((t, state.nit()));
+        for _ in 0..periods {
+            for (len, stressed) in [(stress_len, true), (relax_len, false)] {
+                let dt = len / samples_per_phase as f64;
+                for _ in 0..samples_per_phase {
+                    self.step(&mut state, stressed, dt);
+                    t += dt;
+                    out.push((t, state.nit()));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Normalized interface-trap density of one transistor, `nit ∈ [0, 1]`.
+///
+/// The threshold-voltage shift of the transistor is proportional to `nit`
+/// (paper, Figure 1 caption).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RdState {
+    nit: f64,
+}
+
+impl RdState {
+    /// A fresh, undegraded transistor.
+    pub fn fresh() -> Self {
+        RdState { nit: 0.0 }
+    }
+
+    /// Creates a state with the given normalized trap density.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `nit` is outside `[0, 1]`.
+    pub fn with_nit(nit: f64) -> Result<Self> {
+        if !nit.is_finite() || !(0.0..=1.0).contains(&nit) {
+            return Err(Error::ProbabilityOutOfRange {
+                what: "nit",
+                value: nit,
+            });
+        }
+        Ok(RdState { nit })
+    }
+
+    /// Normalized interface-trap density, in `[0, 1]`.
+    pub fn nit(&self) -> f64 {
+        self.nit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RdModel {
+        RdModel::symmetric(0.01).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(RdModel::new(0.0, 1.0).is_err());
+        assert!(RdModel::new(1.0, -1.0).is_err());
+        assert!(RdModel::new(f64::NAN, 1.0).is_err());
+        assert!(RdModel::symmetric(1e-3).is_ok());
+    }
+
+    #[test]
+    fn stress_monotonically_increases_toward_one() {
+        let m = model();
+        let mut s = RdState::fresh();
+        let mut prev = 0.0;
+        for _ in 0..1000 {
+            m.step(&mut s, true, 1.0);
+            assert!(s.nit() >= prev);
+            assert!(s.nit() <= 1.0);
+            prev = s.nit();
+        }
+        assert!(s.nit() > 0.99);
+    }
+
+    #[test]
+    fn relax_monotonically_decreases_toward_zero_but_never_reaches_it() {
+        let m = model();
+        let mut s = RdState::with_nit(0.8).unwrap();
+        let mut prev = 0.8;
+        for _ in 0..1000 {
+            m.step(&mut s, false, 1.0);
+            assert!(s.nit() <= prev);
+            assert!(s.nit() > 0.0, "full recovery needs infinite time");
+            prev = s.nit();
+        }
+        assert!(s.nit() < 0.01);
+    }
+
+    #[test]
+    fn degradation_slows_as_traps_accumulate() {
+        // The per-step increment must shrink as nit grows (Figure 1 shape).
+        let m = model();
+        let mut s = RdState::fresh();
+        m.step(&mut s, true, 10.0);
+        let first = s.nit();
+        let before = s.nit();
+        m.step(&mut s, true, 10.0);
+        let second = s.nit() - before;
+        assert!(second < first);
+    }
+
+    #[test]
+    fn exact_integration_is_step_size_independent() {
+        let m = model();
+        let mut coarse = RdState::fresh();
+        m.step(&mut coarse, true, 100.0);
+        let mut fine = RdState::fresh();
+        for _ in 0..100 {
+            m.step(&mut fine, true, 1.0);
+        }
+        assert!((coarse.nit() - fine.nit()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_steady_state_equals_duty() {
+        let m = model();
+        for d in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let ss = m.steady_state(Duty::new(d).unwrap());
+            assert!((ss - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn asymmetric_steady_state_formula() {
+        let m = RdModel::new(0.02, 0.01).unwrap();
+        let ss = m.steady_state(Duty::new(0.5).unwrap());
+        // 0.02*0.5 / (0.02*0.5 + 0.01*0.5) = 2/3
+        assert!((ss - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_simulation_converges_to_steady_state() {
+        // Fast alternation (k × period ≪ 1) is required for the steady state
+        // to track the duty cycle; use a small rate.
+        let m = RdModel::symmetric(0.001).unwrap();
+        // duty = 30 / (30+70) = 0.3
+        let series = m.simulate_alternating(30.0, 70.0, 400, 4).unwrap();
+        let (_, last_nit) = *series.last().unwrap();
+        let expected = m.steady_state(Duty::new(0.3).unwrap());
+        assert!(
+            (last_nit - expected).abs() < 0.05,
+            "got {last_nit}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn alternating_simulation_sawtooth_shape() {
+        let m = RdModel::symmetric(0.05).unwrap();
+        let series = m.simulate_alternating(10.0, 10.0, 3, 5).unwrap();
+        // Samples: [0] initial, [1..=5] stress phase, [6..=10] relax phase.
+        assert!(series[1].1 > series[0].1);
+        assert!(series[5].1 > series[4].1); // still stressing
+        assert!(series[6].1 < series[5].1); // first relax sample
+    }
+
+    #[test]
+    fn simulate_rejects_degenerate_arguments() {
+        let m = model();
+        assert!(m.simulate_alternating(0.0, 1.0, 1, 1).is_err());
+        assert!(m.simulate_alternating(1.0, 1.0, 0, 1).is_err());
+        assert!(m.simulate_alternating(1.0, 1.0, 1, 0).is_err());
+    }
+
+    #[test]
+    fn with_nit_validates() {
+        assert!(RdState::with_nit(-0.1).is_err());
+        assert!(RdState::with_nit(1.1).is_err());
+        assert!(RdState::with_nit(0.5).is_ok());
+    }
+}

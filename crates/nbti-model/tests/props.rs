@@ -1,0 +1,115 @@
+//! Property-based tests for the NBTI model invariants.
+
+use nbti_model::duty::{Duty, DutyAccumulator};
+use nbti_model::guardband::GuardbandModel;
+use nbti_model::lifetime::LifetimeModel;
+use nbti_model::metric::BlockCost;
+use nbti_model::rd::{RdModel, RdState};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn duty_mix_stays_in_unit_interval(a in 0.0f64..=1.0, b in 0.0f64..=1.0, w in 0.0f64..=1.0) {
+        let mixed = Duty::new(a).unwrap().mix(Duty::new(b).unwrap(), w).unwrap();
+        prop_assert!((0.0..=1.0).contains(&mixed.fraction()));
+        // Mixing is bounded by its endpoints.
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(mixed.fraction() >= lo - 1e-12 && mixed.fraction() <= hi + 1e-12);
+    }
+
+    #[test]
+    fn cell_worst_is_an_involution_fixed_point(a in 0.0f64..=1.0) {
+        let d = Duty::new(a).unwrap();
+        let w = d.cell_worst();
+        prop_assert!(w.fraction() >= 0.5);
+        // Applying it twice changes nothing.
+        prop_assert_eq!(w.cell_worst(), w);
+        // Complementary duties share the same cell-worst.
+        prop_assert!((d.complement().cell_worst().fraction() - w.fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_times_are_conserved(events in prop::collection::vec((any::<bool>(), 0u64..1000), 0..50)) {
+        let mut acc = DutyAccumulator::new();
+        let mut zero = 0u64;
+        let mut total = 0u64;
+        for (value, duration) in &events {
+            acc.record(*value, *duration);
+            if !value {
+                zero += duration;
+            }
+            total += duration;
+        }
+        prop_assert_eq!(acc.zero_time(), zero);
+        prop_assert_eq!(acc.total_time(), total);
+        prop_assert!(acc.duty().fraction() <= 1.0);
+    }
+
+    #[test]
+    fn rd_state_stays_in_bounds(
+        rate in 1e-6f64..0.5,
+        steps in prop::collection::vec((any::<bool>(), 0.0f64..500.0), 1..60)
+    ) {
+        let model = RdModel::symmetric(rate).unwrap();
+        let mut state = RdState::fresh();
+        for (stressed, dt) in steps {
+            model.step(&mut state, stressed, dt);
+            prop_assert!((0.0..=1.0).contains(&state.nit()), "nit {}", state.nit());
+        }
+    }
+
+    #[test]
+    fn rd_exact_integration_splits(rate in 1e-5f64..0.2, dt in 0.1f64..200.0, split in 0.1f64..0.9) {
+        let model = RdModel::symmetric(rate).unwrap();
+        for stressed in [true, false] {
+            let mut whole = RdState::with_nit(0.3).unwrap();
+            model.step(&mut whole, stressed, dt);
+            let mut parts = RdState::with_nit(0.3).unwrap();
+            model.step(&mut parts, stressed, dt * split);
+            model.step(&mut parts, stressed, dt * (1.0 - split));
+            prop_assert!((whole.nit() - parts.nit()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn steady_state_is_monotone_in_duty(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let model = RdModel::new(0.02, 0.01).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let s_lo = model.steady_state(Duty::new(lo).unwrap());
+        let s_hi = model.steady_state(Duty::new(hi).unwrap());
+        prop_assert!(s_lo <= s_hi + 1e-12);
+    }
+
+    #[test]
+    fn guardband_is_monotone_and_clamped(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let model = GuardbandModel::paper_calibrated();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let g_lo = model.guardband(Duty::new(lo).unwrap()).fraction();
+        let g_hi = model.guardband(Duty::new(hi).unwrap()).fraction();
+        prop_assert!(g_lo <= g_hi + 1e-12);
+        prop_assert!((0.02..=0.20).contains(&g_lo));
+    }
+
+    #[test]
+    fn efficiency_is_monotone_in_each_component(
+        delay in 0.5f64..2.0,
+        tdp in 0.5f64..2.0,
+        gb in 0.0f64..0.3,
+        bump in 0.01f64..0.5
+    ) {
+        let base = BlockCost::new(delay, tdp, gb).nbti_efficiency();
+        prop_assert!(BlockCost::new(delay + bump, tdp, gb).nbti_efficiency() > base);
+        prop_assert!(BlockCost::new(delay, tdp + bump, gb).nbti_efficiency() > base);
+        prop_assert!(BlockCost::new(delay, tdp, gb + bump).nbti_efficiency() > base);
+    }
+
+    #[test]
+    fn reducing_duty_never_shortens_lifetime(from in 0.01f64..=1.0, to_frac in 0.0f64..=1.0) {
+        let model = LifetimeModel::paper_calibrated();
+        let to = from * to_frac;
+        let ext = model
+            .extension_factor(Duty::new(from).unwrap(), Duty::new(to).unwrap())
+            .unwrap();
+        prop_assert!(ext >= 1.0 - 1e-9, "extension {ext}");
+    }
+}

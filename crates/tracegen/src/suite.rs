@@ -1,0 +1,263 @@
+//! The benchmark suites of Table 1, as synthetic workload profiles.
+//!
+//! Each suite gets a characteristic uop-class mixture and memory behaviour;
+//! the trace counts match Table 1 (531 traces in total).
+
+use crate::memgen::MemProfile;
+use crate::uop::UopClass;
+use crate::values::{FpProfile, IntProfile};
+
+/// One of the ten benchmark suites of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Suite {
+    /// Audio/video encoding (62 traces).
+    Encoder,
+    /// Floating-point SPEC CPU2000 (41 traces).
+    SpecFp2000,
+    /// Integer SPEC CPU2000 (33 traces).
+    SpecInt2000,
+    /// VectorAdd, FIRs (53 traces).
+    Kernels,
+    /// WMedia, Photoshop (85 traces).
+    Multimedia,
+    /// Excel, Word, Powerpoint (75 traces).
+    Office,
+    /// Internet contents creation (45 traces).
+    Productivity,
+    /// TPC-C (55 traces).
+    Server,
+    /// CAD, rendering (49 traces).
+    Workstation,
+    /// SPEC CPU2006 (33 traces).
+    Spec2006,
+}
+
+impl Suite {
+    /// All suites, in Table 1 order.
+    pub const ALL: [Suite; 10] = [
+        Suite::Encoder,
+        Suite::SpecFp2000,
+        Suite::SpecInt2000,
+        Suite::Kernels,
+        Suite::Multimedia,
+        Suite::Office,
+        Suite::Productivity,
+        Suite::Server,
+        Suite::Workstation,
+        Suite::Spec2006,
+    ];
+
+    /// Number of traces in the suite (Table 1).
+    pub fn trace_count(self) -> usize {
+        match self {
+            Suite::Encoder => 62,
+            Suite::SpecFp2000 => 41,
+            Suite::SpecInt2000 => 33,
+            Suite::Kernels => 53,
+            Suite::Multimedia => 85,
+            Suite::Office => 75,
+            Suite::Productivity => 45,
+            Suite::Server => 55,
+            Suite::Workstation => 49,
+            Suite::Spec2006 => 33,
+        }
+    }
+
+    /// Human-readable name as printed in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Encoder => "Encoder",
+            Suite::SpecFp2000 => "SpecFP2000",
+            Suite::SpecInt2000 => "SpecINT2000",
+            Suite::Kernels => "Kernels",
+            Suite::Multimedia => "Multimedia",
+            Suite::Office => "Office",
+            Suite::Productivity => "Productivity",
+            Suite::Server => "Server",
+            Suite::Workstation => "Workstation",
+            Suite::Spec2006 => "SPEC2006",
+        }
+    }
+
+    /// The generation profile for this suite.
+    pub fn profile(self) -> SuiteProfile {
+        // Class mix: [IntAlu, IntMul, FpAdd, FpMul, Load, Store, Branch].
+        let (mix, mem, fp_rich) = match self {
+            Suite::Encoder => (
+                [0.36, 0.07, 0.04, 0.04, 0.24, 0.13, 0.12],
+                MemProfile::streaming(96 * 1024),
+                false,
+            ),
+            Suite::SpecFp2000 => (
+                [0.24, 0.02, 0.17, 0.14, 0.25, 0.08, 0.10],
+                MemProfile::streaming(192 * 1024),
+                true,
+            ),
+            Suite::SpecInt2000 => (
+                [0.40, 0.02, 0.00, 0.00, 0.26, 0.12, 0.20],
+                MemProfile::resident(48 * 1024),
+                false,
+            ),
+            Suite::Kernels => (
+                [0.34, 0.04, 0.12, 0.08, 0.22, 0.12, 0.08],
+                MemProfile::streaming(64 * 1024),
+                true,
+            ),
+            Suite::Multimedia => (
+                [0.37, 0.06, 0.06, 0.05, 0.23, 0.11, 0.12],
+                MemProfile::streaming(48 * 1024),
+                false,
+            ),
+            Suite::Office => (
+                [0.38, 0.01, 0.01, 0.00, 0.26, 0.12, 0.22],
+                MemProfile::resident(12 * 1024),
+                false,
+            ),
+            Suite::Productivity => (
+                [0.37, 0.02, 0.02, 0.01, 0.26, 0.12, 0.20],
+                MemProfile::resident(16 * 1024),
+                false,
+            ),
+            Suite::Server => (
+                [0.33, 0.02, 0.00, 0.00, 0.30, 0.14, 0.21],
+                MemProfile::resident(128 * 1024),
+                false,
+            ),
+            Suite::Workstation => (
+                [0.28, 0.03, 0.14, 0.12, 0.24, 0.09, 0.10],
+                MemProfile::resident(96 * 1024),
+                true,
+            ),
+            Suite::Spec2006 => (
+                [0.34, 0.03, 0.07, 0.05, 0.26, 0.11, 0.14],
+                MemProfile::resident(160 * 1024),
+                false,
+            ),
+        };
+        SuiteProfile {
+            suite: self,
+            class_mix: mix,
+            mem,
+            int_values: IntProfile::default_calibrated(),
+            fp_values: FpProfile::default_calibrated(),
+            // Carry-in of additions: "0" more than 90% of the time (§1.1).
+            p_carry_in: 0.06,
+            p_branch_taken: 0.58,
+            p_mispredict: match self {
+                Suite::Office | Suite::Server | Suite::Productivity => 0.08,
+                Suite::SpecFp2000 | Suite::Kernels | Suite::Workstation => 0.03,
+                _ => 0.06,
+            },
+            p_immediate: if fp_rich { 0.20 } else { 0.38 },
+            branch_sites: match self {
+                Suite::Kernels => 96,
+                Suite::Encoder | Suite::Multimedia => 256,
+                Suite::Office | Suite::Server | Suite::Productivity => 800,
+                _ => 448,
+            },
+            // Per-flag set probabilities: [CF, PF, AF, ZF, SF, OF]; several
+            // flags are almost never set, giving the near-100% biased bits
+            // of Figure 8.
+            flag_set_prob: [0.05, 0.02, 0.01, 0.24, 0.10, 0.004],
+            p_shift: 0.012,
+        }
+    }
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generation parameters for one suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteProfile {
+    /// The suite this profile describes.
+    pub suite: Suite,
+    /// Probability of each [`UopClass`], in `UopClass::ALL` order.
+    pub class_mix: [f64; 7],
+    /// Memory address behaviour.
+    pub mem: MemProfile,
+    /// Integer value distribution.
+    pub int_values: IntProfile,
+    /// FP value distribution.
+    pub fp_values: FpProfile,
+    /// Probability an addition consumes carry-in = 1.
+    pub p_carry_in: f64,
+    /// Probability a branch is taken.
+    pub p_branch_taken: f64,
+    /// Probability a branch is mispredicted (front-end bubble).
+    pub p_mispredict: f64,
+    /// Number of static branch sites (drives BTB pressure).
+    pub branch_sites: usize,
+    /// Probability a uop carries an immediate.
+    pub p_immediate: f64,
+    /// Per-flag set probability, `[CF, PF, AF, ZF, SF, OF]`.
+    pub flag_set_prob: [f64; 6],
+    /// Probability of an AH/BH/CH/DH sub-register shift.
+    pub p_shift: f64,
+}
+
+impl SuiteProfile {
+    /// Picks a uop class given a uniform sample in `[0, 1)`.
+    pub fn pick_class(&self, roll: f64) -> UopClass {
+        let mut acc = 0.0;
+        for (i, &p) in self.class_mix.iter().enumerate() {
+            acc += p;
+            if roll < acc {
+                return UopClass::ALL[i];
+            }
+        }
+        UopClass::IntAlu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_totals_531_traces() {
+        let total: usize = Suite::ALL.iter().map(|s| s.trace_count()).sum();
+        assert_eq!(total, 531);
+    }
+
+    #[test]
+    fn class_mixes_sum_to_one() {
+        for s in Suite::ALL {
+            let sum: f64 = s.profile().class_mix.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{s}: mix sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn int_suites_have_no_fp() {
+        let p = Suite::SpecInt2000.profile();
+        assert_eq!(p.class_mix[2], 0.0);
+        assert_eq!(p.class_mix[3], 0.0);
+    }
+
+    #[test]
+    fn pick_class_covers_the_range() {
+        let p = Suite::Office.profile();
+        assert_eq!(p.pick_class(0.0), UopClass::IntAlu);
+        assert_eq!(p.pick_class(0.999_999), UopClass::Branch);
+    }
+
+    #[test]
+    fn carry_in_is_rare() {
+        for s in Suite::ALL {
+            assert!(
+                s.profile().p_carry_in < 0.10,
+                "carry-in must be '0' >90% of the time (§1.1)"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_table_1_names() {
+        assert_eq!(Suite::SpecFp2000.to_string(), "SpecFP2000");
+        assert_eq!(Suite::Server.name(), "Server");
+    }
+}

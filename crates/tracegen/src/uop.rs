@@ -1,0 +1,251 @@
+//! The uop (micro-operation) model.
+//!
+//! IA32 instructions are split into uops (paper §4.5); the fields carried by
+//! a uop mirror the scheduler slot layout of Table 2 so the
+//! microarchitectural structures downstream can account bit residency
+//! faithfully.
+
+/// Functional class of a uop, determining latency, issue port and which
+/// structures it touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UopClass {
+    /// Integer ALU operation (add/sub/logic). Exercises the adders.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Floating-point add.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Memory load (address generation + DL0/DTLB access).
+    Load,
+    /// Memory store (address generation + DL0/DTLB access).
+    Store,
+    /// Conditional branch.
+    Branch,
+}
+
+impl UopClass {
+    /// All classes.
+    pub const ALL: [UopClass; 7] = [
+        UopClass::IntAlu,
+        UopClass::IntMul,
+        UopClass::FpAdd,
+        UopClass::FpMul,
+        UopClass::Load,
+        UopClass::Store,
+        UopClass::Branch,
+    ];
+
+    /// Whether the uop writes/reads the FP register file.
+    pub fn is_fp(self) -> bool {
+        matches!(self, UopClass::FpAdd | UopClass::FpMul)
+    }
+
+    /// Whether the uop accesses memory.
+    pub fn is_memory(self) -> bool {
+        matches!(self, UopClass::Load | UopClass::Store)
+    }
+
+    /// Execution latency in cycles (Core-like, simplified).
+    pub fn latency(self) -> u8 {
+        match self {
+            UopClass::IntAlu => 1,
+            UopClass::IntMul => 4,
+            UopClass::FpAdd => 4,
+            UopClass::FpMul => 6,
+            UopClass::Load => 4,
+            UopClass::Store => 2,
+            UopClass::Branch => 1,
+        }
+    }
+
+    /// Issue-port index (0..=4); loads and stores use the memory ports.
+    pub fn port(self) -> u8 {
+        match self {
+            UopClass::IntAlu => 0,
+            UopClass::IntMul => 1,
+            UopClass::FpAdd => 1,
+            UopClass::FpMul => 1,
+            UopClass::Load => 2,
+            UopClass::Store => 3,
+            UopClass::Branch => 4,
+        }
+    }
+}
+
+/// An 80-bit value as stored in the FP register file (x87 extended format:
+/// 1 sign bit, 15 exponent bits, 64 mantissa bits with explicit integer
+/// bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Value80(u128);
+
+impl Value80 {
+    /// Number of significant bits.
+    pub const WIDTH: usize = 80;
+
+    /// Builds a value from raw bits; bits above 80 are masked off.
+    pub fn from_bits(bits: u128) -> Self {
+        Value80(bits & ((1u128 << 80) - 1))
+    }
+
+    /// Packs x87 fields: `sign`, 15-bit exponent, 64-bit mantissa.
+    pub fn pack(sign: bool, exponent: u16, mantissa: u64) -> Self {
+        let e = u128::from(exponent & 0x7FFF);
+        Value80((u128::from(sign) << 79) | (e << 64) | u128::from(mantissa))
+    }
+
+    /// Raw bits (low 80 significant).
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// The `i`-th bit (0 = mantissa LSB, 79 = sign).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 80`.
+    pub fn bit(self, i: usize) -> bool {
+        assert!(i < Self::WIDTH);
+        (self.0 >> i) & 1 == 1
+    }
+}
+
+/// One micro-operation with all the payload fields the downstream
+/// structures store (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uop {
+    /// Fetch address of the parent instruction (drives the BTB).
+    pub pc: u64,
+    /// Functional class.
+    pub class: UopClass,
+    /// Destination architectural register (int or FP space per
+    /// [`UopClass::is_fp`]), if any.
+    pub dst: Option<u8>,
+    /// First source architectural register, if any.
+    pub src1: Option<u8>,
+    /// Second source architectural register, if any.
+    pub src2: Option<u8>,
+    /// Result value: for integer uops the low 32 bits are significant; for
+    /// FP uops all 80 bits are.
+    pub result: Value80,
+    /// Captured 32-bit source-1 data (scheduler `SRC1 data` field).
+    pub src1_val: u32,
+    /// Captured 32-bit source-2 data (scheduler `SRC2 data` field).
+    pub src2_val: u32,
+    /// Immediate operand (scheduler `Immediate` field), if any.
+    pub immediate: Option<u16>,
+    /// Execution latency in cycles (scheduler `Latency` field, 5 bits).
+    pub latency: u8,
+    /// Issue port (scheduler `Port` field is one-hot over 5 ports).
+    pub port: u8,
+    /// Condition flags produced (scheduler `Flags` field, 6 bits).
+    pub flags: u8,
+    /// Branch predicted/resolved taken (scheduler `Taken` bit).
+    pub taken: bool,
+    /// Branch was mispredicted (front-end bubble until resolution).
+    pub mispredict: bool,
+    /// FP top-of-stack position (scheduler `tos` field, 3 bits).
+    pub tos: u8,
+    /// Source 1 needs an AH/BH/CH/DH shift (scheduler `shift1` bit).
+    pub shift1: bool,
+    /// Source 2 needs an AH/BH/CH/DH shift (scheduler `shift2` bit).
+    pub shift2: bool,
+    /// Uop opcode (scheduler `Opcode` field, 12 bits).
+    pub opcode: u16,
+    /// Effective address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Carry-in consumed by the ALU addition, if the uop is an addition
+    /// ("0" >90% of the time in real code, §1.1).
+    pub carry_in: bool,
+}
+
+impl Uop {
+    /// A canonical register-to-register integer add, useful as a base for
+    /// tests.
+    pub fn int_alu(dst: u8, src1: u8, src2: u8) -> Self {
+        Uop {
+            pc: 0x40_0000,
+            class: UopClass::IntAlu,
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: Some(src2),
+            result: Value80::from_bits(0),
+            src1_val: 0,
+            src2_val: 0,
+            immediate: None,
+            latency: UopClass::IntAlu.latency(),
+            port: UopClass::IntAlu.port(),
+            flags: 0,
+            taken: false,
+            mispredict: false,
+            tos: 0,
+            shift1: false,
+            shift2: false,
+            opcode: 0,
+            mem_addr: None,
+            carry_in: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates() {
+        assert!(UopClass::FpAdd.is_fp());
+        assert!(!UopClass::Load.is_fp());
+        assert!(UopClass::Load.is_memory());
+        assert!(UopClass::Store.is_memory());
+        assert!(!UopClass::Branch.is_memory());
+    }
+
+    #[test]
+    fn latencies_fit_five_bits() {
+        for c in UopClass::ALL {
+            assert!(c.latency() < 32, "latency field is 5 bits (Table 2)");
+        }
+    }
+
+    #[test]
+    fn ports_fit_the_five_port_field() {
+        for c in UopClass::ALL {
+            assert!(c.port() < 5, "port field is one-hot over 5 ports");
+        }
+    }
+
+    #[test]
+    fn value80_masks_to_80_bits() {
+        let v = Value80::from_bits(u128::MAX);
+        assert_eq!(v.bits() >> 80, 0);
+        assert!(v.bit(79));
+        assert!(v.bit(0));
+    }
+
+    #[test]
+    fn value80_pack_layout() {
+        let v = Value80::pack(true, 0x3FFF, 0x8000_0000_0000_0001);
+        assert!(v.bit(79), "sign bit");
+        assert!(v.bit(64), "exponent LSB");
+        assert!(v.bit(63), "explicit integer bit");
+        assert!(v.bit(0), "mantissa LSB");
+        assert!(!v.bit(78), "exponent MSB of 0x3FFF is 0");
+    }
+
+    #[test]
+    #[should_panic]
+    fn value80_bit_out_of_range_panics() {
+        let _ = Value80::from_bits(0).bit(80);
+    }
+
+    #[test]
+    fn int_alu_constructor_is_well_formed() {
+        let u = Uop::int_alu(1, 2, 3);
+        assert_eq!(u.class, UopClass::IntAlu);
+        assert_eq!(u.dst, Some(1));
+        assert_eq!(u.latency, 1);
+        assert!(u.mem_addr.is_none());
+    }
+}

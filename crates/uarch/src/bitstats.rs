@@ -1,0 +1,344 @@
+//! Event-driven per-bit zero-residency accounting.
+//!
+//! Storage structures age per *bit cell*: a cell storing "0" stresses one
+//! PMOS of the cross-coupled pair, storing "1" stresses the other. What
+//! matters is the fraction of time each bit position holds "0" (the bias of
+//! Figures 6 and 8). Tracking this per cycle would be prohibitive, so
+//! accounting is event-driven: a [`TrackedWord`] remembers the value and the
+//! time it was written, and charges `(now − since) × zero-mask` into a
+//! [`BitResidency`] when the value changes.
+
+use nbti_model::duty::Duty;
+
+/// Aggregated per-bit zero-time for words of a fixed width.
+///
+/// Residency from many entries of a structure can be merged into one
+/// `BitResidency` (bias is reported per bit *position*, as in the paper's
+/// figures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitResidency {
+    zero_time: Vec<u64>,
+    total_time: u64,
+}
+
+impl BitResidency {
+    /// Creates an accumulator for `width`-bit words (at most 128).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 128.
+    pub fn new(width: usize) -> Self {
+        assert!((1..=128).contains(&width), "width must be in 1..=128");
+        BitResidency {
+            zero_time: vec![0; width],
+            total_time: 0,
+        }
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.zero_time.len()
+    }
+
+    /// Records that `value` was held for `duration` cycles.
+    pub fn record(&mut self, value: u128, duration: u64) {
+        if duration == 0 {
+            return;
+        }
+        for (i, zt) in self.zero_time.iter_mut().enumerate() {
+            if (value >> i) & 1 == 0 {
+                *zt += duration;
+            }
+        }
+        self.total_time += duration;
+    }
+
+    /// Total observed time (per bit position).
+    pub fn total_time(&self) -> u64 {
+        self.total_time
+    }
+
+    /// Bias towards "0" of one bit position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    pub fn bias(&self, bit: usize) -> Duty {
+        if self.total_time == 0 {
+            return Duty::ZERO;
+        }
+        Duty::saturating(self.zero_time[bit] as f64 / self.total_time as f64)
+    }
+
+    /// Biases of all bit positions, LSB first.
+    pub fn biases(&self) -> Vec<Duty> {
+        (0..self.width()).map(|i| self.bias(i)).collect()
+    }
+
+    /// The worst *cell* duty over all bit positions: each cell ages at
+    /// `max(bias, 1 − bias)` because of the complementary PMOS pair.
+    pub fn worst_cell_duty(&self) -> Duty {
+        self.biases()
+            .into_iter()
+            .map(Duty::cell_worst)
+            .fold(Duty::ZERO, |w, d| if d > w { d } else { w })
+    }
+
+    /// Merges another accumulator of the same width into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn merge(&mut self, other: &BitResidency) {
+        assert_eq!(self.width(), other.width(), "width mismatch");
+        for (a, b) in self.zero_time.iter_mut().zip(&other.zero_time) {
+            *a += b;
+        }
+        self.total_time += other.total_time;
+    }
+}
+
+/// One stored word plus the time it was last written; the unit of
+/// event-driven accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrackedWord {
+    value: u128,
+    since: u64,
+}
+
+impl TrackedWord {
+    /// Creates a word holding `value` from time `now` on.
+    pub fn new(value: u128, now: u64) -> Self {
+        TrackedWord { value, since: now }
+    }
+
+    /// The currently stored value.
+    pub fn value(&self) -> u128 {
+        self.value
+    }
+
+    /// Time of the last write.
+    pub fn since(&self) -> u64 {
+        self.since
+    }
+
+    /// Writes a new value at time `now`, charging the elapsed residency of
+    /// the old value into `residency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if time runs backwards.
+    pub fn write(&mut self, value: u128, now: u64, residency: &mut BitResidency) {
+        debug_assert!(now >= self.since, "time ran backwards");
+        residency.record(self.value, now - self.since);
+        self.value = value;
+        self.since = now;
+    }
+
+    /// Charges residency up to `now` without changing the value (used when
+    /// taking a measurement).
+    pub fn flush(&mut self, now: u64, residency: &mut BitResidency) {
+        debug_assert!(now >= self.since, "time ran backwards");
+        residency.record(self.value, now - self.since);
+        self.since = now;
+    }
+}
+
+/// Event-driven occupancy accounting for a structure with a fixed number of
+/// entries.
+///
+/// Tracks the time-integral of the busy-entry count; the paper's
+/// occupancy/free-time statistics (integer registers free 54% of the time,
+/// scheduler occupancy 63%, ...) are read from this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancyTracker {
+    capacity: u64,
+    busy: u64,
+    last: u64,
+    busy_time: u128,
+    started: u64,
+}
+
+impl OccupancyTracker {
+    /// Creates a tracker for a structure with `capacity` entries, starting
+    /// at time `now` with everything free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: u64, now: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        OccupancyTracker {
+            capacity,
+            busy: 0,
+            last: now,
+            busy_time: 0,
+            started: now,
+        }
+    }
+
+    fn advance(&mut self, now: u64) {
+        debug_assert!(now >= self.last, "time ran backwards");
+        self.busy_time += u128::from(self.busy) * u128::from(now - self.last);
+        self.last = now;
+    }
+
+    /// Notes that one entry became busy at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all entries are already busy.
+    pub fn acquire(&mut self, now: u64) {
+        self.advance(now);
+        assert!(self.busy < self.capacity, "occupancy overflow");
+        self.busy += 1;
+    }
+
+    /// Notes that one entry became free at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry is busy.
+    pub fn release(&mut self, now: u64) {
+        self.advance(now);
+        assert!(self.busy > 0, "occupancy underflow");
+        self.busy -= 1;
+    }
+
+    /// Entries currently busy.
+    pub fn busy_now(&self) -> u64 {
+        self.busy
+    }
+
+    /// Average fraction of entries busy up to time `now`.
+    pub fn occupancy(&mut self, now: u64) -> Duty {
+        self.advance(now);
+        let span = u128::from(now - self.started) * u128::from(self.capacity);
+        if span == 0 {
+            return Duty::ZERO;
+        }
+        Duty::saturating(self.busy_time as f64 / span as f64)
+    }
+
+    /// Average fraction of entries free up to time `now`.
+    pub fn free_fraction(&mut self, now: u64) -> Duty {
+        self.occupancy(now).complement()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accounts_zero_bits() {
+        let mut r = BitResidency::new(4);
+        r.record(0b0101, 10);
+        assert!((r.bias(0).fraction() - 0.0).abs() < 1e-12);
+        assert!((r.bias(1).fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(r.total_time(), 10);
+    }
+
+    #[test]
+    fn bias_mixes_over_time() {
+        let mut r = BitResidency::new(1);
+        r.record(0, 3);
+        r.record(1, 1);
+        assert!((r.bias(0).fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_cell_duty_is_symmetric() {
+        let mut r = BitResidency::new(2);
+        // bit0: always 1 (bias 0) → cell duty 1. bit1: balanced.
+        r.record(0b01, 1);
+        r.record(0b11, 1);
+        assert!((r.bias(0).fraction() - 0.0).abs() < 1e-12);
+        assert!((r.worst_cell_duty().fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracked_word_event_driven_accounting() {
+        let mut r = BitResidency::new(8);
+        let mut w = TrackedWord::new(0xFF, 0);
+        w.write(0x00, 40, &mut r); // held 0xFF for 40 cycles
+        w.write(0x0F, 60, &mut r); // held 0x00 for 20 cycles
+        w.flush(100, &mut r); // held 0x0F for 40 cycles
+        assert_eq!(r.total_time(), 100);
+        // bit 0: one for 40 + 40, zero for 20 → bias 0.2.
+        assert!((r.bias(0).fraction() - 0.2).abs() < 1e-12);
+        // bit 7: one for 40, zero for 60 → bias 0.6.
+        assert!((r.bias(7).fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(w.value(), 0x0F);
+        assert_eq!(w.since(), 100);
+    }
+
+    #[test]
+    fn merge_adds_observations() {
+        let mut a = BitResidency::new(2);
+        a.record(0b00, 10);
+        let mut b = BitResidency::new(2);
+        b.record(0b11, 10);
+        a.merge(&b);
+        assert!((a.bias(0).fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(a.total_time(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn merge_rejects_width_mismatch() {
+        let mut a = BitResidency::new(2);
+        let b = BitResidency::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn zero_duration_is_a_noop() {
+        let mut r = BitResidency::new(1);
+        r.record(0, 0);
+        assert_eq!(r.total_time(), 0);
+        assert_eq!(r.bias(0), Duty::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn rejects_zero_width() {
+        let _ = BitResidency::new(0);
+    }
+
+    #[test]
+    fn biases_returns_all_positions() {
+        let mut r = BitResidency::new(3);
+        r.record(0b010, 1);
+        let biases = r.biases();
+        assert_eq!(biases.len(), 3);
+        assert!((biases[1].fraction() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_integrates_busy_time() {
+        let mut occ = OccupancyTracker::new(4, 0);
+        occ.acquire(0); // 1 busy over [0, 10)
+        occ.acquire(10); // 2 busy over [10, 20)
+        occ.release(20); // 1 busy over [20, 40)
+        // busy integral = 10 + 20 + 20 = 50 entry-cycles of 160 possible.
+        assert!((occ.occupancy(40).fraction() - 50.0 / 160.0).abs() < 1e-12);
+        assert!((occ.free_fraction(40).fraction() - 110.0 / 160.0).abs() < 1e-12);
+        assert_eq!(occ.busy_now(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn occupancy_release_underflow_panics() {
+        let mut occ = OccupancyTracker::new(1, 0);
+        occ.release(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn occupancy_acquire_overflow_panics() {
+        let mut occ = OccupancyTracker::new(1, 0);
+        occ.acquire(0);
+        occ.acquire(1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Trace-driven microarchitectural substrates.
+//!
+//! The Penelope paper's evaluation runs on an IA32 trace-driven Intel
+//! production simulator resembling the Core™ microarchitecture. This crate
+//! is the reproduction's substitute: a compact out-of-order pipeline model
+//! with the five structures the paper studies —
+//!
+//! - [`regfile`]: physical register files (integer and FP) with free-list
+//!   allocation, write-port contention and per-bit residency tracking;
+//! - [`scheduler`]: a 32-entry data-capture scheduler with the exact field
+//!   layout of Table 2;
+//! - [`cache`]: set-associative write-allocate caches with true-LRU
+//!   replacement, line-state tracking (valid / inverted) and hit-position
+//!   statistics;
+//! - [`tlb`]: the data TLB, modeled as a small page-granular cache;
+//! - [`btb`]: a branch target buffer (an extension beyond the paper's
+//!   evaluated blocks; §3.2.1 lists the branch predictor as cache-like);
+//! - [`mob`]: memory-order-buffer id allocation (self-balanced, §4.5);
+//! - [`pipeline`]: the trace-driven pipeline tying everything together and
+//!   reporting CPI, occupancies, port availability and adder utilization;
+//! - [`bitstats`]: event-driven per-bit zero-residency accounting used by
+//!   all storage structures.
+//!
+//! NBTI mitigation mechanisms live in the `penelope` crate and drive these
+//! structures through the [`pipeline::Hooks`] trait.
+
+pub mod bitstats;
+pub mod btb;
+pub mod cache;
+pub mod mob;
+pub mod pipeline;
+pub mod regfile;
+pub mod scheduler;
+pub mod tlb;

@@ -1,0 +1,623 @@
+//! The data-capture scheduler (reservation stations).
+//!
+//! An explicitly managed block with *short* idle time (§4.5): occupancy is
+//! around 63%, and different fields show wildly different bias — some flag,
+//! shift and latency bits are "0" (or "1") almost 100% of the time. The slot
+//! layout follows Table 2 exactly (144 bits; Figure 8 plots all fields but
+//! the opcode).
+//!
+//! The scheduler is modeled as a storage structure: allocation captures the
+//! field values of a uop, release frees the slot but *keeps the contents*
+//! (bit cells do not forget), and `write_field` allows both ready-bit
+//! updates while busy and NBTI-balancing writes into free slots.
+
+use crate::bitstats::{BitResidency, OccupancyTracker, TrackedWord};
+use tracegen::uop::{Uop, UopClass};
+
+/// One field of a scheduler slot (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Field {
+    /// Slot is valid (1 bit). Cannot be protected: its contents are always
+    /// live.
+    Valid,
+    /// Latency of the uop (5 bits).
+    Latency,
+    /// Issue port, one-hot (5 bits).
+    Port,
+    /// Branch taken (1 bit).
+    Taken,
+    /// Memory Order Buffer identifier (6 bits). Self-balanced.
+    MobId,
+    /// FP top-of-stack position (3 bits).
+    Tos,
+    /// Condition flags (6 bits).
+    Flags,
+    /// Source 1 needs an AH/BH/CH/DH shift (1 bit).
+    Shift1,
+    /// Source 2 needs an AH/BH/CH/DH shift (1 bit).
+    Shift2,
+    /// Destination register tag (7 bits). Self-balanced.
+    DstTag,
+    /// Source 1 register tag (7 bits). Self-balanced.
+    Src1Tag,
+    /// Source 2 register tag (7 bits). Self-balanced.
+    Src2Tag,
+    /// Source 1 ready (1 bit).
+    Ready1,
+    /// Source 2 ready (1 bit).
+    Ready2,
+    /// Captured source 1 data (32 bits).
+    Src1Data,
+    /// Captured source 2 data (32 bits).
+    Src2Data,
+    /// Immediate (16 bits).
+    Immediate,
+    /// Uop opcode (12 bits). Excluded from Figure 8.
+    Opcode,
+}
+
+impl Field {
+    /// All fields in Table 2 order.
+    pub const ALL: [Field; 18] = [
+        Field::Valid,
+        Field::Latency,
+        Field::Port,
+        Field::Taken,
+        Field::MobId,
+        Field::Tos,
+        Field::Flags,
+        Field::Shift1,
+        Field::Shift2,
+        Field::DstTag,
+        Field::Src1Tag,
+        Field::Src2Tag,
+        Field::Ready1,
+        Field::Ready2,
+        Field::Src1Data,
+        Field::Src2Data,
+        Field::Immediate,
+        Field::Opcode,
+    ];
+
+    /// Width of the field in bits (Table 2).
+    pub fn width(self) -> usize {
+        match self {
+            Field::Valid | Field::Taken | Field::Shift1 | Field::Shift2 => 1,
+            Field::Ready1 | Field::Ready2 => 1,
+            Field::Tos => 3,
+            Field::Latency | Field::Port => 5,
+            Field::MobId | Field::Flags => 6,
+            Field::DstTag | Field::Src1Tag | Field::Src2Tag => 7,
+            Field::Opcode => 12,
+            Field::Immediate => 16,
+            Field::Src1Data | Field::Src2Data => 32,
+        }
+    }
+
+    /// Short name as in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            Field::Valid => "Valid",
+            Field::Latency => "Latency",
+            Field::Port => "Port",
+            Field::Taken => "Taken",
+            Field::MobId => "MOB id",
+            Field::Tos => "tos",
+            Field::Flags => "Flags",
+            Field::Shift1 => "shift1",
+            Field::Shift2 => "shift2",
+            Field::DstTag => "DST tag",
+            Field::Src1Tag => "SRC1 tag",
+            Field::Src2Tag => "SRC2 tag",
+            Field::Ready1 => "ready1",
+            Field::Ready2 => "ready2",
+            Field::Src1Data => "SRC1 data",
+            Field::Src2Data => "SRC2 data",
+            Field::Immediate => "Immediate",
+            Field::Opcode => "Opcode",
+        }
+    }
+
+    /// Index into [`Field::ALL`].
+    pub fn index(self) -> usize {
+        Field::ALL.iter().position(|&f| f == self).expect("in ALL")
+    }
+
+    /// Whether the field is a *data* field, which is no longer needed once
+    /// the uop issues (paper: "SRC1 data, SRC2 data and immediate ... are
+    /// available 70-75% of the time").
+    pub fn is_data(self) -> bool {
+        matches!(self, Field::Src1Data | Field::Src2Data | Field::Immediate)
+    }
+
+    /// Whether the field's activity is self-balanced (register tags and MOB
+    /// id; entries/slots are used evenly).
+    pub fn is_self_balanced(self) -> bool {
+        matches!(
+            self,
+            Field::DstTag | Field::Src1Tag | Field::Src2Tag | Field::MobId
+        )
+    }
+}
+
+impl std::fmt::Display for Field {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Total bits per slot (144 with the 12-bit opcode).
+pub fn slot_bits() -> usize {
+    Field::ALL.iter().map(|f| f.width()).sum()
+}
+
+/// Which data fields a uop actually uses; unused fields count as available
+/// for balancing from the moment of allocation ("they ... are not used at
+/// all for some instructions", §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DataUsage {
+    /// `SRC1 data` is captured.
+    pub src1: bool,
+    /// `SRC2 data` is captured.
+    pub src2: bool,
+    /// `Immediate` is present.
+    pub imm: bool,
+}
+
+impl DataUsage {
+    fn count(self) -> u64 {
+        u64::from(self.src1) + u64::from(self.src2) + u64::from(self.imm)
+    }
+}
+
+/// Values captured into a slot at allocation.
+///
+/// Fields that a uop does not use (the MOB id of a non-memory uop, the
+/// destination tag of a store, ...) are *not driven*: allocation leaves the
+/// old cell contents in place, exactly as hardware whose write enables stay
+/// low. This is what makes the tag/MOB-id fields self-balanced (§4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryValues {
+    values: [u128; 18],
+    driven: [bool; 18],
+}
+
+impl EntryValues {
+    /// Builds slot contents from a uop and rename information.
+    pub fn from_uop(
+        uop: &Uop,
+        dst_tag: u8,
+        src1_tag: u8,
+        src2_tag: u8,
+        mob_id: u8,
+        ready1: bool,
+        ready2: bool,
+    ) -> Self {
+        let mut driven = [true; 18];
+        driven[Field::MobId.index()] = uop.class.is_memory();
+        driven[Field::DstTag.index()] = uop.dst.is_some();
+        driven[Field::Src1Tag.index()] = uop.src1.is_some();
+        driven[Field::Src2Tag.index()] = uop.src2.is_some();
+        driven[Field::Src1Data.index()] = uop.src1.is_some();
+        driven[Field::Src2Data.index()] = uop.src2.is_some();
+        driven[Field::Immediate.index()] = uop.immediate.is_some();
+        driven[Field::Taken.index()] = uop.class == UopClass::Branch;
+        driven[Field::Tos.index()] = uop.class.is_fp();
+        let mut values = [0u128; 18];
+        values[Field::Valid.index()] = 1;
+        values[Field::Latency.index()] = u128::from(uop.latency & 0x1F);
+        values[Field::Port.index()] = 1u128 << (uop.port % 5);
+        values[Field::Taken.index()] = u128::from(uop.taken);
+        values[Field::MobId.index()] = u128::from(mob_id & 0x3F);
+        values[Field::Tos.index()] = u128::from(uop.tos & 0x7);
+        values[Field::Flags.index()] = u128::from(uop.flags & 0x3F);
+        values[Field::Shift1.index()] = u128::from(uop.shift1);
+        values[Field::Shift2.index()] = u128::from(uop.shift2);
+        values[Field::DstTag.index()] = u128::from(dst_tag & 0x7F);
+        values[Field::Src1Tag.index()] = u128::from(src1_tag & 0x7F);
+        values[Field::Src2Tag.index()] = u128::from(src2_tag & 0x7F);
+        values[Field::Ready1.index()] = u128::from(ready1);
+        values[Field::Ready2.index()] = u128::from(ready2);
+        values[Field::Src1Data.index()] = u128::from(uop.src1_val);
+        values[Field::Src2Data.index()] = u128::from(uop.src2_val);
+        values[Field::Immediate.index()] = u128::from(uop.immediate.unwrap_or(0));
+        values[Field::Opcode.index()] = u128::from(uop.opcode & 0xFFF);
+        EntryValues { values, driven }
+    }
+
+    /// The value of one field.
+    pub fn get(&self, field: Field) -> u128 {
+        self.values[field.index()]
+    }
+
+    /// Whether allocation drives (writes) the field.
+    pub fn is_driven(&self, field: Field) -> bool {
+        self.driven[field.index()]
+    }
+
+    /// Overwrites one field (marks it driven).
+    pub fn set(&mut self, field: Field, value: u128) {
+        self.values[field.index()] = value & ((1u128 << field.width()) - 1);
+        self.driven[field.index()] = true;
+    }
+}
+
+/// One slot: per-field tracked storage.
+#[derive(Debug, Clone)]
+struct Slot {
+    fields: [TrackedWord; 18],
+    busy: bool,
+    issued: bool,
+    data_held: u64,
+}
+
+/// Identifier of a scheduler slot.
+pub type SlotId = usize;
+
+/// The 32-entry scheduler.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    slots: Vec<Slot>,
+    residency: [BitResidency; 18],
+    occupancy: OccupancyTracker,
+    /// Occupancy of the data fields (freed at issue, not at release).
+    data_occupancy: OccupancyTracker,
+    alloc_ports: u8,
+    port_state_cycle: u64,
+    ports_used: u8,
+    releases: u64,
+    releases_with_port: u64,
+}
+
+impl Scheduler {
+    /// Scheduler size used throughout the paper.
+    pub const PAPER_ENTRIES: usize = 32;
+
+    /// Creates a scheduler with `entries` slots and `alloc_ports` write
+    /// ports shared by allocation and balancing writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `alloc_ports` is zero.
+    pub fn new(entries: usize, alloc_ports: u8) -> Self {
+        assert!(entries > 0, "need at least one slot");
+        assert!(alloc_ports > 0, "need at least one allocation port");
+        Scheduler {
+            slots: vec![
+                Slot {
+                    fields: [TrackedWord::default(); 18],
+                    busy: false,
+                    issued: false,
+                    data_held: 0,
+                };
+                entries
+            ],
+            residency: std::array::from_fn(|i| BitResidency::new(Field::ALL[i].width())),
+            occupancy: OccupancyTracker::new(entries as u64, 0),
+            // Three data fields per slot (SRC1/SRC2 data, Immediate).
+            data_occupancy: OccupancyTracker::new(entries as u64 * 3, 0),
+            alloc_ports,
+            port_state_cycle: 0,
+            ports_used: 0,
+            releases: 0,
+            releases_with_port: 0,
+        }
+    }
+
+    /// A paper-configured scheduler: 32 entries, 4 allocation ports.
+    pub fn paper_default() -> Self {
+        Scheduler::new(Self::PAPER_ENTRIES, 4)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the scheduler has no slots (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn roll_cycle(&mut self, now: u64) {
+        if self.port_state_cycle != now {
+            self.port_state_cycle = now;
+            self.ports_used = 0;
+        }
+    }
+
+    /// Whether an allocation/balancing port is still free in cycle `now`.
+    /// The paper observes "on average 77% of the ports from allocate are
+    /// available".
+    pub fn port_available(&mut self, now: u64) -> bool {
+        self.roll_cycle(now);
+        self.ports_used < self.alloc_ports
+    }
+
+    /// Allocates a free slot and captures `values`, consuming a port.
+    /// Returns `None` when the scheduler is full. `usage` says which data
+    /// fields the uop actually occupies.
+    pub fn allocate(&mut self, values: &EntryValues, usage: DataUsage, now: u64) -> Option<SlotId> {
+        let id = self.slots.iter().position(|s| !s.busy)?;
+        self.allocate_at(id, values, usage, now);
+        Some(id)
+    }
+
+    /// Allocates a specific free slot (callers that pick slots round-robin
+    /// use this so freed slots are not immediately reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is busy.
+    pub fn allocate_at(&mut self, id: SlotId, values: &EntryValues, usage: DataUsage, now: u64) {
+        self.roll_cycle(now);
+        self.ports_used = self.ports_used.saturating_add(1);
+        let slot = &mut self.slots[id];
+        assert!(!slot.busy, "allocating busy slot {id}");
+        slot.busy = true;
+        slot.issued = false;
+        slot.data_held = usage.count();
+        for (i, field) in Field::ALL.iter().enumerate() {
+            if values.is_driven(*field) {
+                slot.fields[i].write(values.get(*field), now, &mut self.residency[i]);
+            }
+        }
+        self.occupancy.acquire(now);
+        for _ in 0..usage.count() {
+            self.data_occupancy.acquire(now);
+        }
+    }
+
+    /// Marks the slot as issued: its data fields (`SRC data`, `Immediate`)
+    /// are no longer needed and count as available from here on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not busy or already issued.
+    pub fn issue(&mut self, slot: SlotId, now: u64) {
+        let s = &mut self.slots[slot];
+        assert!(s.busy && !s.issued, "issuing slot {slot} in a bad state");
+        s.issued = true;
+        let held = s.data_held;
+        s.data_held = 0;
+        for _ in 0..held {
+            self.data_occupancy.release(now);
+        }
+    }
+
+    /// Whether the slot has issued.
+    pub fn is_issued(&self, slot: SlotId) -> bool {
+        self.slots[slot].issued
+    }
+
+    /// Releases the slot (uop completed); contents remain. Returns whether
+    /// a spare port was available this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not busy.
+    pub fn release(&mut self, slot: SlotId, now: u64) -> bool {
+        {
+            let s = &mut self.slots[slot];
+            assert!(s.busy, "releasing free slot {slot}");
+            let held = s.data_held;
+            s.data_held = 0;
+            for _ in 0..held {
+                self.data_occupancy.release(now);
+            }
+            s.busy = false;
+            s.issued = false;
+        }
+        // The valid bit drops to 0 the moment the entry frees — that write
+        // is architectural, not a balancing write.
+        let vi = Field::Valid.index();
+        self.slots[slot].fields[vi].write(0, now, &mut self.residency[vi]);
+        self.occupancy.release(now);
+        self.releases += 1;
+        let port_free = self.port_available(now);
+        if port_free {
+            self.releases_with_port += 1;
+        }
+        port_free
+    }
+
+    /// Writes one field of a slot (ready-bit updates while busy; balancing
+    /// writes while free). Does not consume a port — pair with
+    /// [`Scheduler::consume_port`] for opportunistic writes.
+    pub fn write_field(&mut self, slot: SlotId, field: Field, value: u128, now: u64) {
+        let i = field.index();
+        let masked = value & ((1u128 << field.width()) - 1);
+        self.slots[slot].fields[i].write(masked, now, &mut self.residency[i]);
+    }
+
+    /// Consumes one port in cycle `now` (for opportunistic balancing
+    /// writes). Returns false (and consumes nothing) if none is free.
+    pub fn consume_port(&mut self, now: u64) -> bool {
+        if self.port_available(now) {
+            self.ports_used += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current value of a field.
+    pub fn field_value(&self, slot: SlotId, field: Field) -> u128 {
+        self.slots[slot].fields[field.index()].value()
+    }
+
+    /// Whether a slot is busy.
+    pub fn is_busy(&self, slot: SlotId) -> bool {
+        self.slots[slot].busy
+    }
+
+    /// Slots currently free (candidates for balancing writes).
+    pub fn free_slots(&self) -> impl Iterator<Item = SlotId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.busy)
+            .map(|(i, _)| i)
+    }
+
+    /// Flushes all residency accounting up to `now`.
+    pub fn sync(&mut self, now: u64) {
+        for slot in &mut self.slots {
+            for (i, f) in slot.fields.iter_mut().enumerate() {
+                f.flush(now, &mut self.residency[i]);
+            }
+        }
+    }
+
+    /// Residency of one field (aggregated over slots). Only accurate up to
+    /// the last [`Scheduler::sync`].
+    pub fn field_residency(&self, field: Field) -> &BitResidency {
+        &self.residency[field.index()]
+    }
+
+    /// Average slot occupancy up to `now` (the paper's 63%).
+    pub fn occupancy(&mut self, now: u64) -> f64 {
+        self.occupancy.occupancy(now).fraction()
+    }
+
+    /// Average *data-field* occupancy up to `now` (the paper's 25–30%,
+    /// i.e. SRC data/immediate fields available 70–75% of the time):
+    /// a data field is busy from allocation to issue, and only when the uop
+    /// actually uses it.
+    pub fn data_occupancy(&mut self, now: u64) -> f64 {
+        self.data_occupancy.occupancy(now).fraction()
+    }
+
+    /// Fraction of releases that found a spare port.
+    pub fn release_port_availability(&self) -> f64 {
+        if self.releases == 0 {
+            return 1.0;
+        }
+        self.releases_with_port as f64 / self.releases as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracegen::uop::Uop;
+
+    fn entry() -> EntryValues {
+        let mut uop = Uop::int_alu(1, 2, 3);
+        uop.latency = 3;
+        uop.flags = 0b10;
+        EntryValues::from_uop(&uop, 10, 20, 30, 5, true, false)
+    }
+
+    #[test]
+    fn slot_layout_is_table_2() {
+        assert_eq!(slot_bits(), 144);
+        assert_eq!(Field::Src1Data.width(), 32);
+        assert_eq!(Field::Opcode.width(), 12);
+        assert_eq!(Field::ALL.len(), 18);
+    }
+
+    #[test]
+    fn entry_values_capture_uop_fields() {
+        let e = entry();
+        assert_eq!(e.get(Field::Valid), 1);
+        assert_eq!(e.get(Field::Latency), 3);
+        assert_eq!(e.get(Field::Port), 1); // port 0 one-hot
+        assert_eq!(e.get(Field::DstTag), 10);
+        assert_eq!(e.get(Field::Ready1), 1);
+        assert_eq!(e.get(Field::Ready2), 0);
+        assert_eq!(e.get(Field::Flags), 0b10);
+    }
+
+    #[test]
+    fn allocate_issue_release_lifecycle() {
+        let mut s = Scheduler::new(4, 2);
+        let slot = s.allocate(&entry(), DataUsage { src1: true, src2: true, imm: false }, 0).unwrap();
+        assert!(s.is_busy(slot));
+        assert!(!s.is_issued(slot));
+        s.issue(slot, 5);
+        assert!(s.is_issued(slot));
+        s.release(slot, 8);
+        assert!(!s.is_busy(slot));
+        // Contents remain after release (bit cells do not forget).
+        assert_eq!(s.field_value(slot, Field::Latency), 3);
+        // But the valid bit dropped.
+        assert_eq!(s.field_value(slot, Field::Valid), 0);
+    }
+
+    #[test]
+    fn full_scheduler_rejects_allocation() {
+        let mut s = Scheduler::new(2, 4);
+        let all = DataUsage { src1: true, src2: true, imm: true };
+        assert!(s.allocate(&entry(), all, 0).is_some());
+        assert!(s.allocate(&entry(), all, 0).is_some());
+        assert!(s.allocate(&entry(), all, 0).is_none());
+    }
+
+    #[test]
+    fn occupancy_and_data_occupancy_diverge_after_issue() {
+        let mut s = Scheduler::new(2, 4);
+        let usage = DataUsage { src1: true, src2: false, imm: false };
+        let slot = s.allocate(&entry(), usage, 0).unwrap();
+        s.issue(slot, 10);
+        s.release(slot, 20);
+        // Slot busy for 20 of 40 entry-cycles → occupancy 50%.
+        assert!((s.occupancy(20) - 0.5).abs() < 1e-12);
+        // One of six data-field units busy for 10 of 20 cycles → 1/12.
+        assert!((s.data_occupancy(20) - 10.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ports_shared_between_alloc_and_balancing() {
+        let mut s = Scheduler::new(8, 2);
+        let _ = s.allocate(&entry(), DataUsage::default(), 0).unwrap();
+        assert!(s.consume_port(0));
+        assert!(!s.consume_port(0), "both ports used");
+        assert!(s.consume_port(1), "budget resets next cycle");
+    }
+
+    #[test]
+    fn write_field_masks_to_width() {
+        let mut s = Scheduler::new(1, 1);
+        s.write_field(0, Field::Tos, 0xFF, 0);
+        assert_eq!(s.field_value(0, Field::Tos), 0x7);
+    }
+
+    #[test]
+    fn residency_accounts_field_contents() {
+        let mut s = Scheduler::new(1, 1);
+        let slot = s.allocate(&entry(), DataUsage::default(), 0).unwrap();
+        s.release(slot, 10);
+        s.sync(20);
+        // Valid held 1 over [0,10) and 0 over [10,20): bias 0.5.
+        let bias = s.field_residency(Field::Valid).bias(0).fraction();
+        assert!((bias - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_slots_enumerates() {
+        let mut s = Scheduler::new(3, 4);
+        let a = s.allocate(&entry(), DataUsage::default(), 0).unwrap();
+        let free: Vec<_> = s.free_slots().collect();
+        assert_eq!(free.len(), 2);
+        assert!(!free.contains(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing free slot")]
+    fn double_release_panics() {
+        let mut s = Scheduler::new(1, 1);
+        let slot = s.allocate(&entry(), DataUsage::default(), 0).unwrap();
+        s.release(slot, 1);
+        s.release(slot, 2);
+    }
+
+    #[test]
+    fn field_metadata() {
+        assert!(Field::Src1Data.is_data());
+        assert!(!Field::Flags.is_data());
+        assert!(Field::MobId.is_self_balanced());
+        assert!(!Field::Valid.is_self_balanced());
+        assert_eq!(Field::MobId.to_string(), "MOB id");
+    }
+}

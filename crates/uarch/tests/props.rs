@@ -1,0 +1,151 @@
+//! Property-based tests: structural invariants of the microarchitectural
+//! substrates under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use uarch::bitstats::{BitResidency, TrackedWord};
+use uarch::cache::{CacheConfig, LineState, SetAssocCache};
+use uarch::regfile::{RegFileConfig, RegisterFile};
+
+#[derive(Debug, Clone)]
+enum RfOp {
+    Allocate,
+    Release(usize),
+    Write(usize, u64),
+}
+
+fn rf_op() -> impl Strategy<Value = RfOp> {
+    prop_oneof![
+        Just(RfOp::Allocate),
+        (0usize..16).prop_map(RfOp::Release),
+        ((0usize..16), any::<u64>()).prop_map(|(i, v)| RfOp::Write(i, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn regfile_free_plus_busy_is_constant(ops in prop::collection::vec(rf_op(), 0..200)) {
+        let config = RegFileConfig {
+            entries: 16,
+            width: 32,
+            write_ports: 2,
+        };
+        let mut rf = RegisterFile::new(config);
+        let mut busy: Vec<u16> = Vec::new();
+        let mut now = 0;
+        for op in ops {
+            now += 1;
+            match op {
+                RfOp::Allocate => {
+                    if let Some(p) = rf.allocate(now) {
+                        prop_assert!(!busy.contains(&p), "double allocation of {p}");
+                        busy.push(p);
+                    } else {
+                        prop_assert_eq!(busy.len(), 16, "refused allocation while free");
+                    }
+                }
+                RfOp::Release(i) => {
+                    if !busy.is_empty() {
+                        let p = busy.remove(i % busy.len());
+                        rf.release(p, now);
+                    }
+                }
+                RfOp::Write(i, v) => {
+                    if !busy.is_empty() {
+                        let p = busy[i % busy.len()];
+                        rf.write(p, u128::from(v), now);
+                    }
+                }
+            }
+            prop_assert_eq!(rf.free_count() + busy.len(), 16);
+            for &p in &busy {
+                prop_assert!(rf.is_busy(p));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_never_stores_duplicate_valid_tags(addrs in prop::collection::vec(0u64..0x40_000, 1..300)) {
+        let mut cache = SetAssocCache::new(CacheConfig {
+            size_bytes: 4096,
+            ways: 4,
+            line_bytes: 64,
+        });
+        for (now, addr) in addrs.iter().enumerate() {
+            cache.access(*addr, now as u64);
+            // Re-access must hit: the line was just filled.
+            let again = cache.access(*addr, now as u64);
+            prop_assert!(again.hit, "immediate re-access missed at {addr:#x}");
+        }
+        // Per-set uniqueness of valid tags: hits are unambiguous even at
+        // the far end of the clock (the recency stamp saturates).
+        let far = addrs.len() as u64 + 10;
+        for addr in &addrs {
+            let _ = cache.access(*addr, far);
+        }
+        let _ = cache.access(addrs[0], u64::MAX - 1);
+        let _ = cache.access(addrs[0], u64::MAX - 1);
+    }
+
+    #[test]
+    fn cache_stats_are_consistent(addrs in prop::collection::vec(0u64..0x8_000, 1..400)) {
+        let mut cache = SetAssocCache::new(CacheConfig {
+            size_bytes: 2048,
+            ways: 2,
+            line_bytes: 64,
+        });
+        for (now, addr) in addrs.iter().enumerate() {
+            cache.access(*addr, now as u64);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses, addrs.len() as u64);
+        prop_assert!(stats.hits <= stats.accesses);
+        let by_position: u64 = stats.hit_positions.iter().sum();
+        prop_assert_eq!(by_position, stats.hits);
+    }
+
+    #[test]
+    fn inverted_count_matches_line_scan(
+        addrs in prop::collection::vec(0u64..0x8_000, 1..120),
+        inversions in prop::collection::vec(0usize..16, 0..40)
+    ) {
+        let mut cache = SetAssocCache::new(CacheConfig {
+            size_bytes: 4096,
+            ways: 4,
+            line_bytes: 64,
+        });
+        let mut now = 0u64;
+        for addr in &addrs {
+            now += 1;
+            cache.access(*addr, now);
+        }
+        for set in inversions {
+            now += 1;
+            let _ = cache.invert_line_in(set % cache.set_count(), now);
+        }
+        let scan = (0..cache.set_count())
+            .flat_map(|s| (0..cache.ways()).map(move |w| (s, w)))
+            .filter(|&(s, w)| cache.line_state(s, w) == LineState::Inverted)
+            .count();
+        prop_assert_eq!(cache.inverted_count(), scan);
+        // Valid + inverted never exceeds capacity.
+        prop_assert!(cache.valid_count() + cache.inverted_count() <= 64);
+    }
+
+    #[test]
+    fn bit_residency_time_is_conserved(writes in prop::collection::vec((any::<u64>(), 1u64..100), 1..50)) {
+        let mut residency = BitResidency::new(64);
+        let mut word = TrackedWord::new(0, 0);
+        let mut now = 0;
+        for (value, dt) in &writes {
+            now += dt;
+            word.write(u128::from(*value), now, &mut residency);
+        }
+        prop_assert_eq!(residency.total_time(), now);
+        for bit in 0..64 {
+            let b = residency.bias(bit).fraction();
+            prop_assert!((0.0..=1.0).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Cache-scheme tuning: sweep the inverted fraction K and compare the
+//! schemes' performance loss against their NBTI benefit on one workload.
+//!
+//! This explores the fixed-vs-dynamic tradeoff of §3.2.1 beyond the three
+//! design points of Table 3.
+//!
+//! Run with: `cargo run --release -p penelope --example cache_tuning`
+
+use nbti_model::duty::Duty;
+use nbti_model::guardband::{GuardbandModel, VminModel};
+use penelope::cache_aware::{effective_bias, SchemeKind};
+use penelope::processor::{build, PenelopeConfig};
+use tracegen::suite::Suite;
+use tracegen::trace::TraceSpec;
+use uarch::pipeline::RunResult;
+
+/// Assumed bias of cache bit cells towards "0" for live data (§4.6: "our
+/// proposals ... reduce the bias towards 0 from 90% to roughly 50%").
+const CACHE_DATA_BIAS: f64 = 0.90;
+
+fn run(scheme: SchemeKind) -> (RunResult, f64) {
+    let config = PenelopeConfig {
+        dl0_scheme: scheme,
+        dtlb_scheme: SchemeKind::Baseline,
+        ..PenelopeConfig::default()
+    };
+    let (mut pipe, mut hooks) = build(&config);
+    let mut result: Option<RunResult> = None;
+    for idx in 0..3 {
+        let r = pipe.run(
+            TraceSpec::new(Suite::Server, idx).generate(25_000),
+            &mut hooks,
+        );
+        match &mut result {
+            Some(t) => t.merge(&r),
+            None => result = Some(r),
+        }
+    }
+    let now = pipe.now();
+    let frac = hooks.dl0.inverted_fraction(&pipe.parts.dl0, now);
+    (result.expect("ran traces"), frac)
+}
+
+fn main() {
+    let model = GuardbandModel::paper_calibrated();
+    let vmin = VminModel::paper_calibrated();
+    let (baseline, _) = run(SchemeKind::Baseline);
+
+    println!("scheme            K      CPI loss  inverted  bit bias  guardband  Vmin");
+    let mut schemes = vec![(SchemeKind::Baseline, 0.0f64)];
+    for k in [0.25, 0.5, 0.6, 0.75] {
+        schemes.push((SchemeKind::LineFixed { fraction: k }, k));
+    }
+    schemes.push((SchemeKind::set_fixed_50(50_000), 0.5));
+    schemes.push((
+        SchemeKind::WayFixed {
+            fraction: 0.5,
+            rotation_period: 50_000,
+        },
+        0.5,
+    ));
+    schemes.push((SchemeKind::line_dynamic_60(0.02, 200), 0.6));
+
+    for (scheme, k) in schemes {
+        let (result, inverted) = run(scheme);
+        let loss = (result.cpi() / baseline.cpi() - 1.0).max(0.0);
+        let bias = Duty::saturating(effective_bias(CACHE_DATA_BIAS, inverted));
+        let gb = model.cell_guardband(bias);
+        println!(
+            "{:<16} {:>4.0}%  {:>8.2}%  {:>7.1}%  {:>7.1}%  {:>9}  +{:.1}%",
+            scheme.label(),
+            k * 100.0,
+            loss * 100.0,
+            inverted * 100.0,
+            bias.fraction() * 100.0,
+            gb,
+            vmin.vmin_increase(bias) * 100.0
+        );
+    }
+    println!(
+        "\nReading: ~50% inversion balances the bit cells (bias -> 50%), cutting the\n\
+         guardband to its floor and the Vmin increase by ~10x, for <1% CPI on most\n\
+         geometries. The dynamic scheme backs off when a program needs the capacity."
+    );
+}

@@ -1,0 +1,49 @@
+//! NBTI physics playground: stress/recovery dynamics, guardbands, Vmin and
+//! lifetime as a function of the zero-signal probability.
+//!
+//! Run with: `cargo run --release -p penelope --example lifetime`
+
+use nbti_model::duty::Duty;
+use nbti_model::guardband::{GuardbandModel, VminModel};
+use nbti_model::lifetime::LifetimeModel;
+use nbti_model::rd::{RdModel, RdState};
+
+fn main() -> Result<(), nbti_model::Error> {
+    // 1. The self-healing effect (Figure 1): alternate stress and relax and
+    //    watch the trap density saw-tooth toward its duty-cycle asymptote.
+    let rd = RdModel::symmetric(0.002)?;
+    println!("stress/relax dynamics (100-cycle phases):");
+    let series = rd.simulate_alternating(100.0, 100.0, 5, 2)?;
+    for (t, nit) in series.iter().step_by(2) {
+        println!("  t={t:>5.0}  nit={nit:.4} {}", "#".repeat((nit * 60.0) as usize));
+    }
+    let ss = rd.steady_state(Duty::BALANCED);
+    println!("  asymptote at 50% duty: {ss:.3}\n");
+
+    // 2. A transistor that never relaxes reaches the ceiling.
+    let mut dc = RdState::fresh();
+    rd.step(&mut dc, true, 2000.0);
+    println!("after 2000 cycles of DC stress: nit = {:.3}\n", dc.nit());
+
+    // 3. Duty cycle → guardband, Vmin and lifetime.
+    let gb = GuardbandModel::paper_calibrated();
+    let vmin = VminModel::paper_calibrated();
+    let life = LifetimeModel::paper_calibrated();
+    println!("duty   guardband   Vth shift   Vmin energy   lifetime vs DC");
+    for d in [1.0, 0.9, 0.75, 0.65, 0.605, 0.5] {
+        let duty = Duty::new(d)?;
+        println!(
+            "{:>4.0}%  {:>9}  {:>9.1}%  {:>10.3}x  {:>8.1}x",
+            d * 100.0,
+            gb.guardband(duty),
+            vmin.vth_shift(duty) * 100.0,
+            vmin.energy_factor(duty),
+            life.extension_factor(Duty::FULL, duty)?
+        );
+    }
+    println!(
+        "\nThe paper's anchors fall out directly: 20% guardband at DC stress, the\n\
+         10x reduction (2%) at perfect balancing, and 'at least 4X' lifetime."
+    );
+    Ok(())
+}

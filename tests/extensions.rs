@@ -1,0 +1,99 @@
+//! Integration tests for the extension experiments (beyond the paper's
+//! evaluated scope).
+
+use penelope::experiments::{self, Scale};
+
+#[test]
+fn btb_extension_shows_the_cost_of_parking_live_capacity() {
+    let rows = experiments::btb_extension(Scale::quick());
+    assert_eq!(rows.len(), 5);
+    let by_name = |needle: &str| {
+        rows.iter()
+            .find(|r| r.scheme.contains(needle))
+            .unwrap_or_else(|| panic!("missing {needle}"))
+    };
+    let baseline = by_name("Baseline");
+    let line_fixed = by_name("LineFixed");
+    let dynamic = by_name("LineDynamic");
+
+    assert_eq!(baseline.cpi_loss, 0.0);
+    assert!(baseline.miss_ratio < 0.25, "BTB works: {}", baseline.miss_ratio);
+    // The BTB is small and fully live: fixed parking hurts measurably...
+    assert!(line_fixed.cpi_loss > 0.005, "loss {}", line_fixed.cpi_loss);
+    assert!(line_fixed.inverted_fraction > 0.4);
+    // ...and the activity test correctly refuses to engage.
+    assert!(dynamic.cpi_loss <= line_fixed.cpi_loss);
+}
+
+#[test]
+fn vmin_extension_reports_energy_savings() {
+    let rows = experiments::vmin_extension(Scale::quick());
+    assert_eq!(rows.len(), 4);
+    for row in &rows {
+        assert!(
+            row.penelope_duty <= row.baseline_duty + 0.02,
+            "{}: duty {} -> {}",
+            row.structure,
+            row.baseline_duty,
+            row.penelope_duty
+        );
+        assert!(
+            row.penelope_vmin <= row.baseline_vmin,
+            "{}: Vmin must not grow",
+            row.structure
+        );
+        assert!(
+            row.energy_ratio <= 1.0,
+            "{}: energy ratio {}",
+            row.structure,
+            row.energy_ratio
+        );
+    }
+    // The balanced DL0 approaches the 10x Vth-shift reduction.
+    let dl0 = rows.iter().find(|r| r.structure == "DL0").expect("DL0 row");
+    assert!(dl0.penelope_vmin < 0.03, "DL0 Vmin {}", dl0.penelope_vmin);
+}
+
+#[test]
+fn ablation_shows_rotation_and_sampling_tradeoffs() {
+    let rows = experiments::ablation(Scale::quick());
+    let rotations: Vec<&experiments::AblationRow> = rows
+        .iter()
+        .filter(|r| r.label.contains("rotation"))
+        .collect();
+    assert_eq!(rotations.len(), 3);
+    // Faster rotation flushes more often → at least as much loss.
+    assert!(rotations[0].cpi_loss >= rotations[2].cpi_loss - 1e-6);
+
+    let samples: Vec<&experiments::AblationRow> = rows
+        .iter()
+        .filter(|r| r.label.contains("sample period"))
+        .collect();
+    assert_eq!(samples.len(), 3);
+    for s in &samples {
+        let duty = s.worst_duty.expect("ISV rows report a duty");
+        // Even very stale RINV samples keep the file near balance.
+        assert!(duty < 0.75, "{}: duty {duty}", s.label);
+        assert_eq!(s.cpi_loss, 0.0, "ISV never costs CPI");
+    }
+}
+
+#[test]
+fn tail_statistic_favors_the_dynamic_scheme() {
+    let rows = experiments::table3_tail(Scale::quick());
+    assert_eq!(rows.len(), 3);
+    let dynamic = rows
+        .iter()
+        .find(|r| r.scheme.contains("Dynamic"))
+        .expect("dynamic row");
+    let line_fixed = rows
+        .iter()
+        .find(|r| r.scheme.contains("LineFixed"))
+        .expect("line-fixed row");
+    // §4.6: the dynamic scheme impacts fewer programs.
+    assert!(dynamic.over_5 <= line_fixed.over_5 + 1e-9);
+    assert!(dynamic.mean_loss <= line_fixed.mean_loss + 1e-9);
+    for r in &rows {
+        assert!(r.over_10 <= r.over_5, "{}: tail must nest", r.scheme);
+    }
+}

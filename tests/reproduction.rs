@@ -1,0 +1,178 @@
+//! Integration tests: the paper's headline results hold end-to-end at the
+//! quick experiment scale (shape, not absolute equality).
+
+use penelope::experiments::{self, Scale};
+
+#[test]
+fn figure_1_saw_tooth_accumulates_damage() {
+    let series = experiments::fig1();
+    let peak = series.iter().map(|(_, n)| *n).fold(0.0, f64::max);
+    let last = series.last().expect("non-empty").1;
+    assert!(peak > 0.2, "stress accumulates");
+    assert!(last < peak, "the series ends inside a recovery phase");
+}
+
+#[test]
+fn motivation_statistics_match_the_paper() {
+    let m = experiments::motivation(Scale::quick());
+    // §1.1: carry-in "0" more than 90% of the time.
+    assert!(m.carry_in_zero > 0.90, "carry-in zero {}", m.carry_in_zero);
+    // §1.1: integer register file bias between ~65% and ~90% for all bits.
+    assert!(
+        m.int_bias_min > 0.55 && m.int_bias_max < 0.97,
+        "int bias {} .. {}",
+        m.int_bias_min,
+        m.int_bias_max
+    );
+    // §4.5: some scheduler bits are biased almost 100%.
+    assert!(m.sched_worst_bias > 0.95);
+    // §4.3: uniform distribution puts per-adder utilization near 21%.
+    assert!(
+        (0.10..=0.35).contains(&m.adder_util_uniform),
+        "uniform adder utilization {}",
+        m.adder_util_uniform
+    );
+    // Prioritized allocation spreads utilization (11-30% in the paper).
+    let (lo, hi) = m.adder_util_prioritized;
+    assert!(hi > lo, "priorities must skew utilization");
+}
+
+#[test]
+fn figure_4_best_pair_is_1_plus_8() {
+    let pairs = experiments::fig4();
+    assert_eq!(pairs.len(), 28);
+    let best = pairs
+        .iter()
+        .min_by(|a, b| {
+            (a.narrow_fully_stressed, a.pair.latch_imbalance())
+                .partial_cmp(&(b.narrow_fully_stressed, b.pair.latch_imbalance()))
+                .expect("finite")
+        })
+        .expect("non-empty");
+    assert_eq!(best.pair.label(), "1+8");
+    assert!(best.narrow_fully_stressed < 0.01);
+}
+
+#[test]
+fn figure_5_guardbands_shrink_with_idle_healing() {
+    let rows = experiments::fig5(Scale::quick());
+    assert_eq!(rows.len(), 4);
+    // Real inputs pay a large guardband; healed scenarios pay much less,
+    // decreasing with utilization (paper: 20% / 7.4% / 5.8% / ~4%).
+    assert!(rows[0].guardband > 0.12, "real inputs: {}", rows[0].guardband);
+    assert!(rows[1].guardband < rows[0].guardband / 2.0);
+    assert!(rows[2].guardband < rows[1].guardband);
+    assert!(rows[3].guardband < rows[2].guardband);
+    assert!(rows[3].guardband >= 0.02, "never below the floor");
+}
+
+#[test]
+fn figure_6_isv_balances_both_register_files() {
+    let f = experiments::fig6(Scale::quick());
+    // Paper: INT 89.9% -> 48.5%, FP 84.2% -> 45.5% (worst bias).
+    assert!(f.int_baseline_worst() > 0.80);
+    assert!(f.int_isv_worst() < f.int_baseline_worst() - 0.15);
+    assert!(f.fp_baseline_worst() > 0.80);
+    assert!(f.fp_isv_worst() < f.fp_baseline_worst() - 0.10);
+    // §4.4: most balancing writes find a port (92% / 86% in the paper).
+    assert!(f.int_port_rate > 0.70, "int port rate {}", f.int_port_rate);
+    assert!(f.fp_port_rate > 0.60, "fp port rate {}", f.fp_port_rate);
+}
+
+#[test]
+fn figure_8_scheduler_worst_bias_drops_toward_occupancy() {
+    let f = experiments::fig8(Scale::quick());
+    assert!(f.worst_baseline > 0.95, "baseline {}", f.worst_baseline);
+    // Paper: ~100% -> 63.2%; the floor is set by the unprotectable valid
+    // bit, whose duty equals the occupancy.
+    assert!(
+        f.worst_protected < 0.80,
+        "protected {}",
+        f.worst_protected
+    );
+    assert!(f.worst_protected >= f.occupancy - 0.1);
+}
+
+#[test]
+fn efficiency_ordering_matches_section_4() {
+    let rows = experiments::efficiency_summary(Scale::quick());
+    let by_name = |needle: &str| {
+        rows.iter()
+            .find(|r| r.name.contains(needle))
+            .unwrap_or_else(|| panic!("missing row {needle}"))
+    };
+    let baseline = by_name("baseline");
+    let invert = by_name("invert");
+    assert!((baseline.efficiency - 1.728).abs() < 1e-3);
+    assert!((invert.efficiency - 1.41).abs() < 0.02);
+    for penelope_row in rows.iter().filter(|r| r.name.contains("Penelope")) {
+        assert!(
+            penelope_row.efficiency < invert.efficiency,
+            "{} at {:.3} should beat periodic inversion",
+            penelope_row.name,
+            penelope_row.efficiency
+        );
+    }
+}
+
+#[test]
+fn whole_processor_beats_the_baseline_by_a_wide_margin() {
+    let t = experiments::table4(Scale::quick());
+    assert_eq!(t.blocks.len(), 5);
+    // Paper: 1.28 vs 1.73, with combined CPI 1.007 and max guardband from
+    // the adder. The quick scale (8k uops/trace) carries warm-up noise —
+    // short runs overstate both CPI loss and the FP file's residual bias —
+    // so the bound here is loose; EXPERIMENTS.md records the standard-scale
+    // result (~1.33).
+    assert!(
+        t.efficiency < 1.55,
+        "Penelope efficiency {}",
+        t.efficiency
+    );
+    assert!((t.baseline_efficiency - 1.728).abs() < 1e-3);
+    assert!(
+        t.efficiency < t.baseline_efficiency - 0.2,
+        "must beat the baseline by a wide margin"
+    );
+    assert!(t.combined_cpi < 1.06, "combined CPI {}", t.combined_cpi);
+    assert!(t.processor.guardband() < 0.12);
+    // Caches reach the guardband floor neighborhood.
+    let dl0 = &t.blocks.iter().find(|(n, _)| n == "DL0").expect("DL0").1;
+    assert!(dl0.guardband() < 0.05, "DL0 guardband {}", dl0.guardband());
+}
+
+#[test]
+fn table_3_single_geometry_sanity() {
+    // The full Table 3 sweep runs in the bench binary; here one geometry
+    // checks the qualitative claims: losses are small and the dynamic
+    // scheme does not lose more than LineFixed.
+    use penelope::cache_aware::SchemeKind;
+    use penelope::processor::{build, PenelopeConfig};
+    use tracegen::suite::Suite;
+    use tracegen::trace::TraceSpec;
+
+    let cpi_for = |scheme: SchemeKind| {
+        let config = PenelopeConfig {
+            dl0_scheme: scheme,
+            dtlb_scheme: SchemeKind::Baseline,
+            ..PenelopeConfig::default()
+        };
+        let (mut pipe, mut hooks) = build(&config);
+        let mut cycles = 0;
+        let mut uops = 0;
+        for idx in 0..2 {
+            let r = pipe.run(TraceSpec::new(Suite::Office, idx).generate(15_000), &mut hooks);
+            cycles += r.cycles;
+            uops += r.uops;
+        }
+        cycles as f64 / uops as f64
+    };
+
+    let baseline = cpi_for(SchemeKind::Baseline);
+    let line_fixed = cpi_for(SchemeKind::line_fixed_50());
+    let dynamic = cpi_for(SchemeKind::line_dynamic_60(0.02, 1_000));
+    let lf_loss = line_fixed / baseline - 1.0;
+    let dyn_loss = dynamic / baseline - 1.0;
+    assert!(lf_loss < 0.06, "LineFixed loss {lf_loss}");
+    assert!(dyn_loss <= lf_loss + 0.005, "dynamic {dyn_loss} vs fixed {lf_loss}");
+}
