@@ -15,7 +15,11 @@ fn bench_adders(c: &mut Criterion) {
         let mut x = 0u64;
         b.iter(|| {
             x = x.wrapping_add(0x9E37_79B9);
-            let (s, _) = lf.add(black_box(x & 0xFFFF_FFFF), black_box(!x & 0xFFFF_FFFF), false);
+            let (s, _) = lf.add(
+                black_box(x & 0xFFFF_FFFF),
+                black_box(!x & 0xFFFF_FFFF),
+                false,
+            );
             black_box(s)
         })
     });
@@ -23,7 +27,11 @@ fn bench_adders(c: &mut Criterion) {
         let mut x = 0u64;
         b.iter(|| {
             x = x.wrapping_add(0x9E37_79B9);
-            let (s, _) = rca.add(black_box(x & 0xFFFF_FFFF), black_box(!x & 0xFFFF_FFFF), false);
+            let (s, _) = rca.add(
+                black_box(x & 0xFFFF_FFFF),
+                black_box(!x & 0xFFFF_FFFF),
+                false,
+            );
             black_box(s)
         })
     });

@@ -21,7 +21,7 @@ fn bench_cache_schemes(c: &mut Criterion) {
         SchemeKind::line_fixed_50(),
         SchemeKind::line_dynamic_60(0.02, 200),
     ] {
-        group.bench_function(kind.label(), move |b| {
+        group.bench_function(&kind.label(), move |b| {
             b.iter(|| {
                 let config = kind.effective_cache(CacheConfig::dl0(32, 8));
                 let mut cache = SetAssocCache::new(config);
@@ -70,5 +70,10 @@ fn bench_techniques(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cache_schemes, bench_regfile, bench_techniques);
+criterion_group!(
+    benches,
+    bench_cache_schemes,
+    bench_regfile,
+    bench_techniques
+);
 criterion_main!(benches);

@@ -40,7 +40,7 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("penelope_full", |b| {
         b.iter(|| {
             let config = PenelopeConfig::default();
-            let (mut pipe, mut hooks) = build(&config);
+            let (mut pipe, mut hooks) = build(&config).expect("valid config");
             black_box(pipe.run(spec.generate(UOPS), &mut hooks))
         })
     });

@@ -1,8 +1,12 @@
-//! Regenerates the §4.2–4.6 NBTIefficiency comparison.
+//! Regenerates the §4.2-4.6 NBTIefficiency comparison.
+use std::process::ExitCode;
+
 use penelope::{experiments, report};
 
-fn main() {
-    penelope_bench::header("NBTIefficiency comparison", "§4.2-4.6");
-    let rows = experiments::efficiency_summary(penelope_bench::scale_from_env());
-    print!("{}", report::render_efficiency(&rows));
+fn main() -> ExitCode {
+    penelope_bench::run_main("NBTIefficiency comparison", "§4.2-4.6", |scale| {
+        Ok(report::render_efficiency(&experiments::efficiency_summary(
+            scale,
+        )?))
+    })
 }

@@ -1,12 +1,21 @@
 //! Regenerates the extension experiments beyond the paper's evaluation:
 //! BTB protection (§3.2.1 names the branch predictor as cache-like),
 //! Vmin/storage-energy impact (§2/§5), and design-parameter ablations.
+use std::process::ExitCode;
+
 use penelope::{experiments, report};
 
-fn main() {
-    penelope_bench::header("Extensions", "beyond the paper's evaluated scope");
-    let scale = penelope_bench::scale_from_env();
-    println!("{}", report::render_btb(&experiments::btb_extension(scale)));
-    println!("{}", report::render_vmin(&experiments::vmin_extension(scale)));
-    println!("{}", report::render_ablation(&experiments::ablation(scale)));
+fn main() -> ExitCode {
+    penelope_bench::run_main(
+        "Extensions",
+        "beyond the paper's evaluated scope",
+        |scale| {
+            let mut out = report::render_btb(&experiments::btb_extension(scale)?);
+            out.push('\n');
+            out.push_str(&report::render_vmin(&experiments::vmin_extension(scale)?));
+            out.push('\n');
+            out.push_str(&report::render_ablation(&experiments::ablation(scale)?));
+            Ok(out)
+        },
+    )
 }

@@ -1,8 +1,11 @@
 //! Regenerates Figure 1: interface-trap density under alternating
 //! stress/relax phases.
+use std::process::ExitCode;
+
 use penelope::{experiments, report};
 
-fn main() {
-    penelope_bench::header("Figure 1", "NBTI stress/recovery dynamics, §2.2");
-    print!("{}", report::render_fig1(&experiments::fig1()));
+fn main() -> ExitCode {
+    penelope_bench::run_main("Figure 1", "NBTI stress/recovery dynamics, §2.2", |_| {
+        Ok(report::render_fig1(&experiments::fig1()?))
+    })
 }

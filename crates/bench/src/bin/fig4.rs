@@ -1,8 +1,11 @@
 //! Regenerates Figure 4: narrow fully-stressed PMOS per idle-vector pair on
 //! the 32-bit Ladner-Fischer adder.
+use std::process::ExitCode;
+
 use penelope::{experiments, report};
 
-fn main() {
-    penelope_bench::header("Figure 4", "idle-vector pair search, §4.3");
-    print!("{}", report::render_fig4(&experiments::fig4()));
+fn main() -> ExitCode {
+    penelope_bench::run_main("Figure 4", "idle-vector pair search, §4.3", |_| {
+        Ok(report::render_fig4(&experiments::fig4()?))
+    })
 }

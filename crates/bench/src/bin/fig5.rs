@@ -1,9 +1,11 @@
 //! Regenerates Figure 5: adder guardband vs utilization with the 1+8 idle
 //! pair.
+use std::process::ExitCode;
+
 use penelope::{experiments, report};
 
-fn main() {
-    penelope_bench::header("Figure 5", "adder guardbands, §4.3");
-    let rows = experiments::fig5(penelope_bench::scale_from_env());
-    print!("{}", report::render_fig5(&rows));
+fn main() -> ExitCode {
+    penelope_bench::run_main("Figure 5", "adder guardbands, §4.3", |scale| {
+        Ok(report::render_fig5(&experiments::fig5(scale)?))
+    })
 }

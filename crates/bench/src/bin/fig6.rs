@@ -1,8 +1,10 @@
 //! Regenerates Figure 6: register-file bit bias, baseline vs ISV.
+use std::process::ExitCode;
+
 use penelope::{experiments, report};
 
-fn main() {
-    penelope_bench::header("Figure 6", "register-file balancing, §4.4");
-    let f = experiments::fig6(penelope_bench::scale_from_env());
-    print!("{}", report::render_fig6(&f));
+fn main() -> ExitCode {
+    penelope_bench::run_main("Figure 6", "register-file balancing, §4.4", |scale| {
+        Ok(report::render_fig6(&experiments::fig6(scale)?))
+    })
 }

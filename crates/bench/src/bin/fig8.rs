@@ -1,8 +1,10 @@
 //! Regenerates Figure 8: scheduler bit bias, baseline vs ALL1/ALL1-K%/ISV.
+use std::process::ExitCode;
+
 use penelope::{experiments, report};
 
-fn main() {
-    penelope_bench::header("Figure 8", "scheduler balancing, §4.5");
-    let f = experiments::fig8(penelope_bench::scale_from_env());
-    print!("{}", report::render_fig8(&f));
+fn main() -> ExitCode {
+    penelope_bench::run_main("Figure 8", "scheduler balancing, §4.5", |scale| {
+        Ok(report::render_fig8(&experiments::fig8(scale)?))
+    })
 }

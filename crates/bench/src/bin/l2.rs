@@ -1,10 +1,12 @@
 //! Regenerates the L2 study extension: periodic inversion vs Penelope on a
 //! slow second-level cache.
+use std::process::ExitCode;
+
 use penelope::l2_study::{l2_study, render_l2_study};
 
-fn main() {
-    penelope_bench::header("L2 study", "extension of §3 / Table 4");
-    let scale = penelope_bench::scale_from_env();
-    let rows = l2_study(&scale.workload(), scale.uops_per_trace);
-    print!("{}", render_l2_study(&rows));
+fn main() -> ExitCode {
+    penelope_bench::run_main("L2 study", "extension of §3 / Table 4", |scale| {
+        let rows = l2_study(&scale.workload(), scale.uops_per_trace);
+        Ok(render_l2_study(&rows))
+    })
 }

@@ -1,8 +1,10 @@
 //! Regenerates the §1.1 motivation statistics (data bias in the pipeline).
+use std::process::ExitCode;
+
 use penelope::{experiments, report};
 
-fn main() {
-    penelope_bench::header("Motivation statistics", "§1.1");
-    let m = experiments::motivation(penelope_bench::scale_from_env());
-    print!("{}", report::render_motivation(&m));
+fn main() -> ExitCode {
+    penelope_bench::run_main("Motivation statistics", "§1.1", |scale| {
+        Ok(report::render_motivation(&experiments::motivation(scale)?))
+    })
 }

@@ -1,13 +1,15 @@
 //! Regenerates Table 3: performance loss of the cache inversion schemes
 //! across DL0 and DTLB geometries. The most expensive binary (36 workload
 //! runs at standard scale).
+use std::process::ExitCode;
+
 use penelope::{experiments, report};
 
-fn main() {
-    penelope_bench::header("Table 3", "cache-scheme performance loss, §4.6");
-    let scale = penelope_bench::scale_from_env();
-    let t = experiments::table3(scale);
-    print!("{}", report::render_table3(&t));
-    println!();
-    print!("{}", report::render_tail(&experiments::table3_tail(scale)));
+fn main() -> ExitCode {
+    penelope_bench::run_main("Table 3", "cache-scheme performance loss, §4.6", |scale| {
+        let mut out = report::render_table3(&experiments::table3(scale)?);
+        out.push('\n');
+        out.push_str(&report::render_tail(&experiments::table3_tail(scale)?));
+        Ok(out)
+    })
 }

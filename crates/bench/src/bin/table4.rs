@@ -1,9 +1,11 @@
 //! Regenerates the §4.7 whole-processor summary (Table 4's quantitative
 //! half): all mechanisms composed, aggregated with equations (2)-(4).
+use std::process::ExitCode;
+
 use penelope::{experiments, report};
 
-fn main() {
-    penelope_bench::header("Whole-processor summary", "§4.7 / Table 4");
-    let t = experiments::table4(penelope_bench::scale_from_env());
-    print!("{}", report::render_table4(&t));
+fn main() -> ExitCode {
+    penelope_bench::run_main("Whole-processor summary", "§4.7 / Table 4", |scale| {
+        Ok(report::render_table4(&experiments::table4(scale)?))
+    })
 }

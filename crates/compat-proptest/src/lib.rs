@@ -1,0 +1,615 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of the proptest 1.x surface the workspace's
+//! property suites use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), `prop_assert!` / `prop_assert_eq!`
+//! / `prop_assume!` / `prop_oneof!`, range and tuple strategies,
+//! [`strategy::Just`], `any::<T>()`, `prop::collection::vec` and
+//! [`strategy::Strategy::prop_map`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports the
+//! raw inputs that triggered it. Generation is deterministic per test
+//! (seeded from the test's name), so failures reproduce exactly.
+#![warn(clippy::unwrap_used)]
+
+pub mod test_runner {
+    //! Deterministic case generation and failure plumbing.
+
+    /// Error type produced inside a [`crate::proptest!`] body.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// A `prop_assert!` failed; carries the rendered message.
+        Fail(String),
+        /// A `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    /// Per-suite configuration (only the knobs the workspace uses).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// SplitMix64-based deterministic generator for strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test's name, so every run of the
+        /// same property sees the same case sequence.
+        pub fn for_test(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform index below `bound` (which must be nonzero).
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound.max(1) as u64) as usize
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// How often a range strategy emits an exact endpoint instead of a
+    /// uniform draw (1 in `EDGE_ONE_IN`) — a cheap nod to proptest's
+    /// edge-biased generation.
+    const EDGE_ONE_IN: u64 = 16;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of its payload.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `options` must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Numeric types over which bare ranges act as strategies.
+    pub trait RangeValue: Copy + PartialOrd {
+        /// Uniform draw from `[lo, hi)` or `[lo, hi]`.
+        fn draw(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+    }
+
+    macro_rules! impl_range_value_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl RangeValue for $t {
+                fn draw(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                    assert!(
+                        if inclusive { lo <= hi } else { lo < hi },
+                        "empty range strategy"
+                    );
+                    if rng.next_u64().is_multiple_of(EDGE_ONE_IN) {
+                        // Edge bias: return an endpoint.
+                        return if inclusive && rng.next_u64() & 1 == 1 { hi } else { lo };
+                    }
+                    let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                    let draw = u128::from(rng.next_u64()) % span;
+                    (lo as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl RangeValue for f64 {
+        fn draw(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+            assert!(lo < hi, "empty range strategy");
+            if rng.next_u64().is_multiple_of(EDGE_ONE_IN) {
+                return if inclusive && rng.next_u64() & 1 == 1 {
+                    hi
+                } else {
+                    lo
+                };
+            }
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    impl<T: RangeValue> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::draw(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: RangeValue> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::draw(rng, *self.start(), *self.end(), true)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Strategy for "any value" of a primitive type; see [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    /// Primitives supported by `any::<T>()`.
+    pub trait ArbitraryValue {
+        /// Draws an unconstrained value.
+        fn any_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::any_value(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl ArbitraryValue for $t {
+                fn any_value(rng: &mut TestRng) -> Self {
+                    match rng.next_u64() % EDGE_ONE_IN {
+                        // Edge bias towards the extremes of the domain.
+                        0 => <$t>::MIN,
+                        1 => <$t>::MAX,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn any_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for f64 {
+        fn any_value(rng: &mut TestRng) -> Self {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` entry point.
+
+    use crate::strategy::{Any, ArbitraryValue};
+    use std::marker::PhantomData;
+
+    /// Strategy producing arbitrary values of a primitive type.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating a `Vec` of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below(self.size.hi - self.size.lo + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Module alias matching real proptest's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with its inputs reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        if !(*__pt_l == *__pt_r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __pt_l,
+                __pt_r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        if !(*__pt_l == *__pt_r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __pt_l,
+                __pt_r,
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let __pt_config: $crate::test_runner::ProptestConfig = $config;
+                let mut __pt_rng =
+                    $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                let mut __pt_accepted: u32 = 0;
+                let mut __pt_attempts: u32 = 0;
+                let __pt_max_attempts = __pt_config.cases.saturating_mul(16).max(16);
+                while __pt_accepted < __pt_config.cases && __pt_attempts < __pt_max_attempts {
+                    __pt_attempts += 1;
+                    $(let $arg = ($strategy).generate(&mut __pt_rng);)+
+                    let mut __pt_inputs = String::new();
+                    $(
+                        __pt_inputs.push_str(stringify!($arg));
+                        __pt_inputs.push_str(" = ");
+                        __pt_inputs.push_str(&format!("{:?}", &$arg));
+                        __pt_inputs.push_str("; ");
+                    )+
+                    let __pt_result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match __pt_result {
+                        ::core::result::Result::Ok(()) => __pt_accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed after {} case(s): {}\n  inputs: {}",
+                                stringify!($name),
+                                __pt_accepted + 1,
+                                msg,
+                                __pt_inputs,
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    __pt_accepted >= __pt_config.cases.min(1),
+                    "property {}: every generated case was rejected by prop_assume!",
+                    stringify!($name),
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u32> {
+        (0u32..100).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3usize..9, b in -5i32..=5, f in 0.25f64..=0.75) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((0.25..=0.75).contains(&f), "f out of range: {f}");
+        }
+
+        #[test]
+        fn mapped_strategies_apply_their_function(x in small_even()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(v in prop::collection::vec((any::<bool>(), 0u64..10), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (_, n) in &v {
+                prop_assert!(*n < 10);
+            }
+        }
+
+        #[test]
+        fn oneof_and_just_yield_all_arms(picks in prop::collection::vec(
+            prop_oneof![Just(0u8), Just(1u8), 5u8..8],
+            64..=64
+        )) {
+            for p in &picks {
+                prop_assert!(*p <= 1 || (5..8).contains(p));
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(i in 0usize..8, j in 0usize..8) {
+            prop_assume!(i < j);
+            prop_assert!(i < j);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let mut c = TestRng::for_test("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -29,7 +29,11 @@ pub struct XorShift(u64);
 impl XorShift {
     /// Creates a generator from a nonzero seed (0 is remapped).
     pub fn new(seed: u64) -> Self {
-        XorShift(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        XorShift(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
 
     /// Next value.
@@ -286,15 +290,16 @@ impl SchemeRuntime {
                     // Round-robin re-selection of the parked sets/ways: the
                     // newly active capacity starts cold.
                     cache.invalidate_all(now);
-                    self.next_rotation = now + match self.kind {
-                        SchemeKind::SetFixed {
-                            rotation_period, ..
-                        }
-                        | SchemeKind::WayFixed {
-                            rotation_period, ..
-                        } => rotation_period,
-                        _ => unreachable!(),
-                    };
+                    self.next_rotation = now
+                        + match self.kind {
+                            SchemeKind::SetFixed {
+                                rotation_period, ..
+                            }
+                            | SchemeKind::WayFixed {
+                                rotation_period, ..
+                            } => rotation_period,
+                            _ => unreachable!(),
+                        };
                 }
             }
             SchemeKind::LineFixed { .. } => {
@@ -353,9 +358,7 @@ impl SchemeRuntime {
                             self.active = false;
                             self.phase = Phase::Warmup;
                             self.phase_started = now;
-                        } else if self.active
-                            && cache.inverted_count() < self.target_lines(cache)
-                        {
+                        } else if self.active && cache.inverted_count() < self.target_lines(cache) {
                             self.invert_one_random(cache, now);
                         }
                     }
@@ -486,7 +489,10 @@ mod tests {
             let out = cache.access((now % 32) * 64, now);
             scheme.on_access(&mut cache, &out, now);
         }
-        assert!(scheme.is_active(), "permissive threshold enables the scheme");
+        assert!(
+            scheme.is_active(),
+            "permissive threshold enables the scheme"
+        );
         assert!(cache.inverted_count() > 0);
         assert_eq!(scheme.periods_active, 1);
     }

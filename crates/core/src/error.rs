@@ -1,0 +1,142 @@
+//! The workspace-wide error type.
+//!
+//! Every public experiment driver returns `Result<_, Error>`: model
+//! parameter problems ([`nbti_model::Error`]), trace/workload problems
+//! ([`tracegen::error::TraceError`]), pipeline configuration problems
+//! ([`uarch::error::PipelineError`]), casuistic input problems
+//! ([`crate::technique::TechniqueError`]) and runtime invariant violations
+//! detected by [`crate::checked::CheckedHooks`] all propagate as typed
+//! values instead of panics, so a corrupted input — injected by
+//! [`crate::fault::FaultPlan`] or arriving from the wild — degrades into a
+//! reportable error.
+
+use crate::technique::TechniqueError;
+use tracegen::error::TraceError;
+use uarch::error::PipelineError;
+
+/// Any failure in the Penelope experiment pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An NBTI model parameter was out of range.
+    Model(nbti_model::Error),
+    /// A trace or workload was unusable.
+    Trace(TraceError),
+    /// A pipeline configuration was unusable.
+    Pipeline(PipelineError),
+    /// The technique casuistic received out-of-range inputs.
+    Technique(TechniqueError),
+    /// A configuration value outside the structure-specific cases above.
+    Config {
+        /// What was wrong.
+        message: String,
+    },
+    /// Runtime invariant violations detected by
+    /// [`crate::checked::CheckedHooks`].
+    Invariant {
+        /// Total violations observed.
+        count: u64,
+        /// The first few violation descriptions (bounded).
+        sample: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Model(e) => write!(f, "NBTI model: {e}"),
+            Error::Trace(e) => write!(f, "trace: {e}"),
+            Error::Pipeline(e) => write!(f, "pipeline: {e}"),
+            Error::Technique(e) => write!(f, "technique casuistic: {e}"),
+            Error::Config { message } => write!(f, "configuration: {message}"),
+            Error::Invariant { count, sample } => {
+                write!(f, "{count} invariant violation(s)")?;
+                if let Some(first) = sample.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Model(e) => Some(e),
+            Error::Trace(e) => Some(e),
+            Error::Pipeline(e) => Some(e),
+            Error::Technique(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nbti_model::Error> for Error {
+    fn from(e: nbti_model::Error) -> Self {
+        Error::Model(e)
+    }
+}
+
+impl From<TraceError> for Error {
+    fn from(e: TraceError) -> Self {
+        Error::Trace(e)
+    }
+}
+
+impl From<PipelineError> for Error {
+    fn from(e: PipelineError) -> Self {
+        Error::Pipeline(e)
+    }
+}
+
+impl From<TechniqueError> for Error {
+    fn from(e: TechniqueError) -> Self {
+        Error::Technique(e)
+    }
+}
+
+impl Error {
+    /// Shorthand for a [`Error::Config`] with a formatted message.
+    pub fn config(message: impl Into<String>) -> Self {
+        Error::Config {
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_wrap_the_source() {
+        let e: Error = TraceError::EmptyWorkload.into();
+        assert_eq!(e, Error::Trace(TraceError::EmptyWorkload));
+        let e: Error = PipelineError::ZeroAllocWidth.into();
+        assert!(matches!(e, Error::Pipeline(_)));
+        let e: Error = TechniqueError::OccupancyOutOfRange(f64::NAN).into();
+        assert!(matches!(e, Error::Technique(_)));
+    }
+
+    #[test]
+    fn display_prefixes_the_layer() {
+        assert!(Error::Trace(TraceError::EmptyTrace)
+            .to_string()
+            .starts_with("trace:"));
+        assert!(Error::config("bad knob").to_string().contains("bad knob"));
+        let inv = Error::Invariant {
+            count: 3,
+            sample: vec!["duty out of range".into()],
+        };
+        let msg = inv.to_string();
+        assert!(msg.contains('3') && msg.contains("duty out of range"));
+    }
+
+    #[test]
+    fn source_chains_to_the_wrapped_error() {
+        use std::error::Error as _;
+        let e = Error::Trace(TraceError::EmptyWorkload);
+        assert!(e.source().is_some());
+        assert!(Error::config("x").source().is_none());
+    }
+}

@@ -1,8 +1,11 @@
 //! Drivers regenerating every figure and table of the paper's evaluation.
 //!
-//! Each function returns a plain-data result struct; the `report` module
-//! renders them as text and the `penelope-bench` binaries print them. The
-//! same drivers back the integration tests, at a smaller [`Scale`].
+//! Each function returns `Result<T, Error>` around a plain-data result
+//! struct; the `report` module renders them as text and the
+//! `penelope-bench` binaries print them. The same drivers back the
+//! integration tests, at a smaller [`Scale`]. Degenerate inputs surface as
+//! typed [`Error`] values instead of panics, and the `_faulted` variants
+//! thread a [`FaultPlan`] through every layer for robustness testing.
 //!
 //! | Paper artifact | Driver |
 //! |---|---|
@@ -22,16 +25,18 @@ use nbti_model::duty::Duty;
 use nbti_model::guardband::GuardbandModel;
 use nbti_model::metric::{BlockCost, ProcessorAggregator};
 use nbti_model::rd::RdModel;
+use tracegen::error::TraceError;
+use tracegen::fault::faulted;
 use tracegen::trace::Workload;
 use tracegen::uop::UopClass;
 use uarch::cache::CacheConfig;
-use uarch::pipeline::{
-    AdderPolicy, Hooks, NoHooks, Pipeline, PipelineConfig, RunResult,
-};
+use uarch::pipeline::{AdderPolicy, Hooks, NoHooks, Pipeline, PipelineConfig, RunResult};
 use uarch::scheduler::Field;
 
 use crate::adder_aware::{real_adder_inputs, AdderProtection};
 use crate::cache_aware::SchemeKind;
+use crate::error::Error;
+use crate::fault::{FaultHooks, FaultInjector, FaultPlan, RinvAccess};
 use crate::invert_mode::{full_guardband_baseline, InvertMode};
 use crate::processor::{build, PenelopeConfig};
 use crate::regfile_aware::{RegfileIsv, RegfileIsvHooks};
@@ -84,12 +89,17 @@ impl Scale {
 }
 
 /// Runs the whole workload through one pipeline, merging per-trace results.
+///
+/// # Errors
+///
+/// Returns [`Error::Pipeline`] for an uninstantiable configuration and
+/// [`Error::Trace`] when the workload holds no traces.
 pub fn run_workload<H: Hooks>(
     config: PipelineConfig,
     scale: Scale,
     hooks: &mut H,
-) -> (Pipeline, RunResult) {
-    let mut pipe = Pipeline::new(config);
+) -> Result<(Pipeline, RunResult), Error> {
+    let mut pipe = Pipeline::try_new(config)?;
     let mut total: Option<RunResult> = None;
     for spec in scale.workload().specs() {
         let r = pipe.run(spec.generate(scale.uops_per_trace), hooks);
@@ -98,18 +108,45 @@ pub fn run_workload<H: Hooks>(
             None => total = Some(r),
         }
     }
-    (pipe, total.expect("workload is never empty"))
+    let total = total.ok_or(TraceError::EmptyWorkload)?;
+    Ok((pipe, total))
+}
+
+/// Like [`run_workload`], but with a [`FaultInjector`] perturbing the
+/// workload, every trace stream and the live structures. Returns the fault
+/// wrapper alongside the results so callers can inspect what landed.
+pub fn run_workload_faulted<H: Hooks + RinvAccess>(
+    config: PipelineConfig,
+    scale: Scale,
+    hooks: H,
+    injector: &mut FaultInjector,
+) -> Result<(Pipeline, RunResult, FaultHooks<H>), Error> {
+    let mut pipe = Pipeline::try_new(config)?;
+    let mut fault_hooks = injector.hooks(hooks);
+    let workload = injector.perturb_workload(scale.workload());
+    let mut total: Option<RunResult> = None;
+    for spec in workload.specs() {
+        let fault = injector.trace_fault(scale.uops_per_trace);
+        let r = pipe.run(
+            faulted(spec.generate(scale.uops_per_trace), fault),
+            &mut fault_hooks,
+        );
+        match &mut total {
+            Some(t) => t.merge(&r),
+            None => total = Some(r),
+        }
+    }
+    let total = total.ok_or(TraceError::EmptyWorkload)?;
+    Ok((pipe, total, fault_hooks))
 }
 
 // ---------------------------------------------------------------- Figure 1
 
 /// Figure 1: normalized interface-trap density under alternating
 /// stress/relax phases. Returns `(time, nit)` samples.
-pub fn fig1() -> Vec<(f64, f64)> {
-    let model = RdModel::symmetric(0.004).expect("valid rate");
-    model
-        .simulate_alternating(100.0, 100.0, 6, 24)
-        .expect("valid parameters")
+pub fn fig1() -> Result<Vec<(f64, f64)>, Error> {
+    let model = RdModel::symmetric(0.004)?;
+    Ok(model.simulate_alternating(100.0, 100.0, 6, 24)?)
 }
 
 // ------------------------------------------------------------- §1.1 stats
@@ -133,7 +170,7 @@ pub struct Motivation {
 }
 
 /// Measures the §1.1 motivation statistics on the baseline processor.
-pub fn motivation(scale: Scale) -> Motivation {
+pub fn motivation(scale: Scale) -> Result<Motivation, Error> {
     // Carry-in bias straight from the uop stream.
     let mut adds = 0u64;
     let mut carries = 0u64;
@@ -146,8 +183,7 @@ pub fn motivation(scale: Scale) -> Motivation {
         }
     }
 
-    let (mut pipe, uniform_result) =
-        run_workload(PipelineConfig::default(), scale, &mut NoHooks);
+    let (mut pipe, uniform_result) = run_workload(PipelineConfig::default(), scale, &mut NoHooks)?;
     let now = pipe.now();
     pipe.parts.int_rf.sync(now);
     let biases = pipe.parts.int_rf.residency().biases();
@@ -165,7 +201,7 @@ pub fn motivation(scale: Scale) -> Motivation {
         adder_policy: AdderPolicy::Prioritized,
         ..PipelineConfig::default()
     };
-    let (_, prio_result) = run_workload(prio_config, scale, &mut NoHooks);
+    let (_, prio_result) = run_workload(prio_config, scale, &mut NoHooks)?;
     let prio = prio_result.adder_utilization();
     let prio_alu: Vec<f64> = vec![prio[0], prio[1]];
     let prio_min = prio_alu.iter().cloned().fold(1.0, f64::min);
@@ -173,22 +209,22 @@ pub fn motivation(scale: Scale) -> Motivation {
 
     let uniform = uniform_result.adder_utilization();
 
-    Motivation {
+    Ok(Motivation {
         carry_in_zero: 1.0 - carries as f64 / adds.max(1) as f64,
         int_bias_min,
         int_bias_max,
         sched_worst_bias,
         adder_util_uniform: (uniform[0] + uniform[1]) / 2.0,
         adder_util_prioritized: (prio_min, prio_max),
-    }
+    })
 }
 
 // ---------------------------------------------------------------- Figure 4
 
 /// Figure 4: all 28 idle-vector pairs on the 32-bit Ladner-Fischer adder.
-pub fn fig4() -> Vec<PairStress> {
+pub fn fig4() -> Result<Vec<PairStress>, Error> {
     let adder = LadnerFischerAdder::new(32);
-    evaluate_all_pairs(&adder)
+    Ok(evaluate_all_pairs(&adder))
 }
 
 // ---------------------------------------------------------------- Figure 5
@@ -204,16 +240,13 @@ pub struct Fig5Row {
 
 /// Figure 5: adder guardband for real inputs only and for the three
 /// utilization scenarios healed by the best vector pair.
-pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
+pub fn fig5(scale: Scale) -> Result<Vec<Fig5Row>, Error> {
     let adder = LadnerFischerAdder::new(32);
     let protection = AdderProtection::select(&adder);
     let model = GuardbandModel::paper_calibrated();
     let mut inputs = Vec::new();
     for spec in scale.workload().specs() {
-        inputs.extend(real_adder_inputs(
-            spec,
-            (scale.uops_per_trace / 4).max(512),
-        ));
+        inputs.extend(real_adder_inputs(spec, (scale.uops_per_trace / 4).max(512)));
     }
     let mut rows = vec![Fig5Row {
         label: "real inputs".into(),
@@ -229,7 +262,7 @@ pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
                 .fraction(),
         });
     }
-    rows
+    Ok(rows)
 }
 
 // ---------------------------------------------------------------- Figure 6
@@ -257,9 +290,7 @@ pub struct Fig6 {
 
 impl Fig6 {
     fn worst(bias: &[f64]) -> f64 {
-        bias.iter()
-            .map(|b| b.max(1.0 - b))
-            .fold(0.0, f64::max)
+        bias.iter().map(|b| b.max(1.0 - b)).fold(0.0, f64::max)
     }
 
     /// Worst cell duty of the integer file, baseline.
@@ -284,12 +315,11 @@ impl Fig6 {
 }
 
 /// Runs Figure 6: baseline and ISV register files over the workload.
-pub fn fig6(scale: Scale) -> Fig6 {
-    let to_fracs = |biases: Vec<Duty>| -> Vec<f64> {
-        biases.into_iter().map(|d| d.fraction()).collect()
-    };
+pub fn fig6(scale: Scale) -> Result<Fig6, Error> {
+    let to_fracs =
+        |biases: Vec<Duty>| -> Vec<f64> { biases.into_iter().map(|d| d.fraction()).collect() };
 
-    let (mut base, _) = run_workload(PipelineConfig::default(), scale, &mut NoHooks);
+    let (mut base, _) = run_workload(PipelineConfig::default(), scale, &mut NoHooks)?;
     let now = base.now();
     base.parts.int_rf.sync(now);
     base.parts.fp_rf.sync(now);
@@ -299,14 +329,14 @@ pub fn fig6(scale: Scale) -> Fig6 {
     let fp_free = base.parts.fp_rf.free_fraction(now);
 
     let mut hooks = RegfileIsvHooks::new(scale.time_scale.max(64));
-    let (mut isv, _) = run_workload(PipelineConfig::default(), scale, &mut hooks);
+    let (mut isv, _) = run_workload(PipelineConfig::default(), scale, &mut hooks)?;
     let now = isv.now();
     isv.parts.int_rf.sync(now);
     isv.parts.fp_rf.sync(now);
     let int_isv = to_fracs(isv.parts.int_rf.residency().biases());
     let fp_isv = to_fracs(isv.parts.fp_rf.residency().biases());
 
-    Fig6 {
+    Ok(Fig6 {
         int_baseline,
         int_isv,
         fp_baseline,
@@ -315,7 +345,7 @@ pub fn fig6(scale: Scale) -> Fig6 {
         fp_free,
         int_port_rate: hooks.int.update_success_rate(),
         fp_port_rate: hooks.fp.update_success_rate(),
-    }
+    })
 }
 
 // ---------------------------------------------------------------- Figure 8
@@ -351,18 +381,18 @@ pub struct Fig8 {
 /// Runs Figure 8: a baseline run doubles as the profiling run for the K
 /// values (the paper profiles 100 of its 531 traces), then the protected
 /// configuration runs with the derived policy.
-pub fn fig8(scale: Scale) -> Fig8 {
-    let (mut base, _) = run_workload(PipelineConfig::default(), scale, &mut NoHooks);
+pub fn fig8(scale: Scale) -> Result<Fig8, Error> {
+    let (mut base, _) = run_workload(PipelineConfig::default(), scale, &mut NoHooks)?;
     let now = base.now();
     base.parts.sched.sync(now);
     let occupancy = base.parts.sched.occupancy(now);
     let data_occupancy = base.parts.sched.data_occupancy(now);
 
-    let policy = SchedulerPolicy::from_scheduler(&mut base.parts.sched, now);
+    let policy = SchedulerPolicy::from_scheduler(&mut base.parts.sched, now)?;
     let mut hooks = SchedulerHooks {
         balancer: SchedulerBalancer::new(policy, scale.time_scale.max(64)),
     };
-    let (mut prot, _) = run_workload(PipelineConfig::default(), scale, &mut hooks);
+    let (mut prot, _) = run_workload(PipelineConfig::default(), scale, &mut hooks)?;
     let now_p = prot.now();
     prot.parts.sched.sync(now_p);
 
@@ -382,13 +412,13 @@ pub fn fig8(scale: Scale) -> Fig8 {
             });
         }
     }
-    Fig8 {
+    Ok(Fig8 {
         worst_baseline: worst_figure8_bias(&base.parts.sched).fraction(),
         worst_protected: worst_figure8_bias(&prot.parts.sched).fraction(),
         rows,
         occupancy,
         data_occupancy,
-    }
+    })
 }
 
 // ----------------------------------------------------------------- Table 3
@@ -420,7 +450,7 @@ fn scheme_cpi(
     dtlb_scheme: SchemeKind,
     scale: Scale,
     seed: u64,
-) -> f64 {
+) -> Result<f64, Error> {
     let config = PenelopeConfig {
         pipeline: base_config,
         dl0_scheme,
@@ -430,7 +460,7 @@ fn scheme_cpi(
         seed,
         ..PenelopeConfig::default()
     };
-    let (mut pipe, mut hooks) = build(&config);
+    let (mut pipe, mut hooks) = build(&config)?;
     // Only the cache schemes matter for Table 3: run with cache hooks only.
     let mut total: Option<RunResult> = None;
     for spec in scale.workload().specs() {
@@ -440,12 +470,12 @@ fn scheme_cpi(
             None => total = Some(r),
         }
     }
-    total.expect("workload non-empty").cpi()
+    Ok(total.ok_or(TraceError::EmptyWorkload)?.cpi())
 }
 
 /// Runs the full Table 3 sweep. This is the most expensive experiment:
 /// (6 DL0 + 3 DTLB geometries) × (baseline + 3 schemes) workload runs.
-pub fn table3(scale: Scale) -> Table3 {
+pub fn table3(scale: Scale) -> Result<Table3, Error> {
     let rotation = (10_000_000 / scale.time_scale).max(2_000);
     let mut rows = Vec::new();
 
@@ -461,7 +491,7 @@ pub fn table3(scale: Scale) -> Table3 {
                 SchemeKind::Baseline,
                 scale,
                 1,
-            );
+            )?;
             let loss = |cpi: f64| (cpi / baseline - 1.0).max(0.0);
             let set_fixed = scheme_cpi(
                 base_config,
@@ -469,21 +499,21 @@ pub fn table3(scale: Scale) -> Table3 {
                 SchemeKind::Baseline,
                 scale,
                 2,
-            );
+            )?;
             let line_fixed = scheme_cpi(
                 base_config,
                 SchemeKind::line_fixed_50(),
                 SchemeKind::Baseline,
                 scale,
                 3,
-            );
+            )?;
             let line_dynamic = scheme_cpi(
                 base_config,
                 SchemeKind::line_dynamic_60(SchemeKind::dl0_threshold(kb), scale.time_scale),
                 SchemeKind::Baseline,
                 scale,
                 4,
-            );
+            )?;
             rows.push(Table3Row {
                 label: format!("DL0 {ways}-way {kb}KB"),
                 set_fixed: loss(set_fixed),
@@ -504,7 +534,7 @@ pub fn table3(scale: Scale) -> Table3 {
             SchemeKind::Baseline,
             scale,
             5,
-        );
+        )?;
         let loss = |cpi: f64| (cpi / baseline - 1.0).max(0.0);
         let set_fixed = scheme_cpi(
             base_config,
@@ -512,21 +542,21 @@ pub fn table3(scale: Scale) -> Table3 {
             SchemeKind::set_fixed_50(rotation),
             scale,
             6,
-        );
+        )?;
         let line_fixed = scheme_cpi(
             base_config,
             SchemeKind::Baseline,
             SchemeKind::line_fixed_50(),
             scale,
             7,
-        );
+        )?;
         let line_dynamic = scheme_cpi(
             base_config,
             SchemeKind::Baseline,
             SchemeKind::line_dynamic_60(SchemeKind::dtlb_threshold(entries), scale.time_scale),
             scale,
             8,
-        );
+        )?;
         rows.push(Table3Row {
             label: format!("DTLB 8-way {entries} ent."),
             set_fixed: loss(set_fixed),
@@ -535,7 +565,7 @@ pub fn table3(scale: Scale) -> Table3 {
         });
     }
 
-    Table3 { rows }
+    Ok(Table3 { rows })
 }
 
 // -------------------------------------------------- §4.2–4.6 efficiencies
@@ -566,7 +596,7 @@ impl EfficiencyRow {
 
 /// The §4.2–4.6 efficiency comparison: the two conventional designs and
 /// the four Penelope case studies, with measured inputs where available.
-pub fn efficiency_summary(scale: Scale) -> Vec<EfficiencyRow> {
+pub fn efficiency_summary(scale: Scale) -> Result<Vec<EfficiencyRow>, Error> {
     let model = GuardbandModel::paper_calibrated();
     let mut rows = vec![
         EfficiencyRow::new(
@@ -576,7 +606,7 @@ pub fn efficiency_summary(scale: Scale) -> Vec<EfficiencyRow> {
         ),
         EfficiencyRow::new(
             "invert periodically",
-            InvertMode::paper_default().block_cost(Duty::new(0.9).expect("valid"), &model),
+            InvertMode::paper_default().block_cost(Duty::new(0.9)?, &model),
             1.41,
         ),
     ];
@@ -584,7 +614,7 @@ pub fn efficiency_summary(scale: Scale) -> Vec<EfficiencyRow> {
     // Adder: measured utilization → guardband.
     let adder = LadnerFischerAdder::new(32);
     let protection = AdderProtection::select(&adder);
-    let (_, run) = run_workload(PipelineConfig::default(), scale, &mut NoHooks);
+    let (_, run) = run_workload(PipelineConfig::default(), scale, &mut NoHooks)?;
     let util = run.max_adder_utilization().clamp(0.0, 1.0);
     let inputs: Vec<(u64, u64, bool)> = scale
         .workload()
@@ -601,7 +631,7 @@ pub fn efficiency_summary(scale: Scale) -> Vec<EfficiencyRow> {
     ));
 
     // Register file: measured worst bias under ISV.
-    let f6 = fig6(scale);
+    let f6 = fig6(scale)?;
     let worst_rf = f6.int_isv_worst().max(f6.fp_isv_worst());
     rows.push(EfficiencyRow::new(
         "Penelope register file (ISV at release)",
@@ -610,7 +640,7 @@ pub fn efficiency_summary(scale: Scale) -> Vec<EfficiencyRow> {
     ));
 
     // Scheduler: measured worst residual bias.
-    let f8 = fig8(scale);
+    let f8 = fig8(scale)?;
     rows.push(EfficiencyRow::new(
         "Penelope scheduler (ALL1/ALL1-K%/ISV)",
         SchedulerBalancer::block_cost(Duty::saturating(f8.worst_protected), &model),
@@ -624,14 +654,14 @@ pub fn efficiency_summary(scale: Scale) -> Vec<EfficiencyRow> {
         SchemeKind::Baseline,
         scale,
         11,
-    );
+    )?;
     let lf = scheme_cpi(
         PipelineConfig::default(),
         SchemeKind::line_fixed_50(),
         SchemeKind::Baseline,
         scale,
         12,
-    );
+    )?;
     let dl0_cost = BlockCost::new((lf / base).max(1.0), 1.01, model.best_case().fraction());
     rows.push(EfficiencyRow::new(
         "Penelope DL0 (LineFixed50%)",
@@ -639,7 +669,118 @@ pub fn efficiency_summary(scale: Scale) -> Vec<EfficiencyRow> {
         1.09,
     ));
 
-    rows
+    Ok(rows)
+}
+
+/// [`efficiency_summary`] with a [`FaultPlan`] threaded through every
+/// layer: the processor configuration, the workload, each trace stream,
+/// the live structures (RINV corruption, strikes) and the duty values
+/// headed into the guardband model.
+///
+/// The contract this driver exists to demonstrate: whatever the plan, it
+/// returns a typed [`Error`] or a valid summary — it never panics. The
+/// measurement side runs under [`CheckedHooks`](crate::checked::CheckedHooks)
+/// so invariant breakage surfaces as [`Error::Invariant`].
+pub fn efficiency_summary_faulted(
+    scale: Scale,
+    plan: &FaultPlan,
+) -> Result<Vec<EfficiencyRow>, Error> {
+    use crate::checked::{CheckedHooks, Policy};
+
+    let mut injector = FaultInjector::new(plan);
+    let model = GuardbandModel::paper_calibrated();
+
+    // Configuration faults: degenerate geometry must be rejected by the
+    // typed constructors, not crash the run.
+    let mut config = PenelopeConfig {
+        sample_period: scale.time_scale.max(64),
+        btb_scheme: SchemeKind::Baseline,
+        ..PenelopeConfig::default()
+    };
+    injector.perturb_config(&mut config);
+    let (mut pipe, hooks) = build(&config)?;
+
+    // Runtime faults, with the invariant checker watching the wrapper.
+    let fault_hooks = injector.hooks(hooks);
+    let mut checked = CheckedHooks::new(fault_hooks, Policy::Count, config.sample_period);
+
+    // Workload- and trace-level faults.
+    let workload = injector.perturb_workload(scale.workload());
+    let mut total: Option<RunResult> = None;
+    for spec in workload.specs() {
+        let fault = injector.trace_fault(scale.uops_per_trace);
+        let r = pipe.run(
+            faulted(spec.generate(scale.uops_per_trace), fault),
+            &mut checked,
+        );
+        match &mut total {
+            Some(t) => t.merge(&r),
+            None => total = Some(r),
+        }
+    }
+    let run = total.ok_or(TraceError::EmptyWorkload)?;
+    if run.uops == 0 {
+        return Err(TraceError::EmptyTrace.into());
+    }
+
+    let now = pipe.now();
+    pipe.parts.int_rf.sync(now);
+    pipe.parts.fp_rf.sync(now);
+    pipe.parts.sched.sync(now);
+
+    // Duty faults: NaN / out-of-range biases must come back as typed
+    // model errors from `Duty::new`, not panics.
+    let rf_worst = injector.perturb_duty(
+        pipe.parts
+            .int_rf
+            .residency()
+            .worst_cell_duty()
+            .fraction()
+            .max(pipe.parts.fp_rf.residency().worst_cell_duty().fraction()),
+    );
+    let rf_duty = Duty::new(rf_worst)?;
+    let sched_worst = injector.perturb_duty(worst_figure8_bias(&pipe.parts.sched).fraction());
+    let sched_duty = Duty::new(sched_worst)?;
+    let util = injector.perturb_duty(run.max_adder_utilization().clamp(0.0, 1.0));
+    let util = Duty::new(util)?.fraction();
+
+    let adder = LadnerFischerAdder::new(32);
+    let protection = AdderProtection::select(&adder);
+    let inputs: Vec<(u64, u64, bool)> = workload
+        .specs()
+        .iter()
+        .take(3)
+        .flat_map(|s| real_adder_inputs(s, (scale.uops_per_trace / 4).max(512)))
+        .collect();
+    let adder_gb = protection.guardband(&adder, util, inputs, &model);
+
+    let rows = vec![
+        EfficiencyRow::new(
+            "baseline (full guardband)",
+            full_guardband_baseline(&model),
+            1.73,
+        ),
+        EfficiencyRow::new(
+            "Penelope adder (round-robin inputs)",
+            AdderProtection::block_cost(adder_gb),
+            1.24,
+        ),
+        EfficiencyRow::new(
+            "Penelope register file (ISV at release)",
+            RegfileIsv::block_cost(rf_duty, &model),
+            1.12,
+        ),
+        EfficiencyRow::new(
+            "Penelope scheduler (ALL1/ALL1-K%/ISV)",
+            SchedulerBalancer::block_cost(sched_duty, &model),
+            1.24,
+        ),
+    ];
+
+    // Any invariant the faults managed to break fails the run with a
+    // typed error instead of returning silently wrong numbers.
+    checked.into_result()?;
+    Ok(rows)
 }
 
 // ----------------------------------------------------------------- §4.7
@@ -662,14 +803,14 @@ pub struct Table4 {
 }
 
 /// Runs everything together and aggregates with equations (2)–(4).
-pub fn table4(scale: Scale) -> Table4 {
+pub fn table4(scale: Scale) -> Result<Table4, Error> {
     let model = GuardbandModel::paper_calibrated();
 
     // Baseline CPI; the run doubles as the profiling pass for the
     // scheduler's K values (§4.5).
-    let (mut base_pipe, base_run) = run_workload(PipelineConfig::default(), scale, &mut NoHooks);
+    let (mut base_pipe, base_run) = run_workload(PipelineConfig::default(), scale, &mut NoHooks)?;
     let base_now = base_pipe.now();
-    let sched_policy = SchedulerPolicy::from_scheduler(&mut base_pipe.parts.sched, base_now);
+    let sched_policy = SchedulerPolicy::from_scheduler(&mut base_pipe.parts.sched, base_now)?;
 
     // Penelope: all mechanisms at once. The §4.7 composition covers the
     // paper's five blocks; the BTB extension is evaluated separately.
@@ -679,7 +820,7 @@ pub fn table4(scale: Scale) -> Table4 {
         sched_policy,
         ..PenelopeConfig::default()
     };
-    let (mut pipe, mut hooks) = build(&config);
+    let (mut pipe, mut hooks) = build(&config)?;
     let mut total: Option<RunResult> = None;
     for spec in scale.workload().specs() {
         let r = pipe.run(spec.generate(scale.uops_per_trace), &mut hooks);
@@ -688,7 +829,7 @@ pub fn table4(scale: Scale) -> Table4 {
             None => total = Some(r),
         }
     }
-    let pen_run = total.expect("workload non-empty");
+    let pen_run = total.ok_or(TraceError::EmptyWorkload)?;
     let combined_cpi = pen_run.cpi() / base_run.cpi();
     let now = pipe.now();
 
@@ -745,7 +886,11 @@ pub fn table4(scale: Scale) -> Table4 {
         ),
         (
             "DL0".to_string(),
-            BlockCost::new(1.0, 1.01, model.cell_guardband(cache_bias(dl0_frac)).fraction()),
+            BlockCost::new(
+                1.0,
+                1.01,
+                model.cell_guardband(cache_bias(dl0_frac)).fraction(),
+            ),
         ),
         (
             "DTLB".to_string(),
@@ -757,19 +902,17 @@ pub fn table4(scale: Scale) -> Table4 {
         ),
     ];
 
-    let agg = ProcessorAggregator::equal_weights(blocks.len()).expect("non-empty");
+    let agg = ProcessorAggregator::equal_weights(blocks.len())?;
     let costs: Vec<BlockCost> = blocks.iter().map(|(_, c)| *c).collect();
-    let processor = agg
-        .combine(&costs, combined_cpi.max(1.0))
-        .expect("valid aggregation");
+    let processor = agg.combine(&costs, combined_cpi.max(1.0))?;
 
-    Table4 {
+    Ok(Table4 {
         blocks,
         combined_cpi,
         efficiency: processor.nbti_efficiency(),
         processor,
         baseline_efficiency: full_guardband_baseline(&model).nbti_efficiency(),
-    }
+    })
 }
 
 // ------------------------------------------------- Table 3 tail statistic
@@ -791,13 +934,13 @@ pub struct TailRow {
 }
 
 /// Measures the per-program loss distribution on the 16KB 8-way DL0.
-pub fn table3_tail(scale: Scale) -> Vec<TailRow> {
+pub fn table3_tail(scale: Scale) -> Result<Vec<TailRow>, Error> {
     let base_config = PipelineConfig {
         dl0: CacheConfig::dl0(16, 8),
         ..PipelineConfig::default()
     };
     // Per-trace baseline CPIs.
-    let per_trace = |dl0_scheme: SchemeKind, seed: u64| -> Vec<f64> {
+    let per_trace = |dl0_scheme: SchemeKind, seed: u64| -> Result<Vec<f64>, Error> {
         let config = PenelopeConfig {
             pipeline: base_config,
             dl0_scheme,
@@ -807,39 +950,41 @@ pub fn table3_tail(scale: Scale) -> Vec<TailRow> {
             seed,
             ..PenelopeConfig::default()
         };
-        let (mut pipe, mut hooks) = build(&config);
-        scale
+        let (mut pipe, mut hooks) = build(&config)?;
+        Ok(scale
             .workload()
             .specs()
             .iter()
-            .map(|spec| pipe.run(spec.generate(scale.uops_per_trace), &mut hooks).cpi())
-            .collect()
+            .map(|spec| {
+                pipe.run(spec.generate(scale.uops_per_trace), &mut hooks)
+                    .cpi()
+            })
+            .collect())
     };
-    let baseline = per_trace(SchemeKind::Baseline, 31);
+    let baseline = per_trace(SchemeKind::Baseline, 31)?;
     let rotation = (10_000_000 / scale.time_scale).max(2_000);
     let schemes = [
         SchemeKind::set_fixed_50(rotation),
         SchemeKind::line_fixed_50(),
         SchemeKind::line_dynamic_60(SchemeKind::dl0_threshold(16), scale.time_scale),
     ];
-    schemes
-        .into_iter()
-        .map(|scheme| {
-            let cpis = per_trace(scheme, 32);
-            let losses: Vec<f64> = cpis
-                .iter()
-                .zip(&baseline)
-                .map(|(s, b)| (s / b - 1.0).max(0.0))
-                .collect();
-            let n = losses.len().max(1) as f64;
-            TailRow {
-                scheme: scheme.label(),
-                over_5: losses.iter().filter(|l| **l > 0.05).count() as f64 / n,
-                over_10: losses.iter().filter(|l| **l > 0.10).count() as f64 / n,
-                mean_loss: losses.iter().sum::<f64>() / n,
-            }
-        })
-        .collect()
+    let mut rows = Vec::new();
+    for scheme in schemes {
+        let cpis = per_trace(scheme, 32)?;
+        let losses: Vec<f64> = cpis
+            .iter()
+            .zip(&baseline)
+            .map(|(s, b)| (s / b - 1.0).max(0.0))
+            .collect();
+        let n = losses.len().max(1) as f64;
+        rows.push(TailRow {
+            scheme: scheme.label(),
+            over_5: losses.iter().filter(|l| **l > 0.05).count() as f64 / n,
+            over_10: losses.iter().filter(|l| **l > 0.10).count() as f64 / n,
+            mean_loss: losses.iter().sum::<f64>() / n,
+        });
+    }
+    Ok(rows)
 }
 
 // ------------------------------------------------------------- Extensions
@@ -860,7 +1005,7 @@ pub struct BtbRow {
 /// Extension: the §3.2.1 schemes applied to the branch target buffer (the
 /// paper names the branch predictor as cache-like but evaluates only the
 /// DL0 and DTLB).
-pub fn btb_extension(scale: Scale) -> Vec<BtbRow> {
+pub fn btb_extension(scale: Scale) -> Result<Vec<BtbRow>, Error> {
     let rotation = (10_000_000 / scale.time_scale).max(2_000);
     let schemes = [
         SchemeKind::Baseline,
@@ -882,7 +1027,7 @@ pub fn btb_extension(scale: Scale) -> Vec<BtbRow> {
             sample_period: u64::MAX / 2,
             ..PenelopeConfig::default()
         };
-        let (mut pipe, mut hooks) = build(&config);
+        let (mut pipe, mut hooks) = build(&config)?;
         let mut total: Option<RunResult> = None;
         for spec in scale.workload().specs() {
             let r = pipe.run(spec.generate(scale.uops_per_trace), &mut hooks);
@@ -891,7 +1036,7 @@ pub fn btb_extension(scale: Scale) -> Vec<BtbRow> {
                 None => total = Some(r),
             }
         }
-        let cpi = total.expect("workload non-empty").cpi();
+        let cpi = total.ok_or(TraceError::EmptyWorkload)?.cpi();
         let baseline = *baseline_cpi.get_or_insert(cpi);
         let now = pipe.now();
         rows.push(BtbRow {
@@ -901,7 +1046,7 @@ pub fn btb_extension(scale: Scale) -> Vec<BtbRow> {
             inverted_fraction: hooks.btb.inverted_fraction(pipe.parts.btb.cache(), now),
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// One row of the Vmin/energy extension (§2/§5: mitigating NBTI lowers
@@ -925,11 +1070,11 @@ pub struct VminRow {
 
 /// Extension: Vmin and storage-energy impact for the storage structures,
 /// from measured biases.
-pub fn vmin_extension(scale: Scale) -> Vec<VminRow> {
+pub fn vmin_extension(scale: Scale) -> Result<Vec<VminRow>, Error> {
     use nbti_model::guardband::VminModel;
     let vmin = VminModel::paper_calibrated();
 
-    let (mut base, _) = run_workload(PipelineConfig::default(), scale, &mut NoHooks);
+    let (mut base, _) = run_workload(PipelineConfig::default(), scale, &mut NoHooks)?;
     let base_now = base.now();
     base.parts.int_rf.sync(base_now);
     base.parts.fp_rf.sync(base_now);
@@ -939,7 +1084,7 @@ pub fn vmin_extension(scale: Scale) -> Vec<VminRow> {
         sample_period: scale.time_scale.max(64),
         ..PenelopeConfig::default()
     };
-    let (mut pen, mut hooks) = build(&config);
+    let (mut pen, mut hooks) = build(&config)?;
     for spec in scale.workload().specs() {
         let _ = pen.run(spec.generate(scale.uops_per_trace), &mut hooks);
     }
@@ -982,7 +1127,7 @@ pub fn vmin_extension(scale: Scale) -> Vec<VminRow> {
         Duty::saturating(0.9),
         Duty::saturating(crate::cache_aware::effective_bias(0.9, dl0_frac)),
     );
-    rows
+    Ok(rows)
 }
 
 /// One row of the design-parameter ablation.
@@ -999,7 +1144,7 @@ pub struct AblationRow {
 
 /// Extension: ablations over the design parameters DESIGN.md calls out —
 /// the SetFixed rotation period and the ISV sampling period.
-pub fn ablation(scale: Scale) -> Vec<AblationRow> {
+pub fn ablation(scale: Scale) -> Result<Vec<AblationRow>, Error> {
     let mut rows = Vec::new();
 
     // SetFixed rotation period: shorter rotations heal more evenly but
@@ -1010,7 +1155,7 @@ pub fn ablation(scale: Scale) -> Vec<AblationRow> {
         SchemeKind::Baseline,
         scale,
         21,
-    );
+    )?;
     for rotation in [5_000u64, 20_000, 100_000] {
         let cpi = scheme_cpi(
             PipelineConfig::default(),
@@ -1018,7 +1163,7 @@ pub fn ablation(scale: Scale) -> Vec<AblationRow> {
             SchemeKind::Baseline,
             scale,
             22,
-        );
+        )?;
         rows.push(AblationRow {
             label: format!("SetFixed50% rotation {rotation}"),
             cpi_loss: (cpi / baseline - 1.0).max(0.0),
@@ -1031,23 +1176,17 @@ pub fn ablation(scale: Scale) -> Vec<AblationRow> {
     // cycles" suffices.
     for period in [64u64, 1_024, 16_384] {
         let mut hooks = RegfileIsvHooks::new(period);
-        let (mut pipe, _) = run_workload(PipelineConfig::default(), scale, &mut hooks);
+        let (mut pipe, _) = run_workload(PipelineConfig::default(), scale, &mut hooks)?;
         let now = pipe.now();
         pipe.parts.int_rf.sync(now);
         rows.push(AblationRow {
             label: format!("ISV sample period {period}"),
             // ISV writes use only idle ports: CPI is untouched by design.
             cpi_loss: 0.0,
-            worst_duty: Some(
-                pipe.parts
-                    .int_rf
-                    .residency()
-                    .worst_cell_duty()
-                    .fraction(),
-            ),
+            worst_duty: Some(pipe.parts.int_rf.residency().worst_cell_duty().fraction()),
         });
     }
-    rows
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -1056,7 +1195,7 @@ mod tests {
 
     #[test]
     fn fig1_has_sawtooth_series() {
-        let series = fig1();
+        let series = fig1().expect("valid model parameters");
         assert!(series.len() > 100);
         assert_eq!(series[0].1, 0.0);
         let max = series.iter().map(|(_, n)| *n).fold(0.0, f64::max);
@@ -1069,13 +1208,13 @@ mod tests {
 
     #[test]
     fn fig4_has_28_pairs() {
-        let pairs = fig4();
+        let pairs = fig4().expect("fixed-width adder");
         assert_eq!(pairs.len(), 28);
     }
 
     #[test]
     fn efficiency_rows_cover_all_designs() {
-        let rows = efficiency_summary(Scale::quick());
+        let rows = efficiency_summary(Scale::quick()).expect("quick scale runs");
         assert_eq!(rows.len(), 6);
         assert!((rows[0].efficiency - 1.728).abs() < 1e-3);
         assert!((rows[1].efficiency - 1.41).abs() < 0.02);
@@ -1088,5 +1227,52 @@ mod tests {
                 row.efficiency
             );
         }
+    }
+
+    #[test]
+    fn faulted_summary_with_empty_plan_matches_clean_shape() {
+        let rows = efficiency_summary_faulted(Scale::quick(), &FaultPlan::none())
+            .expect("clean plan runs");
+        assert_eq!(rows.len(), 4);
+        assert!((rows[0].efficiency - 1.728).abs() < 1e-3);
+        for row in &rows {
+            assert!(row.efficiency.is_finite());
+        }
+    }
+
+    #[test]
+    fn empty_workload_fault_is_a_typed_error() {
+        use crate::fault::FaultKind;
+        let plan = FaultPlan::new(3).with(FaultKind::EmptyWorkload);
+        match efficiency_summary_faulted(Scale::quick(), &plan) {
+            Err(Error::Trace(TraceError::EmptyWorkload)) => {}
+            other => panic!("expected empty-workload error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_duty_fault_is_a_typed_model_error() {
+        use crate::fault::FaultKind;
+        let plan = FaultPlan::new(4).with(FaultKind::NanDuty);
+        match efficiency_summary_faulted(Scale::quick(), &plan) {
+            Err(Error::Model(_)) => {}
+            other => panic!("expected model error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_workload_faulted_reports_landed_faults() {
+        use crate::fault::FaultKind;
+        let plan = FaultPlan::new(5).with(FaultKind::StructureStrikes);
+        let mut injector = FaultInjector::new(&plan);
+        let (_, run, hooks) = run_workload_faulted(
+            PipelineConfig::default(),
+            Scale::quick(),
+            NoHooks,
+            &mut injector,
+        )
+        .expect("strikes do not make runs fail");
+        assert!(run.uops > 0);
+        assert!(hooks.landed() > 0, "strikes should land at quick scale");
     }
 }

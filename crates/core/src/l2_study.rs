@@ -66,6 +66,7 @@ impl Hooks for L2SchemeHooks {
 /// Assumed bias of L2 bit cells for live data (the paper's ~90%).
 const L2_DATA_BIAS: f64 = 0.90;
 
+#[allow(clippy::expect_used)] // callers pass the nonempty paper workload
 fn run_l2<H: Hooks>(
     l2: CacheConfig,
     l2_extra_latency: u64,
@@ -257,6 +258,10 @@ mod tests {
             8_000,
             &mut NoHooks,
         );
-        assert!(with_l2.cpi() <= no_l2 + 1e-9, "L2 must help: {} vs {no_l2}", with_l2.cpi());
+        assert!(
+            with_l2.cpi() <= no_l2 + 1e-9,
+            "L2 must help: {} vs {no_l2}",
+            with_l2.cpi()
+        );
     }
 }

@@ -27,7 +27,15 @@
 //! - [`experiments`]: drivers that regenerate every figure and table of the
 //!   evaluation (used by the `penelope-bench` binaries and the integration
 //!   tests);
-//! - [`report`]: plain-text rendering of the figures/tables.
+//! - [`report`]: plain-text rendering of the figures/tables;
+//! - [`error`]: the crate-wide typed [`error::Error`] every driver returns
+//!   instead of panicking;
+//! - [`fault`]: deterministic fault injection ([`fault::FaultPlan`],
+//!   [`fault::FaultInjector`]) perturbing workloads, configurations and
+//!   live structures;
+//! - [`checked`]: [`checked::CheckedHooks`], a wrapper validating runtime
+//!   invariants (duties in range, cache accounting, RINV freshness) every
+//!   sample period.
 //!
 //! # Quickstart
 //!
@@ -35,15 +43,36 @@
 //! use penelope::experiments::{self, Scale};
 //!
 //! // Reproduce the §4.2 worked examples: the all-guardband baseline and
-//! // the periodic-inversion design.
-//! let eff = experiments::efficiency_summary(Scale::quick());
+//! // the periodic-inversion design. Drivers return typed errors instead
+//! // of panicking on degenerate inputs.
+//! let eff = experiments::efficiency_summary(Scale::quick()).expect("quick scale runs");
 //! let baseline = eff.iter().find(|e| e.name == "baseline (full guardband)").unwrap();
 //! assert!((baseline.efficiency - 1.73).abs() < 0.01);
 //! ```
+//!
+//! # Fault injection
+//!
+//! ```
+//! use penelope::experiments::{efficiency_summary_faulted, Scale};
+//! use penelope::fault::FaultPlan;
+//!
+//! // Whatever the (seeded, deterministic) fault plan does to the
+//! // pipeline, the driver returns a typed error or a valid summary —
+//! // it never panics.
+//! let plan = FaultPlan::random(42);
+//! match efficiency_summary_faulted(Scale::quick(), &plan) {
+//!     Ok(rows) => assert!(!rows.is_empty()),
+//!     Err(err) => println!("rejected: {err}"),
+//! }
+//! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod adder_aware;
 pub mod cache_aware;
+pub mod checked;
+pub mod error;
 pub mod experiments;
+pub mod fault;
 pub mod invert_mode;
 pub mod l2_study;
 pub mod processor;

@@ -13,6 +13,7 @@ use uarch::scheduler::{EntryValues, Scheduler, SlotId};
 use uarch::tlb::Dtlb;
 
 use crate::cache_aware::{SchemeKind, SchemeRuntime};
+use crate::error::Error;
 use crate::regfile_aware::RegfileIsvHooks;
 use crate::sched_aware::{SchedulerBalancer, SchedulerHooks, SchedulerPolicy};
 
@@ -78,10 +79,7 @@ impl PenelopeHooks {
         PenelopeHooks {
             regfiles: RegfileIsvHooks::new(config.sample_period),
             sched: SchedulerHooks {
-                balancer: SchedulerBalancer::new(
-                    config.sched_policy.clone(),
-                    config.sample_period,
-                ),
+                balancer: SchedulerBalancer::new(config.sched_policy.clone(), config.sample_period),
             },
             dl0: SchemeRuntime::new(config.dl0_scheme, config.seed),
             dtlb: SchemeRuntime::new(config.dtlb_scheme, config.seed ^ 0xD71B),
@@ -147,13 +145,22 @@ impl Hooks for PenelopeHooks {
 
 /// Builds the pipeline (with scheme-adjusted cache geometry) and the
 /// composed hooks.
-pub fn build(config: &PenelopeConfig) -> (Pipeline, PenelopeHooks) {
+///
+/// # Errors
+///
+/// Rejects degenerate configurations with a typed [`Error`]: a zero RINV
+/// sampling period, K fractions outside `[0, 1]` in the scheduler policy,
+/// or a pipeline geometry that cannot be instantiated (including one whose
+/// caches the schemes shrank to nothing).
+pub fn build(config: &PenelopeConfig) -> Result<(Pipeline, PenelopeHooks), Error> {
+    if config.sample_period == 0 {
+        return Err(Error::config("sample_period must be positive"));
+    }
+    config.sched_policy.validate_k_budgets()?;
     let mut pipeline_config = config.pipeline;
     pipeline_config.dl0 = config.dl0_scheme.effective_cache(pipeline_config.dl0);
-    let dtlb_base = uarch::cache::CacheConfig::dtlb(
-        pipeline_config.dtlb_entries,
-        pipeline_config.dtlb_ways,
-    );
+    let dtlb_base =
+        uarch::cache::CacheConfig::dtlb(pipeline_config.dtlb_entries, pipeline_config.dtlb_ways);
     let dtlb_eff = config.dtlb_scheme.effective_cache(dtlb_base);
     pipeline_config.dtlb_entries = dtlb_eff.lines() as u32;
     pipeline_config.dtlb_ways = dtlb_eff.ways;
@@ -165,7 +172,8 @@ pub fn build(config: &PenelopeConfig) -> (Pipeline, PenelopeHooks) {
     let btb_eff = config.btb_scheme.effective_cache(btb_base);
     pipeline_config.btb_entries = btb_eff.lines() as u32;
     pipeline_config.btb_ways = btb_eff.ways;
-    (Pipeline::new(pipeline_config), PenelopeHooks::new(config))
+    let pipeline = Pipeline::try_new(pipeline_config)?;
+    Ok((pipeline, PenelopeHooks::new(config)))
 }
 
 #[cfg(test)]
@@ -177,7 +185,7 @@ mod tests {
     #[test]
     fn composed_processor_runs() {
         let config = PenelopeConfig::default();
-        let (mut pipe, mut hooks) = build(&config);
+        let (mut pipe, mut hooks) = build(&config).expect("default config is valid");
         let result = pipe.run(
             TraceSpec::new(Suite::Multimedia, 1).generate(20_000),
             &mut hooks,
@@ -195,9 +203,26 @@ mod tests {
             dtlb_scheme: SchemeKind::set_fixed_50(1_000_000),
             ..PenelopeConfig::default()
         };
-        let (pipe, _) = build(&config);
+        let (pipe, _) = build(&config).expect("halved caches are still valid");
         assert_eq!(pipe.parts.dl0.config().size_bytes, 16 * 1024);
         assert_eq!(pipe.parts.dtlb.entries(), 64);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected_not_panicked() {
+        let zero_period = PenelopeConfig {
+            sample_period: 0,
+            ..PenelopeConfig::default()
+        };
+        assert!(matches!(build(&zero_period), Err(Error::Config { .. })));
+
+        let mut no_cache = PenelopeConfig::default();
+        no_cache.pipeline.dl0.size_bytes = 0;
+        assert!(matches!(build(&no_cache), Err(Error::Pipeline(_))));
+
+        let mut no_sched = PenelopeConfig::default();
+        no_sched.pipeline.sched_entries = 0;
+        assert!(matches!(build(&no_sched), Err(Error::Pipeline(_))));
     }
 
     #[test]

@@ -113,6 +113,17 @@ impl RegfileIsv {
         }
     }
 
+    /// XORs a mask into the RINV image (fault injection).
+    pub fn corrupt_rinv(&mut self, mask: u128) {
+        self.rinv.corrupt(mask);
+    }
+
+    /// Staleness of the RINV image at `now`, with its sampling period (for
+    /// freshness checks).
+    pub fn rinv_staleness(&self, now: u64) -> (u64, u64) {
+        (self.rinv.staleness(now), self.rinv.period())
+    }
+
     /// Fraction of releases whose balancing write found an idle port.
     pub fn update_success_rate(&self) -> f64 {
         if self.attempts == 0 {

@@ -45,6 +45,7 @@ pub fn render_motivation(m: &Motivation) -> String {
 }
 
 /// Renders Figure 4 (one bar per vector pair).
+#[allow(clippy::expect_used)] // fig4 yields all 28 finite-stress pairs
 pub fn render_fig4(pairs: &[PairStress]) -> String {
     let mut out = String::from(
         "Figure 4: narrow PMOS at 100% zero-signal probability per idle pair\n\
@@ -66,10 +67,7 @@ pub fn render_fig4(pairs: &[PairStress]) -> String {
                 .expect("finite")
         })
         .expect("non-empty");
-    out.push_str(&format!(
-        "best pair: {} (paper: 1+8)\n",
-        best.pair.label()
-    ));
+    out.push_str(&format!("best pair: {} (paper: 1+8)\n", best.pair.label()));
     out
 }
 
@@ -277,9 +275,7 @@ pub fn render_ablation(rows: &[crate::experiments::AblationRow]) -> String {
          parameter                      CPI loss  worst residual duty\n",
     );
     for r in rows {
-        let duty = r
-            .worst_duty
-            .map_or("-".to_string(), pct);
+        let duty = r.worst_duty.map_or("-".to_string(), pct);
         out.push_str(&format!(
             "{:<30} {:>8}  {:>19}\n",
             r.label,
@@ -297,20 +293,20 @@ mod tests {
 
     #[test]
     fn fig1_rendering_is_nonempty() {
-        let text = render_fig1(&experiments::fig1());
+        let text = render_fig1(&experiments::fig1().expect("valid model"));
         assert!(text.contains("Figure 1"));
         assert!(text.lines().count() > 10);
     }
 
     #[test]
     fn fig4_rendering_names_best_pair() {
-        let text = render_fig4(&experiments::fig4());
+        let text = render_fig4(&experiments::fig4().expect("fixed adder"));
         assert!(text.contains("best pair: 1+8"));
     }
 
     #[test]
     fn fig5_rendering_has_four_rows() {
-        let text = render_fig5(&experiments::fig5(Scale::quick()));
+        let text = render_fig5(&experiments::fig5(Scale::quick()).expect("quick scale runs"));
         assert!(text.contains("real inputs"));
         assert!(text.contains("21% real"));
     }

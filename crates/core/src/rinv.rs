@@ -85,6 +85,26 @@ impl Rinv {
     pub fn set(&mut self, value: u128) {
         self.value = value & self.mask();
     }
+
+    /// The sampling period in cycles.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Cycles since the last accepted sample at time `now` (if nothing was
+    /// ever sampled, the register has been stale since cycle 0). Freshness
+    /// checks compare this against a multiple of the period.
+    pub fn staleness(&self, now: u64) -> u64 {
+        let last_accept = self.next_sample.saturating_sub(self.period);
+        now.saturating_sub(last_accept)
+    }
+
+    /// XORs a mask into the stored value (fault injection: a particle
+    /// strike on the RINV register itself). The mask is reduced to the
+    /// register width.
+    pub fn corrupt(&mut self, mask: u128) {
+        self.value ^= mask & self.mask();
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +132,24 @@ mod tests {
         let mut r = Rinv::new(4, 1);
         r.set(0xFF);
         assert_eq!(r.value(), 0xF);
+    }
+
+    #[test]
+    fn staleness_tracks_the_last_accepted_sample() {
+        let mut r = Rinv::new(8, 100);
+        assert_eq!(r.staleness(40), 40, "never sampled: stale since 0");
+        assert!(r.offer(1, 50));
+        assert_eq!(r.staleness(60), 10);
+        assert_eq!(r.staleness(250), 200);
+        assert_eq!(r.period(), 100);
+    }
+
+    #[test]
+    fn corrupt_flips_masked_bits() {
+        let mut r = Rinv::new(4, 1);
+        r.set(0b0110);
+        r.corrupt(0b1111_0011);
+        assert_eq!(r.value(), 0b0101);
     }
 
     #[test]

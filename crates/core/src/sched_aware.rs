@@ -23,7 +23,7 @@ use uarch::pipeline::Hooks;
 use uarch::scheduler::{EntryValues, Field, Scheduler, SlotId};
 
 use crate::rinv::Rinv;
-use crate::technique::{choose_technique, KCounter, Technique};
+use crate::technique::{choose_technique, KCounter, Technique, TechniqueError};
 
 /// Inverted/non-inverted residency timestamps for one sampled entry — the
 /// §3.2.2 gate deciding whether ISV writes should happen right now. The
@@ -107,7 +107,12 @@ impl SchedulerPolicy {
     ///
     /// Self-balanced fields, the valid bit and the opcode keep
     /// [`Technique::None`]; fields free most of the time get ISV.
-    pub fn from_scheduler(sched: &mut Scheduler, now: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TechniqueError`] if a measured occupancy or bias is
+    /// outside `[0, 1]` (a corrupted measurement chain).
+    pub fn from_scheduler(sched: &mut Scheduler, now: u64) -> Result<Self, TechniqueError> {
         sched.sync(now);
         let occupancy = sched.occupancy(now);
         let data_occupancy = sched.data_occupancy(now);
@@ -127,15 +132,31 @@ impl SchedulerPolicy {
                 // Total-time bias approximates busy-time bias because idle
                 // cells keep their last (busy-distribution) contents.
                 let b0 = residency.bias(bit).fraction();
-                *slot = choose_technique(occ, b0, 1.0 - b0);
+                *slot = choose_technique(occ, b0, 1.0 - b0)?;
             }
         }
-        SchedulerPolicy { bits }
+        Ok(SchedulerPolicy { bits })
     }
 
     /// The technique protecting one bit of a field.
     pub fn technique(&self, field: Field, bit: usize) -> Technique {
         self.bits[field.index()][bit]
+    }
+
+    /// Checks every K fraction in the policy against its `[0, 1]` budget.
+    /// `ALL1-K%`/`ALL0-K%` entries are constructed in range by the
+    /// casuistic, but policies can also be assembled by hand.
+    pub fn validate_k_budgets(&self) -> Result<(), TechniqueError> {
+        for field_bits in &self.bits {
+            for t in field_bits {
+                if let Technique::All1K(k) | Technique::All0K(k) = t {
+                    if !(0.0..=1.0).contains(k) {
+                        return Err(TechniqueError::BiasOutOfRange(*k));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Whether any bit of the field receives balancing writes.
@@ -301,6 +322,24 @@ impl SchedulerBalancer {
         Some(value)
     }
 
+    /// XORs a mask into all three ISV RINV images (fault injection).
+    pub fn corrupt_rinv(&mut self, mask: u128) {
+        self.rinv_src1.corrupt(mask);
+        self.rinv_src2.corrupt(mask);
+        self.rinv_imm.corrupt(mask);
+    }
+
+    /// Worst staleness over the ISV RINV images at `now`, with the sampling
+    /// period (for freshness checks).
+    pub fn rinv_staleness(&self, now: u64) -> (u64, u64) {
+        let worst = self
+            .rinv_src1
+            .staleness(now)
+            .max(self.rinv_src2.staleness(now))
+            .max(self.rinv_imm.staleness(now));
+        (worst, self.rinv_src1.period())
+    }
+
     /// Fraction of releases whose balancing write went through (the paper
     /// finds ports available 77% of the time).
     pub fn update_success_rate(&self) -> f64 {
@@ -396,7 +435,8 @@ mod tests {
 
         // K values are profiled, exactly as the paper derives them from
         // 100 profiling traces (§4.5).
-        let policy = SchedulerPolicy::from_scheduler(&mut base.parts.sched, now);
+        let policy = SchedulerPolicy::from_scheduler(&mut base.parts.sched, now)
+            .expect("profiled biases are in range");
         let mut aware = Pipeline::new(PipelineConfig::default());
         let mut hooks = SchedulerHooks {
             balancer: SchedulerBalancer::new(policy, 256),
@@ -426,7 +466,8 @@ mod tests {
         );
         let now = pipe.now();
         let occupancy = pipe.parts.sched.occupancy(now);
-        let policy = SchedulerPolicy::from_scheduler(&mut pipe.parts.sched, now);
+        let policy = SchedulerPolicy::from_scheduler(&mut pipe.parts.sched, now)
+            .expect("profiled biases are in range");
         // Flags bits are ~always 0 while busy: above 50% occupancy the
         // casuistic picks an ALL1 variant, below it falls back to ISV.
         if occupancy > 0.5 {

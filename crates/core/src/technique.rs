@@ -53,6 +53,40 @@ impl std::fmt::Display for Technique {
     }
 }
 
+/// Invalid input to the Figure 3 casuistic. Duties and biases are measured
+/// quantities; NaN or out-of-range values mean the measurement chain is
+/// corrupted and the caller must not act on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TechniqueError {
+    /// Occupancy was NaN or outside `[0, 1]`.
+    OccupancyOutOfRange(f64),
+    /// `bias0` was NaN or outside `[0, 1]`.
+    BiasOutOfRange(f64),
+    /// `bias0 + bias1` differed from 1 by more than 1e-6 (or was NaN).
+    BiasesNotComplementary {
+        /// Fraction of busy time at "0".
+        bias0: f64,
+        /// Fraction of busy time at "1".
+        bias1: f64,
+    },
+}
+
+impl std::fmt::Display for TechniqueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TechniqueError::OccupancyOutOfRange(v) => {
+                write!(f, "occupancy {v} outside [0, 1]")
+            }
+            TechniqueError::BiasOutOfRange(v) => write!(f, "bias {v} outside [0, 1]"),
+            TechniqueError::BiasesNotComplementary { bias0, bias1 } => {
+                write!(f, "biases must sum to 1 (got {bias0} + {bias1})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TechniqueError {}
+
 /// Figure 3: choose the technique for a field given its average occupancy
 /// and its bias towards "0"/"1" *measured over overall time*.
 ///
@@ -69,14 +103,35 @@ impl std::fmt::Display for Technique {
 /// (they sum to 1). For `ALL1-K%` the K that yields perfect balancing
 /// satisfies `occupancy·bias0 + (1-occupancy)·(1-K) = 0.5`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the arguments are outside `[0, 1]` or `bias0 + bias1` differs
-/// from 1 by more than 1e-6.
-pub fn choose_technique(occupancy: f64, bias0: f64, bias1: f64) -> Technique {
-    assert!((0.0..=1.0).contains(&occupancy), "occupancy out of range");
-    assert!((0.0..=1.0).contains(&bias0), "bias0 out of range");
-    assert!(((bias0 + bias1) - 1.0).abs() < 1e-6, "biases must sum to 1");
+/// Returns a [`TechniqueError`] if an argument is NaN or outside `[0, 1]`,
+/// or `bias0 + bias1` differs from 1 by more than 1e-6. (A corrupted duty
+/// measurement must not crash the aging model; it gets rejected here and
+/// propagates as `penelope::error::Error::Technique`.)
+pub fn choose_technique(
+    occupancy: f64,
+    bias0: f64,
+    bias1: f64,
+) -> Result<Technique, TechniqueError> {
+    if !(0.0..=1.0).contains(&occupancy) {
+        return Err(TechniqueError::OccupancyOutOfRange(occupancy));
+    }
+    if !(0.0..=1.0).contains(&bias0) {
+        return Err(TechniqueError::BiasOutOfRange(bias0));
+    }
+    if !(0.0..=1.0).contains(&bias1) {
+        return Err(TechniqueError::BiasOutOfRange(bias1));
+    }
+    if ((bias0 + bias1) - 1.0).abs() >= 1e-6 {
+        return Err(TechniqueError::BiasesNotComplementary { bias0, bias1 });
+    }
+    Ok(choose_technique_unchecked(occupancy, bias0, bias1))
+}
+
+/// The Figure 3 decision tree without input validation; inputs must already
+/// satisfy the [`choose_technique`] contract.
+fn choose_technique_unchecked(occupancy: f64, bias0: f64, bias1: f64) -> Technique {
     if occupancy <= 0.5 {
         return Technique::Isv;
     }
@@ -167,15 +222,15 @@ mod tests {
     #[test]
     fn casuistic_matches_figure_3() {
         // Free more than half the time → ISV (register file case: 54% free).
-        assert_eq!(choose_technique(0.46, 0.9, 0.1), Technique::Isv);
+        assert_eq!(choose_technique(0.46, 0.9, 0.1), Ok(Technique::Isv));
         // Busy, overwhelmingly 0 → ALL1 (scheduler flags: occupancy 63%,
         // bias ~100% towards 0: 0.63·1.0 > 0.5).
-        assert_eq!(choose_technique(0.63, 0.999, 0.001), Technique::All1);
+        assert_eq!(choose_technique(0.63, 0.999, 0.001), Ok(Technique::All1));
         // Busy, overwhelmingly 1 → ALL0.
-        assert_eq!(choose_technique(0.63, 0.001, 0.999), Technique::All0);
+        assert_eq!(choose_technique(0.63, 0.001, 0.999), Ok(Technique::All0));
         // Busy but moderately biased to 0 → ALL1-K%.
         match choose_technique(0.63, 0.6, 0.4) {
-            Technique::All1K(k) => {
+            Ok(Technique::All1K(k)) => {
                 // occ·b0 = 0.378; K = 1 - (0.5-0.378)/0.37 ≈ 0.67.
                 assert!((k - (1.0 - (0.5 - 0.378) / 0.37)).abs() < 1e-9);
             }
@@ -184,7 +239,7 @@ mod tests {
         // Busy, biased to 1 → ALL0-K%.
         assert!(matches!(
             choose_technique(0.63, 0.4, 0.6),
-            Technique::All0K(_)
+            Ok(Technique::All0K(_))
         ));
     }
 
@@ -194,8 +249,8 @@ mod tests {
         // time [of busy time]" → 0.75·0.67 ≈ 0.50 of overall time at 0,
         // 25% at 1, 25% idle → store 1 during all idle time (K = 100%).
         match choose_technique(0.75, 2.0 / 3.0, 1.0 / 3.0) {
-            Technique::All1K(k) => assert!((k - 1.0).abs() < 1e-6, "K = {k}"),
-            Technique::All1 => {} // boundary: 0.75·0.667 ≈ 0.5
+            Ok(Technique::All1K(k)) => assert!((k - 1.0).abs() < 1e-6, "K = {k}"),
+            Ok(Technique::All1) => {} // boundary: 0.75·0.667 ≈ 0.5
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -250,8 +305,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sum to 1")]
-    fn casuistic_validates_biases() {
-        let _ = choose_technique(0.6, 0.9, 0.9);
+    fn casuistic_rejects_bad_inputs_without_panicking() {
+        assert_eq!(
+            choose_technique(0.6, 0.9, 0.9),
+            Err(TechniqueError::BiasesNotComplementary {
+                bias0: 0.9,
+                bias1: 0.9,
+            })
+        );
+        assert!(matches!(
+            choose_technique(1.5, 0.5, 0.5),
+            Err(TechniqueError::OccupancyOutOfRange(_))
+        ));
+        assert!(matches!(
+            choose_technique(f64::NAN, 0.5, 0.5),
+            Err(TechniqueError::OccupancyOutOfRange(_))
+        ));
+        assert!(matches!(
+            choose_technique(0.6, -0.1, 1.1),
+            Err(TechniqueError::BiasOutOfRange(_))
+        ));
+        assert!(matches!(
+            choose_technique(0.6, 0.5, f64::NAN),
+            Err(TechniqueError::BiasOutOfRange(_))
+        ));
     }
 }

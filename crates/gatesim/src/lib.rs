@@ -43,6 +43,7 @@
 //! assert!(worst.fraction() <= 1.0);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod adder;
 pub mod gate;
 pub mod netlist;

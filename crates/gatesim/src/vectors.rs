@@ -213,6 +213,7 @@ pub fn evaluate_all_pairs(adder: &AdderNetlist) -> Vec<PairStress> {
 ///
 /// On the Ladner-Fischer netlist of this crate the winner is the paper's
 /// `1+8` (`<0,0,0>` alternated with `<1,1,1>`).
+#[allow(clippy::expect_used)] // all_pairs() is nonempty, stress is finite
 pub fn best_pair(adder: &AdderNetlist) -> PairStress {
     evaluate_all_pairs(adder)
         .into_iter()
@@ -261,6 +262,7 @@ fn evaluate_set(adder: &AdderNetlist, vectors: &[SyntheticVector]) -> SetStress 
 /// # Panics
 ///
 /// Panics if `n` is 0 or greater than 8.
+#[allow(clippy::expect_used)] // the candidate menu always exceeds n
 pub fn best_vector_set(adder: &AdderNetlist, n: usize) -> SetStress {
     assert!((1..=8).contains(&n), "set size must be in 1..=8");
     let mut chosen: Vec<SyntheticVector> = Vec::with_capacity(n);
@@ -356,15 +358,23 @@ impl MixedCampaign {
             // preserves the busy:idle ratio by scaling idle accordingly.
             let busy_each = per / reals.len() as u64;
             let busy_spent = busy_each * reals.len() as u64;
-            let idle_each = ((idle_total as f64) * (busy_spent as f64) / (busy_total.max(1) as f64)
-                / 2.0)
-                .round() as u64;
+            let idle_each =
+                ((idle_total as f64) * (busy_spent as f64) / (busy_total.max(1) as f64) / 2.0)
+                    .round() as u64;
             for &(a, b, cin) in &reals {
-                tracker.apply(adder.netlist(), &adder.input_assignment(a, b, cin), busy_each);
+                tracker.apply(
+                    adder.netlist(),
+                    &adder.input_assignment(a, b, cin),
+                    busy_each,
+                );
             }
             for v in [self.pair.first, self.pair.second] {
                 let (a, b, cin) = v.operands(adder.width());
-                tracker.apply(adder.netlist(), &adder.input_assignment(a, b, cin), idle_each);
+                tracker.apply(
+                    adder.netlist(),
+                    &adder.input_assignment(a, b, cin),
+                    idle_each,
+                );
             }
         } else {
             for v in [self.pair.first, self.pair.second] {
@@ -386,7 +396,8 @@ impl MixedCampaign {
     where
         I: IntoIterator<Item = (u64, u64, bool)>,
     {
-        self.run(adder, real_inputs).guardband(adder.netlist(), model)
+        self.run(adder, real_inputs)
+            .guardband(adder.netlist(), model)
     }
 }
 
@@ -478,8 +489,7 @@ mod tests {
         let tracker = campaign.run(&adder, std::iter::empty());
         let direct = evaluate_pair(&adder, VectorPair::best_of_paper());
         assert!(
-            (tracker.narrow_fraction_at_or_above(1.0) - direct.narrow_fully_stressed).abs()
-                < 1e-12
+            (tracker.narrow_fraction_at_or_above(1.0) - direct.narrow_fully_stressed).abs() < 1e-12
         );
     }
 
@@ -487,8 +497,9 @@ mod tests {
     fn mixed_campaign_guardband_grows_with_utilization() {
         let adder = LadnerFischerAdder::new(16);
         let model = GuardbandModel::paper_calibrated();
-        let reals: Vec<(u64, u64, bool)> =
-            (0..64u64).map(|i| (i * 3 % 65536, i * 7 % 65536, false)).collect();
+        let reals: Vec<(u64, u64, bool)> = (0..64u64)
+            .map(|i| (i * 3 % 65536, i * 7 % 65536, false))
+            .collect();
         let mut prev = 0.0;
         for util in [0.11, 0.21, 0.30] {
             let campaign = MixedCampaign::new(util, VectorPair::best_of_paper());

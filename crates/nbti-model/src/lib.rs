@@ -40,6 +40,7 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod duty;
 pub mod guardband;
 pub mod lifetime;

@@ -100,6 +100,7 @@ impl BlockCost {
     }
 
     /// The guardband as a typed [`Guardband`].
+    #[allow(clippy::expect_used)]
     pub fn guardband_typed(&self) -> Guardband {
         Guardband::new(self.guardband).expect("guardband validated at construction")
     }

@@ -1,0 +1,64 @@
+//! Typed errors for trace construction.
+//!
+//! [`crate::trace::TraceSpec::try_new`] reports an out-of-range trace index
+//! as a [`TraceError`] instead of panicking, and the downstream experiment
+//! pipeline uses the same type to describe degenerate workloads (empty
+//! trace populations, traces truncated to nothing by fault injection).
+
+use crate::suite::Suite;
+
+/// Why a trace or workload cannot be used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// A trace index outside the suite's Table 1 population.
+    IndexOutOfRange {
+        /// The suite.
+        suite: Suite,
+        /// The requested index.
+        index: usize,
+        /// The suite's trace count.
+        count: usize,
+    },
+    /// A workload with no traces at all.
+    EmptyWorkload,
+    /// A trace that yields no uops (e.g. truncated away by fault
+    /// injection) where at least one is required.
+    EmptyTrace,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::IndexOutOfRange {
+                suite,
+                index,
+                count,
+            } => write!(
+                f,
+                "{suite} has only {count} traces (index {index} requested)"
+            ),
+            TraceError::EmptyWorkload => write!(f, "workload contains no traces"),
+            TraceError::EmptyTrace => write!(f, "trace yields no uops"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = TraceError::IndexOutOfRange {
+            suite: Suite::Office,
+            index: 99,
+            count: 42,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("99") && msg.contains("42"));
+        assert!(TraceError::EmptyWorkload.to_string().contains("no traces"));
+        assert!(TraceError::EmptyTrace.to_string().contains("no uops"));
+    }
+}

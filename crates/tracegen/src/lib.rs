@@ -31,6 +31,9 @@
 //! assert_eq!(trace, again);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+pub mod error;
+pub mod fault;
 pub mod memgen;
 pub mod suite;
 pub mod trace;

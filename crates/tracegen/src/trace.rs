@@ -8,6 +8,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::TraceError;
 use crate::memgen::AddressStream;
 use crate::suite::{Suite, SuiteProfile};
 use crate::uop::{Uop, UopClass, Value80};
@@ -24,14 +25,26 @@ impl TraceSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `index` is outside the suite's trace count (Table 1).
+    /// Panics if `index` is outside the suite's trace count (Table 1); use
+    /// [`TraceSpec::try_new`] for a panic-free construction path.
     pub fn new(suite: Suite, index: usize) -> Self {
-        assert!(
-            index < suite.trace_count(),
-            "{suite} has only {} traces",
-            suite.trace_count()
-        );
-        TraceSpec { suite, index }
+        match TraceSpec::try_new(suite, index) {
+            Ok(spec) => spec,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Names trace `index` of `suite`, rejecting indices outside the
+    /// suite's Table 1 population with a typed error.
+    pub fn try_new(suite: Suite, index: usize) -> Result<Self, TraceError> {
+        if index >= suite.trace_count() {
+            return Err(TraceError::IndexOutOfRange {
+                suite,
+                index,
+                count: suite.trace_count(),
+            });
+        }
+        Ok(TraceSpec { suite, index })
     }
 
     /// The suite.
@@ -107,8 +120,12 @@ impl OpcodeMap {
         OpcodeMap { codes }
     }
 
+    #[allow(clippy::expect_used)]
     fn code<R: Rng + ?Sized>(&self, class: UopClass, rng: &mut R) -> u16 {
-        let idx = UopClass::ALL.iter().position(|&c| c == class).unwrap();
+        let idx = UopClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("UopClass::ALL lists every class");
         self.codes[idx][usize::from(rng.gen::<bool>())]
     }
 }
@@ -183,8 +200,7 @@ impl TraceIter {
             None
         };
 
-        let taken =
-            class == UopClass::Branch && rng.gen::<f64>() < self.profile.p_branch_taken;
+        let taken = class == UopClass::Branch && rng.gen::<f64>() < self.profile.p_branch_taken;
         // Branch PCs recur heavily (loop branches dominate dynamic branch
         // counts), so they are drawn from a fixed pool of branch sites with
         // a skew towards the hottest ones; other uops fetch sequentially.
@@ -217,8 +233,7 @@ impl TraceIter {
             port: class.port(),
             flags,
             taken,
-            mispredict: class == UopClass::Branch
-                && rng.gen::<f64>() < self.profile.p_mispredict,
+            mispredict: class == UopClass::Branch && rng.gen::<f64>() < self.profile.p_mispredict,
             tos: if fp { self.tos } else { 0 },
             shift1: !fp && rng.gen::<f64>() < self.profile.p_shift,
             shift2: !fp && rng.gen::<f64>() < self.profile.p_shift,
@@ -254,6 +269,12 @@ pub struct Workload {
 }
 
 impl Workload {
+    /// A workload with no traces (useful for fault injection; every
+    /// experiment driver rejects it with [`TraceError::EmptyWorkload`]).
+    pub fn empty() -> Self {
+        Workload { specs: Vec::new() }
+    }
+
     /// The full 531-trace population of Table 1.
     pub fn full() -> Self {
         let specs = Suite::ALL
@@ -348,8 +369,8 @@ mod tests {
     fn class_mix_roughly_matches_profile() {
         let spec = TraceSpec::new(Suite::SpecInt2000, 0);
         let uops: Vec<Uop> = spec.generate(20_000).collect();
-        let loads = uops.iter().filter(|u| u.class == UopClass::Load).count() as f64
-            / uops.len() as f64;
+        let loads =
+            uops.iter().filter(|u| u.class == UopClass::Load).count() as f64 / uops.len() as f64;
         let expected = Suite::SpecInt2000.profile().class_mix[4];
         assert!((loads - expected).abs() < 0.02, "load frac {loads}");
         assert!(uops.iter().all(|u| !u.class.is_fp()), "no FP in SpecINT");
@@ -379,10 +400,7 @@ mod tests {
         let spec = TraceSpec::new(Suite::Multimedia, 2);
         let uops: Vec<Uop> = spec.generate(30_000).collect();
         for bit in 0..12 {
-            let ones = uops
-                .iter()
-                .filter(|u| (u.opcode >> bit) & 1 == 1)
-                .count() as f64
+            let ones = uops.iter().filter(|u| (u.opcode >> bit) & 1 == 1).count() as f64
                 / uops.len() as f64;
             assert!(
                 (0.3..=0.7).contains(&ones),
@@ -420,6 +438,26 @@ mod tests {
     #[should_panic(expected = "traces")]
     fn out_of_range_index_panics() {
         let _ = TraceSpec::new(Suite::Spec2006, 33);
+    }
+
+    #[test]
+    fn try_new_reports_out_of_range_as_error() {
+        assert!(TraceSpec::try_new(Suite::Spec2006, 0).is_ok());
+        assert_eq!(
+            TraceSpec::try_new(Suite::Spec2006, 33),
+            Err(TraceError::IndexOutOfRange {
+                suite: Suite::Spec2006,
+                index: 33,
+                count: Suite::Spec2006.trace_count(),
+            })
+        );
+    }
+
+    #[test]
+    fn empty_workload_is_empty() {
+        let w = Workload::empty();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
     }
 
     #[test]

@@ -8,15 +8,33 @@ fn main() {
     let mut total: Option<RunResult> = None;
     for spec in w.specs() {
         let r = pipe.run(spec.generate(20_000), &mut NoHooks);
-        match &mut total { Some(t) => t.merge(&r), None => total = Some(r) }
+        match &mut total {
+            Some(t) => t.merge(&r),
+            None => total = Some(r),
+        }
     }
     let r = total.unwrap();
     let now = pipe.now();
     println!("CPI {:.3}", r.cpi());
-    println!("adder util {:?}", r.adder_utilization().map(|x| (x*100.0).round()));
-    println!("sched occ {:.3}  data occ {:.3}", pipe.parts.sched.occupancy(now), pipe.parts.sched.data_occupancy(now));
-    println!("int free {:.3} fp free {:.3}", pipe.parts.int_rf.free_fraction(now), pipe.parts.fp_rf.free_fraction(now));
-    println!("dl0 missrate {:.4} mru {:.3}  dtlb missrate {:.5}  btb missrate {:.4}",
-        pipe.parts.dl0.stats().miss_ratio(), pipe.parts.dl0.stats().hit_position_fraction(0),
-        pipe.parts.dtlb.stats().miss_ratio(), pipe.parts.btb.stats().miss_ratio());
+    println!(
+        "adder util {:?}",
+        r.adder_utilization().map(|x| (x * 100.0).round())
+    );
+    println!(
+        "sched occ {:.3}  data occ {:.3}",
+        pipe.parts.sched.occupancy(now),
+        pipe.parts.sched.data_occupancy(now)
+    );
+    println!(
+        "int free {:.3} fp free {:.3}",
+        pipe.parts.int_rf.free_fraction(now),
+        pipe.parts.fp_rf.free_fraction(now)
+    );
+    println!(
+        "dl0 missrate {:.4} mru {:.3}  dtlb missrate {:.5}  btb missrate {:.4}",
+        pipe.parts.dl0.stats().miss_ratio(),
+        pipe.parts.dl0.stats().hit_position_fraction(0),
+        pipe.parts.dtlb.stats().miss_ratio(),
+        pipe.parts.btb.stats().miss_ratio()
+    );
 }

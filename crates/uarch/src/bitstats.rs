@@ -321,7 +321,7 @@ mod tests {
         occ.acquire(0); // 1 busy over [0, 10)
         occ.acquire(10); // 2 busy over [10, 20)
         occ.release(20); // 1 busy over [20, 40)
-        // busy integral = 10 + 20 + 20 = 50 entry-cycles of 160 possible.
+                         // busy integral = 10 + 20 + 20 = 50 entry-cycles of 160 possible.
         assert!((occ.occupancy(40).fraction() - 50.0 / 160.0).abs() < 1e-12);
         assert!((occ.free_fraction(40).fraction() - 110.0 / 160.0).abs() < 1e-12);
         assert_eq!(occ.busy_now(), 1);

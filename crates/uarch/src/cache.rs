@@ -285,6 +285,7 @@ impl SetAssocCache {
         self.clock
     }
 
+    #[allow(clippy::expect_used)] // config validation rejects zero ways
     fn victim_way(&self, set: usize) -> usize {
         let ways = &self.sets[set];
         if let Some(w) = ways.iter().position(|l| l.state == LineState::Invalid) {

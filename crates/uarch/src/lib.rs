@@ -24,9 +24,12 @@
 //! NBTI mitigation mechanisms live in the `penelope` crate and drive these
 //! structures through the [`pipeline::Hooks`] trait.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod bitstats;
 pub mod btb;
 pub mod cache;
+pub mod error;
+pub mod fault;
 pub mod mob;
 pub mod pipeline;
 pub mod regfile;

@@ -55,10 +55,7 @@ impl MobAllocator {
     ///
     /// Panics if the id was not allocated.
     pub fn release(&mut self, id: u8) {
-        assert!(
-            self.in_use & (1 << id) != 0,
-            "releasing a free MOB id {id}"
-        );
+        assert!(self.in_use & (1 << id) != 0, "releasing a free MOB id {id}");
         self.in_use &= !(1 << id);
     }
 

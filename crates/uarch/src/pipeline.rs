@@ -21,6 +21,7 @@
 
 use crate::btb::Btb;
 use crate::cache::{AccessOutcome, CacheConfig, SetAssocCache};
+use crate::error::{validate_cache, validate_regfile, PipelineError};
 use crate::mob::MobAllocator;
 use crate::regfile::{PhysReg, RegFileConfig, RegisterFile};
 use crate::scheduler::{DataUsage, EntryValues, Field, Scheduler, SlotId};
@@ -269,9 +270,7 @@ impl RunResult {
     /// Worst per-adder utilization (the §4.3 "allocated with priorities"
     /// case is judged by its most used adder).
     pub fn max_adder_utilization(&self) -> f64 {
-        self.adder_utilization()
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.adder_utilization().into_iter().fold(0.0, f64::max)
     }
 
     /// Merges another run into this one (multi-trace campaigns).
@@ -317,20 +316,79 @@ const ALU_PORTS: [u8; 3] = [0, 1, 4];
 impl Pipeline {
     /// Builds a pipeline; the architectural registers are pre-mapped and
     /// initialized to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration; use [`Pipeline::try_new`] for
+    /// a panic-free, typed-error construction path.
     pub fn new(config: PipelineConfig) -> Self {
+        match Pipeline::try_new(config) {
+            Ok(pipe) => pipe,
+            Err(err) => panic!("invalid pipeline configuration: {err}"),
+        }
+    }
+
+    /// Checks a configuration without building anything: every structure
+    /// geometry must be instantiable and the pipeline must be able to make
+    /// forward progress (nonzero allocation width, register files larger
+    /// than the pre-mapped architectural state).
+    pub fn validate(config: &PipelineConfig) -> Result<(), PipelineError> {
+        if config.alloc_width == 0 {
+            return Err(PipelineError::ZeroAllocWidth);
+        }
+        if config.sched_entries == 0 {
+            return Err(PipelineError::NoSchedulerEntries);
+        }
+        if config.sched_ports == 0 {
+            return Err(PipelineError::NoSchedulerPorts);
+        }
+        validate_regfile("integer", &config.int_rf, 16)?;
+        validate_regfile("FP", &config.fp_rf, 8)?;
+        validate_cache("DL0", &config.dl0)?;
+        if let Some(l2) = &config.l2 {
+            validate_cache("L2", l2)?;
+        }
+        // The DTLB and BTB are built from entry counts; check the cache
+        // geometries they expand to.
+        validate_cache(
+            "DTLB",
+            &CacheConfig::dtlb(config.dtlb_entries, config.dtlb_ways),
+        )?;
+        validate_cache(
+            "BTB",
+            &CacheConfig {
+                size_bytes: u64::from(config.btb_entries) * 4,
+                ways: config.btb_ways,
+                line_bytes: 4,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Builds a pipeline, rejecting degenerate configurations with a typed
+    /// error instead of panicking (or hanging) mid-run.
+    #[allow(clippy::expect_used)] // arch-state allocations validated below
+    pub fn try_new(config: PipelineConfig) -> Result<Self, PipelineError> {
+        Pipeline::validate(&config)?;
         let mut int_rf = RegisterFile::new(config.int_rf);
         let mut fp_rf = RegisterFile::new(config.fp_rf);
         let mut int_map = [0; 16];
         let mut fp_map = [0; 8];
+        // validate() guarantees both files exceed the architectural state,
+        // so these allocations cannot fail.
         for slot in &mut int_map {
-            *slot = int_rf.allocate(0).expect("integer RF too small");
+            *slot = int_rf
+                .allocate(0)
+                .expect("validated: integer RF holds arch state");
         }
         for slot in &mut fp_map {
-            *slot = fp_rf.allocate(0).expect("FP RF too small");
+            *slot = fp_rf
+                .allocate(0)
+                .expect("validated: FP RF holds arch state");
         }
         let int_ready = vec![true; usize::from(config.int_rf.entries)];
         let fp_ready = vec![true; usize::from(config.fp_rf.entries)];
-        Pipeline {
+        Ok(Pipeline {
             parts: Parts {
                 int_rf,
                 fp_rf,
@@ -357,7 +415,7 @@ impl Pipeline {
             port_issues: [0; 5],
             adder_ops: [0; 5],
             config,
-        }
+        })
     }
 
     /// Current cycle.
@@ -423,8 +481,8 @@ impl Pipeline {
                 }
             }
             hooks.cycle_end(&mut self.parts, now);
-            let drained = self.in_flight.iter().all(Option::is_none)
-                && self.pending_release.is_empty();
+            let drained =
+                self.in_flight.iter().all(Option::is_none) && self.pending_release.is_empty();
             if pending.is_none() && drained {
                 // Probe the iterator for more work.
                 match trace.next() {
@@ -489,11 +547,15 @@ impl Pipeline {
                     }
                     if !o.ready1 && o.src1 == Some(dst) {
                         o.ready1 = true;
-                        self.parts.sched.write_field(other_slot, Field::Ready1, 1, now);
+                        self.parts
+                            .sched
+                            .write_field(other_slot, Field::Ready1, 1, now);
                     }
                     if !o.ready2 && o.src2 == Some(dst) {
                         o.ready2 = true;
-                        self.parts.sched.write_field(other_slot, Field::Ready2, 1, now);
+                        self.parts
+                            .sched
+                            .write_field(other_slot, Field::Ready2, 1, now);
                     }
                 }
             }
@@ -510,8 +572,10 @@ impl Pipeline {
         // cycle's writebacks so the paper's "port available at release"
         // statistic sees real write-port pressure.
         let due: Vec<(u64, RegClass, PhysReg)> = {
-            let (due, rest): (Vec<_>, Vec<_>) =
-                self.pending_release.drain(..).partition(|&(t, _, _)| t <= now);
+            let (due, rest): (Vec<_>, Vec<_>) = self
+                .pending_release
+                .drain(..)
+                .partition(|&(t, _, _)| t <= now);
             self.pending_release = rest;
             due
         };
@@ -539,7 +603,7 @@ impl Pipeline {
             let Some(slot) = candidate else { continue };
 
             let mut extra = 0;
-            if let Some(addr) = self.in_flight[slot].as_ref().unwrap().mem_addr {
+            if let Some(addr) = self.in_flight[slot].as_ref().and_then(|f| f.mem_addr) {
                 let t_out = self.parts.dtlb.translate(addr, now);
                 if !t_out.hit {
                     extra += self.config.dtlb_miss_penalty;
@@ -558,12 +622,14 @@ impl Pipeline {
                 }
                 hooks.dl0_accessed(&mut self.parts.dl0, &d_out, now);
             }
-            let fl = self.in_flight[slot].as_mut().unwrap();
+            let Some(fl) = self.in_flight[slot].as_mut() else {
+                continue;
+            };
             fl.issued = true;
             fl.finish_at = now + u64::from(fl.class.latency()) + extra;
+            let class = fl.class;
             self.parts.sched.issue(slot, now);
             self.port_issues[usize::from(port)] += 1;
-            let class = self.in_flight[slot].as_ref().unwrap().class;
             if class == UopClass::IntAlu || class.is_memory() {
                 self.adder_ops[usize::from(port)] += 1;
             }
@@ -604,7 +670,7 @@ impl Pipeline {
         let free_slot = (0..n)
             .map(|i| (self.slot_rr + i) % n)
             .find(|&s| self.in_flight[s].is_none() && !self.parts.sched.is_busy(s));
-        let Some(_) = free_slot else { return false };
+        let Some(slot) = free_slot else { return false };
         let fp = uop.class.is_fp();
 
         let dst = match uop.dst {
@@ -692,7 +758,6 @@ impl Pipeline {
             src2: uop.src2.is_some(),
             imm: uop.immediate.is_some(),
         };
-        let slot = free_slot.expect("checked above");
         self.parts.sched.allocate_at(slot, &values, usage, now);
         hooks.scheduler_allocated(&mut self.parts.sched, slot, &values, now);
 
@@ -853,12 +918,7 @@ mod tests {
             fn scheduler_released(&mut self, _s: &mut Scheduler, _slot: SlotId, _now: u64) {
                 self.sched_releases += 1;
             }
-            fn dl0_accessed(
-                &mut self,
-                _c: &mut SetAssocCache,
-                _o: &AccessOutcome,
-                _now: u64,
-            ) {
+            fn dl0_accessed(&mut self, _c: &mut SetAssocCache, _o: &AccessOutcome, _now: u64) {
                 self.dl0 += 1;
             }
             fn cycle_end(&mut self, _p: &mut Parts, _now: u64) {

@@ -119,6 +119,7 @@ impl Field {
     }
 
     /// Index into [`Field::ALL`].
+    #[allow(clippy::expect_used)] // ALL enumerates every variant
     pub fn index(self) -> usize {
         Field::ALL.iter().position(|&f| f == self).expect("in ALL")
     }
@@ -532,7 +533,17 @@ mod tests {
     #[test]
     fn allocate_issue_release_lifecycle() {
         let mut s = Scheduler::new(4, 2);
-        let slot = s.allocate(&entry(), DataUsage { src1: true, src2: true, imm: false }, 0).unwrap();
+        let slot = s
+            .allocate(
+                &entry(),
+                DataUsage {
+                    src1: true,
+                    src2: true,
+                    imm: false,
+                },
+                0,
+            )
+            .unwrap();
         assert!(s.is_busy(slot));
         assert!(!s.is_issued(slot));
         s.issue(slot, 5);
@@ -548,7 +559,11 @@ mod tests {
     #[test]
     fn full_scheduler_rejects_allocation() {
         let mut s = Scheduler::new(2, 4);
-        let all = DataUsage { src1: true, src2: true, imm: true };
+        let all = DataUsage {
+            src1: true,
+            src2: true,
+            imm: true,
+        };
         assert!(s.allocate(&entry(), all, 0).is_some());
         assert!(s.allocate(&entry(), all, 0).is_some());
         assert!(s.allocate(&entry(), all, 0).is_none());
@@ -557,7 +572,11 @@ mod tests {
     #[test]
     fn occupancy_and_data_occupancy_diverge_after_issue() {
         let mut s = Scheduler::new(2, 4);
-        let usage = DataUsage { src1: true, src2: false, imm: false };
+        let usage = DataUsage {
+            src1: true,
+            src2: false,
+            imm: false,
+        };
         let slot = s.allocate(&entry(), usage, 0).unwrap();
         s.issue(slot, 10);
         s.release(slot, 20);

@@ -10,9 +10,9 @@
 use gatesim::adder::{AdderNetlist, LadnerFischerAdder, RippleCarryAdder};
 use gatesim::pmos::PmosTable;
 use gatesim::vectors::{best_pair, evaluate_all_pairs, MixedCampaign};
+use nbti_model::duty::Duty;
 use nbti_model::guardband::GuardbandModel;
 use nbti_model::lifetime::LifetimeModel;
-use nbti_model::duty::Duty;
 use penelope::adder_aware::real_adder_inputs;
 use tracegen::suite::Suite;
 use tracegen::trace::TraceSpec;

@@ -24,7 +24,7 @@ fn run(scheme: SchemeKind) -> (RunResult, f64) {
         dtlb_scheme: SchemeKind::Baseline,
         ..PenelopeConfig::default()
     };
-    let (mut pipe, mut hooks) = build(&config);
+    let (mut pipe, mut hooks) = build(&config).expect("valid config");
     let mut result: Option<RunResult> = None;
     for idx in 0..3 {
         let r = pipe.run(

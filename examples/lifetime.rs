@@ -15,7 +15,10 @@ fn main() -> Result<(), nbti_model::Error> {
     println!("stress/relax dynamics (100-cycle phases):");
     let series = rd.simulate_alternating(100.0, 100.0, 5, 2)?;
     for (t, nit) in series.iter().step_by(2) {
-        println!("  t={t:>5.0}  nit={nit:.4} {}", "#".repeat((nit * 60.0) as usize));
+        println!(
+            "  t={t:>5.0}  nit={nit:.4} {}",
+            "#".repeat((nit * 60.0) as usize)
+        );
     }
     let ss = rd.steady_state(Duty::BALANCED);
     println!("  asymptote at 50% duty: {ss:.3}\n");

@@ -48,8 +48,11 @@ fn main() {
     // 4. Run a trace through the fully protected pipeline and read the
     //    balancing effect off the register file.
     let config = PenelopeConfig::default();
-    let (mut pipe, mut hooks) = build(&config);
-    let result = pipe.run(TraceSpec::new(Suite::Office, 0).generate(30_000), &mut hooks);
+    let (mut pipe, mut hooks) = build(&config).expect("valid config");
+    let result = pipe.run(
+        TraceSpec::new(Suite::Office, 0).generate(30_000),
+        &mut hooks,
+    );
     let now = pipe.now();
     pipe.parts.int_rf.sync(now);
     let worst = pipe.parts.int_rf.residency().worst_cell_duty();

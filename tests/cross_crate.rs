@@ -30,8 +30,11 @@ fn miss_penalties_raise_cpi_monotonically() {
             ..PipelineConfig::default()
         };
         let mut pipe = Pipeline::new(config);
-        pipe.run(TraceSpec::new(Suite::Server, 1).generate(20_000), &mut NoHooks)
-            .cpi()
+        pipe.run(
+            TraceSpec::new(Suite::Server, 1).generate(20_000),
+            &mut NoHooks,
+        )
+        .cpi()
     };
     let fast = run_with_penalty(4);
     let slow = run_with_penalty(40);
@@ -53,7 +56,7 @@ fn penelope_slowdown_is_small_on_average() {
         let mut cycles = 0;
         let mut uops = 0;
         if protected {
-            let (mut pipe, mut hooks) = build(&PenelopeConfig::default());
+            let (mut pipe, mut hooks) = build(&PenelopeConfig::default()).expect("valid config");
             for (suite, idx) in mix {
                 let r = pipe.run(TraceSpec::new(suite, idx).generate(25_000), &mut hooks);
                 cycles += r.cycles;
@@ -91,7 +94,7 @@ fn set_parking_costs_more_on_small_caches() {
             dtlb_scheme: SchemeKind::Baseline,
             ..PenelopeConfig::default()
         };
-        let (mut pipe, mut hooks) = build(&config);
+        let (mut pipe, mut hooks) = build(&config).expect("valid config");
         let cpi = pipe.run(trace(), &mut hooks).cpi();
         (cpi / base_cpi - 1.0).max(0.0)
     };
@@ -108,7 +111,10 @@ fn guardband_model_consumes_measured_biases() {
     // End-to-end: run, measure, map to guardband — types compose.
     let model = GuardbandModel::paper_calibrated();
     let mut pipe = Pipeline::new(PipelineConfig::default());
-    pipe.run(TraceSpec::new(Suite::Office, 4).generate(10_000), &mut NoHooks);
+    pipe.run(
+        TraceSpec::new(Suite::Office, 4).generate(10_000),
+        &mut NoHooks,
+    );
     let now = pipe.now();
     pipe.parts.int_rf.sync(now);
     let worst = pipe.parts.int_rf.residency().worst_cell_duty();
@@ -123,8 +129,11 @@ fn dtlb_scheme_operates_on_page_granularity() {
         dtlb_scheme: SchemeKind::line_fixed_50(),
         ..PenelopeConfig::default()
     };
-    let (mut pipe, mut hooks) = build(&config);
-    pipe.run(TraceSpec::new(Suite::Server, 2).generate(25_000), &mut hooks);
+    let (mut pipe, mut hooks) = build(&config).expect("valid config");
+    pipe.run(
+        TraceSpec::new(Suite::Server, 2).generate(25_000),
+        &mut hooks,
+    );
     let now = pipe.now();
     let frac = hooks.dtlb.inverted_fraction(pipe.parts.dtlb.cache(), now);
     assert!(frac > 0.25, "DTLB inverted fraction {frac}");

@@ -25,7 +25,7 @@ fn workload_population_is_stable() {
 fn full_processor_runs_are_bit_identical() {
     let run = || {
         let config = PenelopeConfig::default();
-        let (mut pipe, mut hooks) = build(&config);
+        let (mut pipe, mut hooks) = build(&config).expect("valid config");
         let r = pipe.run(
             TraceSpec::new(Suite::Encoder, 5).generate(20_000),
             &mut hooks,
@@ -49,10 +49,10 @@ fn full_processor_runs_are_bit_identical() {
 
 #[test]
 fn experiment_drivers_are_reproducible() {
-    let a = experiments::fig5(Scale::quick());
-    let b = experiments::fig5(Scale::quick());
+    let a = experiments::fig5(Scale::quick()).expect("quick scale runs");
+    let b = experiments::fig5(Scale::quick()).expect("quick scale runs");
     assert_eq!(a, b);
-    let f4a = experiments::fig4();
-    let f4b = experiments::fig4();
+    let f4a = experiments::fig4().expect("fixed adder");
+    let f4b = experiments::fig4().expect("fixed adder");
     assert_eq!(f4a, f4b);
 }

@@ -5,7 +5,7 @@ use penelope::experiments::{self, Scale};
 
 #[test]
 fn btb_extension_shows_the_cost_of_parking_live_capacity() {
-    let rows = experiments::btb_extension(Scale::quick());
+    let rows = experiments::btb_extension(Scale::quick()).expect("quick scale runs");
     assert_eq!(rows.len(), 5);
     let by_name = |needle: &str| {
         rows.iter()
@@ -17,7 +17,11 @@ fn btb_extension_shows_the_cost_of_parking_live_capacity() {
     let dynamic = by_name("LineDynamic");
 
     assert_eq!(baseline.cpi_loss, 0.0);
-    assert!(baseline.miss_ratio < 0.25, "BTB works: {}", baseline.miss_ratio);
+    assert!(
+        baseline.miss_ratio < 0.25,
+        "BTB works: {}",
+        baseline.miss_ratio
+    );
     // The BTB is small and fully live: fixed parking hurts measurably...
     assert!(line_fixed.cpi_loss > 0.005, "loss {}", line_fixed.cpi_loss);
     assert!(line_fixed.inverted_fraction > 0.4);
@@ -27,7 +31,7 @@ fn btb_extension_shows_the_cost_of_parking_live_capacity() {
 
 #[test]
 fn vmin_extension_reports_energy_savings() {
-    let rows = experiments::vmin_extension(Scale::quick());
+    let rows = experiments::vmin_extension(Scale::quick()).expect("quick scale runs");
     assert_eq!(rows.len(), 4);
     for row in &rows {
         assert!(
@@ -56,7 +60,7 @@ fn vmin_extension_reports_energy_savings() {
 
 #[test]
 fn ablation_shows_rotation_and_sampling_tradeoffs() {
-    let rows = experiments::ablation(Scale::quick());
+    let rows = experiments::ablation(Scale::quick()).expect("quick scale runs");
     let rotations: Vec<&experiments::AblationRow> = rows
         .iter()
         .filter(|r| r.label.contains("rotation"))
@@ -80,7 +84,7 @@ fn ablation_shows_rotation_and_sampling_tradeoffs() {
 
 #[test]
 fn tail_statistic_favors_the_dynamic_scheme() {
-    let rows = experiments::table3_tail(Scale::quick());
+    let rows = experiments::table3_tail(Scale::quick()).expect("quick scale runs");
     assert_eq!(rows.len(), 3);
     let dynamic = rows
         .iter()

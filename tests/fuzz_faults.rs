@@ -1,0 +1,107 @@
+//! Fault-injection fuzzing: every seeded [`FaultPlan`], pushed through the
+//! quick-scale pipeline, must produce either a typed error or a valid
+//! summary — never a panic.
+//!
+//! The deterministic sweep below covers well over the 100 random plans the
+//! robustness goal asks for; the property tests then sample the seed space
+//! more freely (with a small case count, since each case is a full
+//! pipeline run).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use penelope::error::Error;
+use penelope::experiments::{efficiency_summary_faulted, Scale};
+use penelope::fault::{FaultKind, FaultPlan};
+use proptest::prelude::*;
+
+/// Runs one plan under `catch_unwind` so a regression reports the seed and
+/// plan that broke instead of aborting the whole sweep at the first panic.
+fn run_plan(plan: &FaultPlan) -> Result<Result<usize, Error>, String> {
+    let cloned = plan.clone();
+    catch_unwind(AssertUnwindSafe(move || {
+        efficiency_summary_faulted(Scale::quick(), &cloned).map(|rows| rows.len())
+    }))
+    .map_err(|_| format!("plan {plan:?} panicked"))
+}
+
+#[test]
+fn a_hundred_random_plans_never_panic() {
+    let mut panics = Vec::new();
+    let mut ok_runs = 0usize;
+    let mut typed_errors = 0usize;
+    for seed in 0..120u64 {
+        let plan = FaultPlan::random(seed);
+        match run_plan(&plan) {
+            Ok(Ok(rows)) => {
+                assert_eq!(rows, 4, "seed {seed} produced a malformed summary");
+                ok_runs += 1;
+            }
+            Ok(Err(_)) => typed_errors += 1,
+            Err(message) => panics.push(message),
+        }
+    }
+    assert!(panics.is_empty(), "panicking plans: {panics:?}");
+    // The sweep must exercise both outcomes, or it proves nothing.
+    assert!(ok_runs > 0, "no random plan survived to a summary");
+    assert!(typed_errors > 0, "no random plan was rejected");
+}
+
+#[test]
+fn every_single_fault_kind_is_survivable_alone() {
+    for (index, kind) in FaultKind::MENU.iter().enumerate() {
+        let plan = FaultPlan::new(index as u64).with(*kind);
+        if let Err(message) = run_plan(&plan) {
+            panic!("single-kind {message}");
+        }
+    }
+}
+
+#[test]
+fn the_full_menu_at_once_is_survivable() {
+    let mut plan = FaultPlan::new(0xC0FFEE);
+    for kind in FaultKind::MENU {
+        plan = plan.with(kind);
+    }
+    if let Err(message) = run_plan(&plan) {
+        panic!("full-menu {message}");
+    }
+}
+
+#[test]
+fn fault_outcomes_are_deterministic_per_seed() {
+    for seed in [3u64, 17, 91] {
+        let plan = FaultPlan::random(seed);
+        let first = efficiency_summary_faulted(Scale::quick(), &plan);
+        let second = efficiency_summary_faulted(Scale::quick(), &plan);
+        match (first, second) {
+            (Ok(a), Ok(b)) => {
+                let key = |rows: &[penelope::experiments::EfficiencyRow]| {
+                    rows.iter()
+                        .map(|r| (r.name.clone(), r.efficiency.to_bits()))
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(key(&a), key(&b), "seed {seed} diverged");
+            }
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "seed {seed} diverged"),
+            (a, b) => panic!("seed {seed} flipped outcome: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn arbitrary_seeds_never_panic(seed in any::<u64>()) {
+        let plan = FaultPlan::random(seed);
+        prop_assert!(run_plan(&plan).is_ok(), "seed {seed} panicked");
+    }
+
+    #[test]
+    fn arbitrary_kind_pairs_never_panic(seed in any::<u64>(), a in 0usize..16, b in 0usize..16) {
+        let plan = FaultPlan::new(seed)
+            .with(FaultKind::MENU[a])
+            .with(FaultKind::MENU[b]);
+        prop_assert!(run_plan(&plan).is_ok(), "pair ({a}, {b}) panicked");
+    }
+}

@@ -1,0 +1,94 @@
+//! Golden regression values for the efficiency comparison (§4.2).
+//!
+//! The two conventional design points are pure guardband-model arithmetic
+//! — no simulation noise — so they are pinned tightly. The measured
+//! Penelope rows depend on the quick-scale workload sample, so only their
+//! identity, ordering and sanity are pinned here (determinism across runs
+//! is covered by the `determinism` suite).
+
+use penelope::experiments::{efficiency_summary, efficiency_summary_faulted, Scale};
+use penelope::fault::FaultPlan;
+
+const ROW_NAMES: [&str; 6] = [
+    "baseline (full guardband)",
+    "invert periodically",
+    "Penelope adder (round-robin inputs)",
+    "Penelope register file (ISV at release)",
+    "Penelope scheduler (ALL1/ALL1-K%/ISV)",
+    "Penelope DL0 (LineFixed50%)",
+];
+
+#[test]
+fn efficiency_table_keeps_its_shape_and_order() {
+    let rows = efficiency_summary(Scale::quick()).expect("quick scale runs");
+    let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(names, ROW_NAMES);
+    for row in &rows {
+        assert!(
+            row.efficiency.is_finite() && row.efficiency >= 1.0,
+            "{}: NBTIefficiency {} out of range",
+            row.name,
+            row.efficiency
+        );
+    }
+}
+
+#[test]
+fn baseline_efficiency_is_pinned() {
+    let rows = efficiency_summary(Scale::quick()).expect("quick scale runs");
+    let baseline = &rows[0];
+    assert!(
+        (baseline.efficiency - 1.728).abs() < 1e-3,
+        "baseline drifted to {}",
+        baseline.efficiency
+    );
+    assert_eq!(baseline.paper, 1.73);
+}
+
+#[test]
+fn invert_mode_efficiency_is_pinned() {
+    let rows = efficiency_summary(Scale::quick()).expect("quick scale runs");
+    let invert = &rows[1];
+    assert!(
+        (invert.efficiency - 1.41).abs() < 0.02,
+        "invert mode drifted to {}",
+        invert.efficiency
+    );
+    assert_eq!(invert.paper, 1.41);
+}
+
+#[test]
+fn measured_rows_stay_within_paper_neighborhood() {
+    // The quick-scale sample is noisy, but the measured designs must
+    // still beat the full-guardband baseline and stay within a broad
+    // band of the paper's numbers — a cheap tripwire for gross
+    // calibration regressions.
+    let rows = efficiency_summary(Scale::quick()).expect("quick scale runs");
+    let baseline = rows[0].efficiency;
+    for row in &rows[2..] {
+        assert!(
+            row.efficiency < baseline,
+            "{} ({}) does not beat the baseline ({baseline})",
+            row.name,
+            row.efficiency
+        );
+        assert!(
+            (row.efficiency - row.paper).abs() < 0.35,
+            "{} drifted to {} (paper: {})",
+            row.name,
+            row.efficiency,
+            row.paper
+        );
+    }
+}
+
+#[test]
+fn empty_fault_plan_reproduces_the_clean_baseline() {
+    let rows = efficiency_summary_faulted(Scale::quick(), &FaultPlan::none())
+        .expect("empty plan runs clean");
+    assert!(
+        (rows[0].efficiency - 1.728).abs() < 1e-3,
+        "faulted-path baseline drifted to {}",
+        rows[0].efficiency
+    );
+}

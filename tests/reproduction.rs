@@ -5,7 +5,7 @@ use penelope::experiments::{self, Scale};
 
 #[test]
 fn figure_1_saw_tooth_accumulates_damage() {
-    let series = experiments::fig1();
+    let series = experiments::fig1().expect("valid model");
     let peak = series.iter().map(|(_, n)| *n).fold(0.0, f64::max);
     let last = series.last().expect("non-empty").1;
     assert!(peak > 0.2, "stress accumulates");
@@ -14,7 +14,7 @@ fn figure_1_saw_tooth_accumulates_damage() {
 
 #[test]
 fn motivation_statistics_match_the_paper() {
-    let m = experiments::motivation(Scale::quick());
+    let m = experiments::motivation(Scale::quick()).expect("quick scale runs");
     // §1.1: carry-in "0" more than 90% of the time.
     assert!(m.carry_in_zero > 0.90, "carry-in zero {}", m.carry_in_zero);
     // §1.1: integer register file bias between ~65% and ~90% for all bits.
@@ -39,7 +39,7 @@ fn motivation_statistics_match_the_paper() {
 
 #[test]
 fn figure_4_best_pair_is_1_plus_8() {
-    let pairs = experiments::fig4();
+    let pairs = experiments::fig4().expect("fixed adder");
     assert_eq!(pairs.len(), 28);
     let best = pairs
         .iter()
@@ -55,11 +55,15 @@ fn figure_4_best_pair_is_1_plus_8() {
 
 #[test]
 fn figure_5_guardbands_shrink_with_idle_healing() {
-    let rows = experiments::fig5(Scale::quick());
+    let rows = experiments::fig5(Scale::quick()).expect("quick scale runs");
     assert_eq!(rows.len(), 4);
     // Real inputs pay a large guardband; healed scenarios pay much less,
     // decreasing with utilization (paper: 20% / 7.4% / 5.8% / ~4%).
-    assert!(rows[0].guardband > 0.12, "real inputs: {}", rows[0].guardband);
+    assert!(
+        rows[0].guardband > 0.12,
+        "real inputs: {}",
+        rows[0].guardband
+    );
     assert!(rows[1].guardband < rows[0].guardband / 2.0);
     assert!(rows[2].guardband < rows[1].guardband);
     assert!(rows[3].guardband < rows[2].guardband);
@@ -68,7 +72,7 @@ fn figure_5_guardbands_shrink_with_idle_healing() {
 
 #[test]
 fn figure_6_isv_balances_both_register_files() {
-    let f = experiments::fig6(Scale::quick());
+    let f = experiments::fig6(Scale::quick()).expect("quick scale runs");
     // Paper: INT 89.9% -> 48.5%, FP 84.2% -> 45.5% (worst bias).
     assert!(f.int_baseline_worst() > 0.80);
     assert!(f.int_isv_worst() < f.int_baseline_worst() - 0.15);
@@ -81,21 +85,17 @@ fn figure_6_isv_balances_both_register_files() {
 
 #[test]
 fn figure_8_scheduler_worst_bias_drops_toward_occupancy() {
-    let f = experiments::fig8(Scale::quick());
+    let f = experiments::fig8(Scale::quick()).expect("quick scale runs");
     assert!(f.worst_baseline > 0.95, "baseline {}", f.worst_baseline);
     // Paper: ~100% -> 63.2%; the floor is set by the unprotectable valid
     // bit, whose duty equals the occupancy.
-    assert!(
-        f.worst_protected < 0.80,
-        "protected {}",
-        f.worst_protected
-    );
+    assert!(f.worst_protected < 0.80, "protected {}", f.worst_protected);
     assert!(f.worst_protected >= f.occupancy - 0.1);
 }
 
 #[test]
 fn efficiency_ordering_matches_section_4() {
-    let rows = experiments::efficiency_summary(Scale::quick());
+    let rows = experiments::efficiency_summary(Scale::quick()).expect("quick scale runs");
     let by_name = |needle: &str| {
         rows.iter()
             .find(|r| r.name.contains(needle))
@@ -117,18 +117,14 @@ fn efficiency_ordering_matches_section_4() {
 
 #[test]
 fn whole_processor_beats_the_baseline_by_a_wide_margin() {
-    let t = experiments::table4(Scale::quick());
+    let t = experiments::table4(Scale::quick()).expect("quick scale runs");
     assert_eq!(t.blocks.len(), 5);
     // Paper: 1.28 vs 1.73, with combined CPI 1.007 and max guardband from
     // the adder. The quick scale (8k uops/trace) carries warm-up noise —
     // short runs overstate both CPI loss and the FP file's residual bias —
     // so the bound here is loose; EXPERIMENTS.md records the standard-scale
     // result (~1.33).
-    assert!(
-        t.efficiency < 1.55,
-        "Penelope efficiency {}",
-        t.efficiency
-    );
+    assert!(t.efficiency < 1.55, "Penelope efficiency {}", t.efficiency);
     assert!((t.baseline_efficiency - 1.728).abs() < 1e-3);
     assert!(
         t.efficiency < t.baseline_efficiency - 0.2,
@@ -157,11 +153,14 @@ fn table_3_single_geometry_sanity() {
             dtlb_scheme: SchemeKind::Baseline,
             ..PenelopeConfig::default()
         };
-        let (mut pipe, mut hooks) = build(&config);
+        let (mut pipe, mut hooks) = build(&config).expect("valid config");
         let mut cycles = 0;
         let mut uops = 0;
         for idx in 0..2 {
-            let r = pipe.run(TraceSpec::new(Suite::Office, idx).generate(15_000), &mut hooks);
+            let r = pipe.run(
+                TraceSpec::new(Suite::Office, idx).generate(15_000),
+                &mut hooks,
+            );
             cycles += r.cycles;
             uops += r.uops;
         }
@@ -174,5 +173,8 @@ fn table_3_single_geometry_sanity() {
     let lf_loss = line_fixed / baseline - 1.0;
     let dyn_loss = dynamic / baseline - 1.0;
     assert!(lf_loss < 0.06, "LineFixed loss {lf_loss}");
-    assert!(dyn_loss <= lf_loss + 0.005, "dynamic {dyn_loss} vs fixed {lf_loss}");
+    assert!(
+        dyn_loss <= lf_loss + 0.005,
+        "dynamic {dyn_loss} vs fixed {lf_loss}"
+    );
 }
