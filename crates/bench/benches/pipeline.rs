@@ -2,9 +2,11 @@
 //! throughput, and the overhead added by each Penelope mechanism's hooks.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use penelope::obs::with_recording;
 use penelope::processor::{build, PenelopeConfig};
 use penelope::regfile_aware::RegfileIsvHooks;
 use penelope::sched_aware::SchedulerHooks;
+use penelope_telemetry::recorder::{self, Settings};
 use tracegen::suite::Suite;
 use tracegen::trace::TraceSpec;
 use uarch::pipeline::{NoHooks, Pipeline, PipelineConfig};
@@ -42,6 +44,31 @@ fn bench_pipeline(c: &mut Criterion) {
             let config = PenelopeConfig::default();
             let (mut pipe, mut hooks) = build(&config).expect("valid config");
             black_box(pipe.run(spec.generate(UOPS), &mut hooks))
+        })
+    });
+    // The zero-cost-when-disabled contract: with no recorder installed,
+    // `with_recording` must run the same code as `penelope_full` above.
+    group.bench_function("telemetry_disabled", |b| {
+        let _ = recorder::finish();
+        b.iter(|| {
+            let config = PenelopeConfig::default();
+            let (mut pipe, mut hooks) = build(&config).expect("valid config");
+            black_box(with_recording(&mut hooks, |mut h| {
+                pipe.run(spec.generate(UOPS), &mut h)
+            }))
+        })
+    });
+    // And the price when it is on, at the default sampling period.
+    group.bench_function("telemetry_sampling", |b| {
+        b.iter(|| {
+            recorder::install(Settings::default());
+            let config = PenelopeConfig::default();
+            let (mut pipe, mut hooks) = build(&config).expect("valid config");
+            let result = black_box(with_recording(&mut hooks, |mut h| {
+                pipe.run(spec.generate(UOPS), &mut h)
+            }));
+            let _ = black_box(recorder::finish());
+            result
         })
     });
     group.finish();

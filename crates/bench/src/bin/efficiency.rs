@@ -4,9 +4,14 @@ use std::process::ExitCode;
 use penelope::{experiments, report};
 
 fn main() -> ExitCode {
-    penelope_bench::run_main("NBTIefficiency comparison", "§4.2-4.6", |scale| {
-        Ok(report::render_efficiency(&experiments::efficiency_summary(
-            scale,
-        )?))
-    })
+    penelope_bench::run_main(
+        "efficiency",
+        "NBTIefficiency comparison",
+        "§4.2-4.6",
+        |scale| {
+            Ok(report::render_efficiency(&experiments::efficiency_summary(
+                scale,
+            )?))
+        },
+    )
 }

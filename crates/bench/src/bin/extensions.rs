@@ -7,6 +7,7 @@ use penelope::{experiments, report};
 
 fn main() -> ExitCode {
     penelope_bench::run_main(
+        "extensions",
         "Extensions",
         "beyond the paper's evaluated scope",
         |scale| {

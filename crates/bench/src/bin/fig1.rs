@@ -5,7 +5,10 @@ use std::process::ExitCode;
 use penelope::{experiments, report};
 
 fn main() -> ExitCode {
-    penelope_bench::run_main("Figure 1", "NBTI stress/recovery dynamics, §2.2", |_| {
-        Ok(report::render_fig1(&experiments::fig1()?))
-    })
+    penelope_bench::run_main(
+        "fig1",
+        "Figure 1",
+        "NBTI stress/recovery dynamics, §2.2",
+        |_| Ok(report::render_fig1(&experiments::fig1()?)),
+    )
 }

@@ -5,7 +5,7 @@ use std::process::ExitCode;
 use penelope::{experiments, report};
 
 fn main() -> ExitCode {
-    penelope_bench::run_main("Figure 4", "idle-vector pair search, §4.3", |_| {
+    penelope_bench::run_main("fig4", "Figure 4", "idle-vector pair search, §4.3", |_| {
         Ok(report::render_fig4(&experiments::fig4()?))
     })
 }

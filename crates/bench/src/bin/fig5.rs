@@ -5,7 +5,7 @@ use std::process::ExitCode;
 use penelope::{experiments, report};
 
 fn main() -> ExitCode {
-    penelope_bench::run_main("Figure 5", "adder guardbands, §4.3", |scale| {
+    penelope_bench::run_main("fig5", "Figure 5", "adder guardbands, §4.3", |scale| {
         Ok(report::render_fig5(&experiments::fig5(scale)?))
     })
 }

@@ -4,7 +4,10 @@ use std::process::ExitCode;
 use penelope::{experiments, report};
 
 fn main() -> ExitCode {
-    penelope_bench::run_main("Figure 6", "register-file balancing, §4.4", |scale| {
-        Ok(report::render_fig6(&experiments::fig6(scale)?))
-    })
+    penelope_bench::run_main(
+        "fig6",
+        "Figure 6",
+        "register-file balancing, §4.4",
+        |scale| Ok(report::render_fig6(&experiments::fig6(scale)?)),
+    )
 }

@@ -4,7 +4,7 @@ use std::process::ExitCode;
 use penelope::{experiments, report};
 
 fn main() -> ExitCode {
-    penelope_bench::run_main("Figure 8", "scheduler balancing, §4.5", |scale| {
+    penelope_bench::run_main("fig8", "Figure 8", "scheduler balancing, §4.5", |scale| {
         Ok(report::render_fig8(&experiments::fig8(scale)?))
     })
 }

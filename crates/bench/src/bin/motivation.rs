@@ -4,7 +4,7 @@ use std::process::ExitCode;
 use penelope::{experiments, report};
 
 fn main() -> ExitCode {
-    penelope_bench::run_main("Motivation statistics", "§1.1", |scale| {
+    penelope_bench::run_main("motivation", "Motivation statistics", "§1.1", |scale| {
         Ok(report::render_motivation(&experiments::motivation(scale)?))
     })
 }

@@ -6,10 +6,15 @@ use std::process::ExitCode;
 use penelope::{experiments, report};
 
 fn main() -> ExitCode {
-    penelope_bench::run_main("Table 3", "cache-scheme performance loss, §4.6", |scale| {
-        let mut out = report::render_table3(&experiments::table3(scale)?);
-        out.push('\n');
-        out.push_str(&report::render_tail(&experiments::table3_tail(scale)?));
-        Ok(out)
-    })
+    penelope_bench::run_main(
+        "table3",
+        "Table 3",
+        "cache-scheme performance loss, §4.6",
+        |scale| {
+            let mut out = report::render_table3(&experiments::table3(scale)?);
+            out.push('\n');
+            out.push_str(&report::render_tail(&experiments::table3_tail(scale)?));
+            Ok(out)
+        },
+    )
 }

@@ -5,7 +5,10 @@ use std::process::ExitCode;
 use penelope::{experiments, report};
 
 fn main() -> ExitCode {
-    penelope_bench::run_main("Whole-processor summary", "§4.7 / Table 4", |scale| {
-        Ok(report::render_table4(&experiments::table4(scale)?))
-    })
+    penelope_bench::run_main(
+        "table4",
+        "Whole-processor summary",
+        "§4.7 / Table 4",
+        |scale| Ok(report::render_table4(&experiments::table4(scale)?)),
+    )
 }

@@ -1,0 +1,416 @@
+//! The shared command-line front end for every `penelope-bench` binary.
+//!
+//! All eleven binaries funnel through [`run_main`]: flag parsing, the
+//! scale/fault environment variables, the panic supervisor and — when a
+//! report path is given — the telemetry recorder lifecycle. A binary's
+//! `main` is one call naming its slug, artifact and paper section plus a
+//! closure running the experiment.
+//!
+//! Accepted flags (shared by every binary):
+//!
+//! - `--scale <quick|standard|thorough>` — experiment size; overrides the
+//!   `PENELOPE_SCALE` environment variable;
+//! - `--json <path>` — write a machine-readable run report (schema in
+//!   `penelope-telemetry`); overrides `PENELOPE_METRICS`;
+//! - `-h` / `--help` — print usage and exit successfully.
+//!
+//! When a report path is active the recorder is installed before the
+//! experiment runs, drivers contribute phases/series through
+//! `penelope::obs`, and the finished report is validated and written even
+//! when the experiment fails (with `"status": "error"` in the manifest).
+
+use std::panic::{catch_unwind, UnwindSafe};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use penelope::error::Error;
+use penelope::experiments::{efficiency_summary_faulted, Scale};
+use penelope::fault::FaultPlan;
+use penelope::report::render_efficiency;
+use penelope_telemetry::recorder::{self, Settings};
+use penelope_telemetry::{build_report, validate_report, Json};
+
+/// Parses a scale name, case-insensitively and ignoring surrounding
+/// whitespace. The empty string means "standard".
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(
+///     penelope_bench::parse_scale("QUICK"),
+///     Ok(penelope::experiments::Scale::quick()),
+/// );
+/// assert!(penelope_bench::parse_scale("enormous").is_err());
+/// ```
+///
+/// # Errors
+///
+/// Returns a human-readable description of the rejected value.
+pub fn parse_scale(name: &str) -> Result<Scale, String> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "" | "standard" => Ok(Scale::standard()),
+        "quick" => Ok(Scale::quick()),
+        "thorough" => Ok(Scale::thorough()),
+        other => Err(format!(
+            "unknown scale {other:?} (expected quick, standard or thorough)"
+        )),
+    }
+}
+
+/// The canonical name of a scale, for the run manifest. Scales that match
+/// none of the presets (impossible through this CLI) read "custom".
+pub fn scale_name(scale: Scale) -> &'static str {
+    if scale == Scale::quick() {
+        "quick"
+    } else if scale == Scale::standard() {
+        "standard"
+    } else if scale == Scale::thorough() {
+        "thorough"
+    } else {
+        "custom"
+    }
+}
+
+/// Reads the experiment scale from `PENELOPE_SCALE` (default: standard).
+/// Unrecognized values warn on stderr and fall back to the default.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("PENELOPE_SCALE") {
+        Ok(value) => parse_scale(&value).unwrap_or_else(|warning| {
+            eprintln!("PENELOPE_SCALE: {warning}; using standard");
+            Scale::standard()
+        }),
+        Err(_) => Scale::standard(),
+    }
+}
+
+/// Reads a fault plan from `PENELOPE_FAULTS`: a `u64` seed expanding into
+/// a seeded random [`FaultPlan`]. Unset or empty means no faults;
+/// unparseable values warn and disable injection rather than abort.
+pub fn fault_plan_from_env() -> Option<FaultPlan> {
+    let raw = std::env::var("PENELOPE_FAULTS").ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<u64>() {
+        Ok(seed) => Some(FaultPlan::random(seed)),
+        Err(_) => {
+            eprintln!(
+                "unparseable PENELOPE_FAULTS {trimmed:?} (expected a u64 seed); \
+                 faults disabled"
+            );
+            None
+        }
+    }
+}
+
+/// Prints a standard header naming the artifact being regenerated.
+pub fn header(what: &str, paper_ref: &str, scale: Scale) {
+    println!("=== Penelope reproduction: {what} ({paper_ref}) ===");
+    println!(
+        "scale: {} traces/suite x {} uops, time/{}\n",
+        scale.traces_per_suite, scale.uops_per_trace, scale.time_scale
+    );
+}
+
+/// Command-line options shared by every bench binary, after merging flags
+/// with the environment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Args {
+    scale: Option<Scale>,
+    json: Option<PathBuf>,
+    help: bool,
+}
+
+/// Parses the shared flag set. Pure function over the argument list so it
+/// is unit-testable; `run_main` feeds it `std::env::args().skip(1)`.
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    let mut parsed = Args::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((flag, value)) => (flag.to_string(), Some(value.to_string())),
+            None => (arg, None),
+        };
+        let mut value = |name: &str| {
+            inline
+                .clone()
+                .or_else(|| iter.next())
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--scale" => parsed.scale = Some(parse_scale(&value("--scale")?)?),
+            "--json" => parsed.json = Some(PathBuf::from(value("--json")?)),
+            "-h" | "--help" => parsed.help = true,
+            other => {
+                return Err(format!("unknown argument {other:?} (try --help)"));
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+fn usage(slug: &str) {
+    println!(
+        "USAGE: {slug} [--scale <quick|standard|thorough>] [--json <path>]\n\
+         \n\
+         Options:\n\
+         \x20 --scale <name>   experiment size (default: PENELOPE_SCALE or standard)\n\
+         \x20 --json <path>    write a machine-readable run report (default: PENELOPE_METRICS)\n\
+         \x20 -h, --help       print this help\n\
+         \n\
+         Environment:\n\
+         \x20 PENELOPE_SCALE   scale when --scale is absent\n\
+         \x20 PENELOPE_METRICS report path when --json is absent\n\
+         \x20 PENELOPE_FAULTS  u64 seed: replace the experiment with a seeded\n\
+         \x20                  fault-injection run (always exits nonzero)"
+    );
+}
+
+/// The report path after merging `--json` with `PENELOPE_METRICS`.
+fn report_path(flag: Option<PathBuf>) -> Option<PathBuf> {
+    flag.or_else(|| {
+        let raw = std::env::var("PENELOPE_METRICS").ok()?;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            None
+        } else {
+            Some(PathBuf::from(trimmed))
+        }
+    })
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+/// Runs one binary's experiment under the supervisor.
+///
+/// `slug` is the binary's short name (used in `--help` and the run
+/// manifest), `what` the artifact being regenerated, `paper_ref` the paper
+/// section. The closure receives the chosen scale and returns the rendered
+/// report. Typed errors and panics are both reported to stderr with a
+/// partial-results note and mapped to a nonzero exit code. When
+/// `PENELOPE_FAULTS` is set the closure is bypassed: the seeded fault plan
+/// runs through the full pipeline instead, and the process always exits
+/// nonzero (see [`fault_plan_from_env`]).
+///
+/// With `--json <path>` (or `PENELOPE_METRICS=<path>`) the telemetry
+/// recorder is active for the whole run and a validated JSON run report is
+/// written to `path` on the way out — also on failure, with
+/// `"status": "error"` in its manifest.
+pub fn run_main(
+    slug: &str,
+    what: &str,
+    paper_ref: &str,
+    experiment: impl FnOnce(Scale) -> Result<String, Error> + UnwindSafe,
+) -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{slug}: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
+        usage(slug);
+        return ExitCode::SUCCESS;
+    }
+    let scale = args.scale.unwrap_or_else(scale_from_env);
+    let report = report_path(args.json);
+    header(what, paper_ref, scale);
+
+    if report.is_some() {
+        recorder::install(Settings::default());
+        recorder::manifest_entry("binary", Json::from(slug));
+        recorder::manifest_entry("artifact", Json::from(what));
+        recorder::manifest_entry("paper_ref", Json::from(paper_ref));
+        recorder::manifest_entry("scale_name", Json::from(scale_name(scale)));
+    }
+
+    let exit = if let Some(plan) = fault_plan_from_env() {
+        recorder::manifest_entry("fault_seed", Json::from(plan.seed));
+        run_faulted(what, scale, &plan)
+    } else {
+        match catch_unwind(move || experiment(scale)) {
+            Ok(Ok(rendered)) => {
+                print!("{rendered}");
+                ExitCode::SUCCESS
+            }
+            Ok(Err(err)) => {
+                eprintln!("{what}: experiment failed: {err}");
+                eprintln!("{what}: no results were produced");
+                ExitCode::FAILURE
+            }
+            Err(payload) => {
+                eprintln!("{what}: experiment panicked: {}", panic_message(&*payload));
+                eprintln!("{what}: partial results lost; this is a bug in the harness");
+                ExitCode::FAILURE
+            }
+        }
+    };
+
+    match report {
+        Some(path) => match write_report(slug, &path, exit == ExitCode::SUCCESS) {
+            Ok(()) => exit,
+            Err(message) => {
+                eprintln!("{slug}: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        None => exit,
+    }
+}
+
+/// Detaches the recorder, stamps the run status, validates the report and
+/// writes it (newline-terminated) to `path`.
+fn write_report(slug: &str, path: &std::path::Path, ok: bool) -> Result<(), String> {
+    recorder::manifest_entry("status", Json::from(if ok { "ok" } else { "error" }));
+    let collector = recorder::finish()
+        .ok_or("internal error: recorder vanished before the report was written")?;
+    let report = build_report(&collector);
+    validate_report(&report).map_err(|err| format!("built an invalid report: {err}"))?;
+    let mut encoded = report.encode();
+    encoded.push('\n');
+    std::fs::write(path, encoded)
+        .map_err(|err| format!("cannot write report to {}: {err}", path.display()))?;
+    eprintln!("{slug}: run report written to {}", path.display());
+    Ok(())
+}
+
+/// Executes a fault plan through the pipeline and reports the outcome.
+/// Always returns failure: a faulted run never counts as a reproduction.
+fn run_faulted(what: &str, scale: Scale, plan: &FaultPlan) -> ExitCode {
+    eprintln!(
+        "{what}: FAULT INJECTION ACTIVE (seed {}, {:?}) — robustness \
+         exercise, not a reproduction",
+        plan.seed, plan.kinds
+    );
+    let plan_clone = plan.clone();
+    match catch_unwind(move || efficiency_summary_faulted(scale, &plan_clone)) {
+        Ok(Ok(rows)) => {
+            eprintln!("{what}: faulted run completed; results below are suspect");
+            print!("{}", render_efficiency(&rows));
+        }
+        Ok(Err(err)) => {
+            eprintln!("{what}: faulted run rejected with a typed error: {err}");
+        }
+        Err(payload) => {
+            eprintln!(
+                "{what}: faulted run PANICKED: {} — the error layer should \
+                 have caught this; please report it",
+                panic_message(&*payload)
+            );
+        }
+    }
+    ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_scale_accepts_all_names_case_insensitively() {
+        assert_eq!(parse_scale("quick"), Ok(Scale::quick()));
+        assert_eq!(parse_scale("Quick"), Ok(Scale::quick()));
+        assert_eq!(parse_scale("THOROUGH"), Ok(Scale::thorough()));
+        assert_eq!(parse_scale(" standard "), Ok(Scale::standard()));
+        assert_eq!(parse_scale(""), Ok(Scale::standard()));
+    }
+
+    #[test]
+    fn parse_scale_rejects_unknown_names_with_context() {
+        let err = parse_scale("enormous").unwrap_err();
+        assert!(err.contains("enormous"));
+        assert!(err.contains("quick"));
+    }
+
+    #[test]
+    fn scale_names_round_trip() {
+        for name in ["quick", "standard", "thorough"] {
+            assert_eq!(scale_name(parse_scale(name).unwrap()), name);
+        }
+    }
+
+    #[test]
+    fn args_parse_both_flag_styles() {
+        let parsed = parse_args(strings(&["--scale", "quick", "--json", "out.json"])).unwrap();
+        assert_eq!(parsed.scale, Some(Scale::quick()));
+        assert_eq!(parsed.json, Some(PathBuf::from("out.json")));
+        assert!(!parsed.help);
+
+        let parsed = parse_args(strings(&["--scale=thorough", "--json=r/x.json"])).unwrap();
+        assert_eq!(parsed.scale, Some(Scale::thorough()));
+        assert_eq!(parsed.json, Some(PathBuf::from("r/x.json")));
+    }
+
+    #[test]
+    fn args_reject_unknown_flags_and_missing_values() {
+        assert!(parse_args(strings(&["--frobnicate"]))
+            .unwrap_err()
+            .contains("unknown argument"));
+        assert!(parse_args(strings(&["--json"]))
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse_args(strings(&["--scale", "enormous"]))
+            .unwrap_err()
+            .contains("enormous"));
+    }
+
+    #[test]
+    fn help_flags_are_recognized() {
+        assert!(parse_args(strings(&["-h"])).unwrap().help);
+        assert!(parse_args(strings(&["--help"])).unwrap().help);
+        assert!(!parse_args(strings(&[])).unwrap().help);
+    }
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(&*payload), "static str");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(&*payload), "owned");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(&*payload), "non-string panic payload");
+    }
+
+    #[test]
+    fn report_writing_needs_an_installed_recorder() {
+        let _ = recorder::finish();
+        let err =
+            write_report("test", std::path::Path::new("/nonexistent/x.json"), true).unwrap_err();
+        assert!(err.contains("recorder"), "{err}");
+    }
+
+    #[test]
+    fn written_reports_validate_and_carry_the_status() {
+        let dir = std::env::temp_dir().join("penelope-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        recorder::install(Settings::default());
+        recorder::manifest_entry("binary", Json::from("test"));
+        recorder::record_run(1_000, 400);
+        write_report("test", &path, false).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let report = penelope_telemetry::json::parse(&raw).unwrap();
+        validate_report(&report).unwrap();
+        assert_eq!(
+            report
+                .get("manifest")
+                .and_then(|m| m.get("status"))
+                .and_then(Json::as_str),
+            Some("error")
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

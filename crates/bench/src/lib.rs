@@ -1,200 +1,26 @@
 //! Shared helpers for the Penelope benchmark harness.
 //!
 //! Every `penelope-bench` binary regenerates one table or figure of the
-//! paper. The experiment size is chosen with the `PENELOPE_SCALE`
-//! environment variable: `quick`, `standard` (default) or `thorough`.
-//! At any scale the *shape* of the paper's results is reproduced; larger
-//! scales reduce sampling noise.
+//! paper, and they all share one front end, [`cli::run_main`]:
 //!
-//! Two robustness features are built into every binary via [`run_main`]:
-//!
+//! - scale selection via `--scale` or the `PENELOPE_SCALE` environment
+//!   variable (`quick`, `standard` — the default — or `thorough`; at any
+//!   scale the *shape* of the paper's results is reproduced, larger scales
+//!   reduce sampling noise);
+//! - machine-readable run reports via `--json <path>` or
+//!   `PENELOPE_METRICS=<path>`, produced by the `penelope-telemetry`
+//!   recorder;
 //! - a panic supervisor: drivers return typed errors, and anything that
 //!   still panics is caught, reported as a partial-results failure and
 //!   mapped to a nonzero exit code instead of an abort;
 //! - fault injection: setting `PENELOPE_FAULTS=<u64 seed>` replaces the
-//!   binary's experiment with a seeded random [`FaultPlan`] pushed through
+//!   binary's experiment with a seeded random fault plan pushed through
 //!   the full pipeline. A faulted run is a robustness exercise, not a
 //!   reproduction, so it always exits nonzero after reporting what the
 //!   fault did.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
-use std::panic::{catch_unwind, UnwindSafe};
-use std::process::ExitCode;
 
-use penelope::error::Error;
-use penelope::experiments::{efficiency_summary_faulted, Scale};
-use penelope::fault::FaultPlan;
-use penelope::report::render_efficiency;
+pub mod cli;
 
-/// Parses a scale name, case-insensitively and ignoring surrounding
-/// whitespace. The empty string means "standard".
-///
-/// # Example
-///
-/// ```
-/// assert_eq!(
-///     penelope_bench::parse_scale("QUICK"),
-///     Ok(penelope::experiments::Scale::quick()),
-/// );
-/// assert!(penelope_bench::parse_scale("enormous").is_err());
-/// ```
-///
-/// # Errors
-///
-/// Returns a human-readable description of the rejected value.
-pub fn parse_scale(name: &str) -> Result<Scale, String> {
-    match name.trim().to_ascii_lowercase().as_str() {
-        "" | "standard" => Ok(Scale::standard()),
-        "quick" => Ok(Scale::quick()),
-        "thorough" => Ok(Scale::thorough()),
-        other => Err(format!(
-            "unknown PENELOPE_SCALE {other:?} (expected quick, standard or thorough)"
-        )),
-    }
-}
-
-/// Reads the experiment scale from `PENELOPE_SCALE` (default: standard).
-/// Unrecognized values warn on stderr and fall back to the default.
-pub fn scale_from_env() -> Scale {
-    match std::env::var("PENELOPE_SCALE") {
-        Ok(value) => parse_scale(&value).unwrap_or_else(|warning| {
-            eprintln!("{warning}; using standard");
-            Scale::standard()
-        }),
-        Err(_) => Scale::standard(),
-    }
-}
-
-/// Reads a fault plan from `PENELOPE_FAULTS`: a `u64` seed expanding into
-/// a seeded random [`FaultPlan`]. Unset or empty means no faults;
-/// unparseable values warn and disable injection rather than abort.
-pub fn fault_plan_from_env() -> Option<FaultPlan> {
-    let raw = std::env::var("PENELOPE_FAULTS").ok()?;
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return None;
-    }
-    match trimmed.parse::<u64>() {
-        Ok(seed) => Some(FaultPlan::random(seed)),
-        Err(_) => {
-            eprintln!(
-                "unparseable PENELOPE_FAULTS {trimmed:?} (expected a u64 seed); \
-                 faults disabled"
-            );
-            None
-        }
-    }
-}
-
-/// Prints a standard header naming the artifact being regenerated.
-pub fn header(what: &str, paper_ref: &str, scale: Scale) {
-    println!("=== Penelope reproduction: {what} ({paper_ref}) ===");
-    println!(
-        "scale: {} traces/suite x {} uops, time/{}\n",
-        scale.traces_per_suite, scale.uops_per_trace, scale.time_scale
-    );
-}
-
-/// Extracts a printable message from a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
-    payload
-        .downcast_ref::<&'static str>()
-        .copied()
-        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
-        .unwrap_or("non-string panic payload")
-}
-
-/// Runs one binary's experiment under the supervisor.
-///
-/// The closure receives the scale from the environment and returns the
-/// rendered report. Typed errors and panics are both reported to stderr
-/// with a partial-results note and mapped to a nonzero exit code. When
-/// `PENELOPE_FAULTS` is set the closure is bypassed: the seeded fault plan
-/// runs through the full pipeline instead, and the process always exits
-/// nonzero (see [`fault_plan_from_env`]).
-pub fn run_main(
-    what: &str,
-    paper_ref: &str,
-    experiment: impl FnOnce(Scale) -> Result<String, Error> + UnwindSafe,
-) -> ExitCode {
-    let scale = scale_from_env();
-    header(what, paper_ref, scale);
-    if let Some(plan) = fault_plan_from_env() {
-        return run_faulted(what, scale, &plan);
-    }
-    match catch_unwind(move || experiment(scale)) {
-        Ok(Ok(rendered)) => {
-            print!("{rendered}");
-            ExitCode::SUCCESS
-        }
-        Ok(Err(err)) => {
-            eprintln!("{what}: experiment failed: {err}");
-            eprintln!("{what}: no results were produced");
-            ExitCode::FAILURE
-        }
-        Err(payload) => {
-            eprintln!("{what}: experiment panicked: {}", panic_message(&*payload));
-            eprintln!("{what}: partial results lost; this is a bug in the harness");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-/// Executes a fault plan through the pipeline and reports the outcome.
-/// Always returns failure: a faulted run never counts as a reproduction.
-fn run_faulted(what: &str, scale: Scale, plan: &FaultPlan) -> ExitCode {
-    eprintln!(
-        "{what}: FAULT INJECTION ACTIVE (seed {}, {:?}) — robustness \
-         exercise, not a reproduction",
-        plan.seed, plan.kinds
-    );
-    let plan_clone = plan.clone();
-    match catch_unwind(move || efficiency_summary_faulted(scale, &plan_clone)) {
-        Ok(Ok(rows)) => {
-            eprintln!("{what}: faulted run completed; results below are suspect");
-            print!("{}", render_efficiency(&rows));
-        }
-        Ok(Err(err)) => {
-            eprintln!("{what}: faulted run rejected with a typed error: {err}");
-        }
-        Err(payload) => {
-            eprintln!(
-                "{what}: faulted run PANICKED: {} — the error layer should \
-                 have caught this; please report it",
-                panic_message(&*payload)
-            );
-        }
-    }
-    ExitCode::FAILURE
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parse_scale_accepts_all_names_case_insensitively() {
-        assert_eq!(parse_scale("quick"), Ok(Scale::quick()));
-        assert_eq!(parse_scale("Quick"), Ok(Scale::quick()));
-        assert_eq!(parse_scale("THOROUGH"), Ok(Scale::thorough()));
-        assert_eq!(parse_scale(" standard "), Ok(Scale::standard()));
-        assert_eq!(parse_scale(""), Ok(Scale::standard()));
-    }
-
-    #[test]
-    fn parse_scale_rejects_unknown_names_with_context() {
-        let err = parse_scale("enormous").unwrap_err();
-        assert!(err.contains("enormous"));
-        assert!(err.contains("quick"));
-    }
-
-    #[test]
-    fn panic_messages_are_extracted() {
-        let payload: Box<dyn std::any::Any + Send> = Box::new("static str");
-        assert_eq!(panic_message(&*payload), "static str");
-        let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
-        assert_eq!(panic_message(&*payload), "owned");
-        let payload: Box<dyn std::any::Any + Send> = Box::new(42u32);
-        assert_eq!(panic_message(&*payload), "non-string panic payload");
-    }
-}
+pub use cli::{fault_plan_from_env, header, parse_scale, run_main, scale_from_env, scale_name};

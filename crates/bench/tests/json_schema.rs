@@ -1,0 +1,81 @@
+//! Schema checks for the `--json` run report.
+//!
+//! Two layers: a self-contained test building a report the same way the
+//! CLI does, and a CI hook — when `PENELOPE_REPORT_PATH` points at a
+//! report written by an actual binary run, that file is parsed and
+//! validated too. The CI workflow runs `fig6 --json`, exports the path
+//! and invokes this test by name.
+
+use penelope_telemetry::recorder::{self, Settings};
+use penelope_telemetry::{build_report, validate_report, Json};
+
+/// Every key the report contract promises at the top level, with the JSON
+/// type CI should expect. Extending the report is fine; removing or
+/// retyping one of these is a breaking change and must bump
+/// `SCHEMA_VERSION`.
+const EXPECTED_TOP_LEVEL: &[(&str, &str)] = &[
+    ("schema_version", "number"),
+    ("manifest", "object"),
+    ("phases", "array"),
+    ("totals", "object"),
+    ("metrics", "object"),
+    ("series", "object"),
+];
+
+fn check_top_level(report: &Json) {
+    for (key, type_name) in EXPECTED_TOP_LEVEL {
+        let value = report
+            .get(key)
+            .unwrap_or_else(|| panic!("report missing top-level key {key:?}"));
+        assert_eq!(
+            value.type_name(),
+            *type_name,
+            "report key {key:?} has the wrong type"
+        );
+    }
+}
+
+#[test]
+fn cli_shaped_reports_match_the_contract() {
+    recorder::install(Settings::default());
+    recorder::manifest_entry("binary", Json::from("json_schema_test"));
+    recorder::manifest_entry("status", Json::from("ok"));
+    recorder::phase("main", || recorder::record_run(10_000, 4_000));
+    let collector = recorder::finish().expect("installed above");
+    let report = build_report(&collector);
+    validate_report(&report).expect("validates");
+    check_top_level(&report);
+
+    // The encoded form round-trips through the parser unchanged in shape.
+    let reparsed = penelope_telemetry::json::parse(&report.encode()).expect("parses");
+    check_top_level(&reparsed);
+    assert_eq!(
+        reparsed
+            .get("manifest")
+            .and_then(|m| m.get("binary"))
+            .and_then(Json::as_str),
+        Some("json_schema_test")
+    );
+}
+
+#[test]
+fn emitted_report_file_validates() {
+    let Ok(path) = std::env::var("PENELOPE_REPORT_PATH") else {
+        eprintln!("PENELOPE_REPORT_PATH unset; skipping emitted-report validation");
+        return;
+    };
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("cannot read report {path}: {err}"));
+    let report = penelope_telemetry::json::parse(&raw)
+        .unwrap_or_else(|err| panic!("report {path} is not valid JSON: {err}"));
+    validate_report(&report).unwrap_or_else(|err| panic!("report {path} fails schema: {err}"));
+    check_top_level(&report);
+    assert_eq!(
+        report
+            .get("manifest")
+            .and_then(|m| m.get("status"))
+            .and_then(Json::as_str),
+        Some("ok"),
+        "CI runs a binary that must succeed"
+    );
+}

@@ -43,7 +43,9 @@ pub enum Policy {
 pub struct Violation {
     /// Cycle at which the check ran.
     pub cycle: u64,
-    /// What was violated.
+    /// Structure the violated invariant belongs to.
+    pub structure: String,
+    /// Full message: `[cycle N] structure: detail`.
     pub message: String,
 }
 
@@ -120,26 +122,31 @@ impl<H> CheckedHooks<H> {
         }
     }
 
-    fn record(&mut self, cycle: u64, message: String) {
+    /// Records one violation. Every message names the structure and the
+    /// cycle, so a violation surfaced later (through
+    /// [`Error::Invariant`]'s sample or a log line) is self-locating.
+    pub(crate) fn record(&mut self, cycle: u64, structure: &str, detail: String) {
+        let message = format!("[cycle {cycle}] {structure}: {detail}");
         self.count += 1;
         if self.sample.len() < MAX_SAMPLE {
             self.sample.push(Violation {
                 cycle,
+                structure: structure.to_string(),
                 message: message.clone(),
             });
         }
         match self.policy {
-            Policy::Log => eprintln!("invariant violation @cycle {cycle}: {message}"),
+            Policy::Log => eprintln!("invariant violation {message}"),
             Policy::Count => {}
             Policy::FailFast => {
-                panic!("invariant violation @cycle {cycle}: {message}")
+                panic!("invariant violation {message}")
             }
         }
     }
 
-    fn check_fraction(&mut self, cycle: u64, what: &str, value: f64) {
+    fn check_fraction(&mut self, cycle: u64, structure: &str, what: &str, value: f64) {
         if !value.is_finite() || !(0.0..=1.0).contains(&value) {
-            self.record(cycle, format!("{what} = {value} outside [0, 1]"));
+            self.record(cycle, structure, format!("{what} = {value} outside [0, 1]"));
         }
     }
 }
@@ -148,24 +155,24 @@ impl<H: Hooks + RinvAccess> CheckedHooks<H> {
     fn run_checks(&mut self, parts: &mut Parts, now: u64) {
         // Occupancies and free fractions.
         let occ = parts.sched.occupancy(now);
-        self.check_fraction(now, "scheduler occupancy", occ);
+        self.check_fraction(now, "scheduler", "occupancy", occ);
         let data_occ = parts.sched.data_occupancy(now);
-        self.check_fraction(now, "scheduler data occupancy", data_occ);
+        self.check_fraction(now, "scheduler", "data occupancy", data_occ);
         let int_free = parts.int_rf.free_fraction(now);
-        self.check_fraction(now, "integer RF free fraction", int_free);
+        self.check_fraction(now, "integer RF", "free fraction", int_free);
         let fp_free = parts.fp_rf.free_fraction(now);
-        self.check_fraction(now, "FP RF free fraction", fp_free);
+        self.check_fraction(now, "FP RF", "free fraction", fp_free);
 
         // Worst cell duties (the inputs to the guardband model).
         parts.int_rf.sync(now);
         let duty = parts.int_rf.residency().worst_cell_duty().fraction();
-        self.check_fraction(now, "integer RF worst cell duty", duty);
+        self.check_fraction(now, "integer RF", "worst cell duty", duty);
         parts.fp_rf.sync(now);
         let duty = parts.fp_rf.residency().worst_cell_duty().fraction();
-        self.check_fraction(now, "FP RF worst cell duty", duty);
+        self.check_fraction(now, "FP RF", "worst cell duty", duty);
         parts.sched.sync(now);
         let duty = crate::sched_aware::worst_figure8_bias(&parts.sched).fraction();
-        self.check_fraction(now, "scheduler worst cell duty", duty);
+        self.check_fraction(now, "scheduler", "worst cell duty", duty);
 
         // Cache line accounting and inverted-time fractions.
         let mut caches = vec![("DL0", &parts.dl0)];
@@ -180,11 +187,12 @@ impl<H: Hooks + RinvAccess> CheckedHooks<H> {
             if used > lines {
                 self.record(
                     now,
-                    format!("{name}: {used} inverted+valid lines exceed capacity {lines}"),
+                    name,
+                    format!("{used} inverted+valid lines exceed capacity {lines}"),
                 );
             }
             let frac = cache.inverted_time_fraction(now);
-            self.check_fraction(now, &format!("{name} inverted-time fraction"), frac);
+            self.check_fraction(now, name, "inverted-time fraction", frac);
         }
 
         // RINV freshness.
@@ -194,7 +202,8 @@ impl<H: Hooks + RinvAccess> CheckedHooks<H> {
             if age > budget && now > budget {
                 self.record(
                     now,
-                    format!("RINV stale: {age} cycles old (period {period})"),
+                    "RINV",
+                    format!("stale: {age} cycles old (period {period})"),
                 );
             }
         }
@@ -203,7 +212,7 @@ impl<H: Hooks + RinvAccess> CheckedHooks<H> {
         if !self.checked_budgets {
             self.checked_budgets = true;
             if !self.inner.k_budgets_valid() {
-                self.record(now, "scheduler policy holds a K outside [0, 1]".into());
+                self.record(now, "scheduler policy", "holds a K outside [0, 1]".into());
             }
         }
     }
@@ -350,13 +359,16 @@ mod tests {
     #[test]
     fn violations_surface_as_invariant_error() {
         let mut checked = CheckedHooks::new(NoHooks, Policy::Count, 1);
-        checked.record(5, "synthetic violation".into());
-        checked.record(6, "another".into());
+        checked.record(5, "scheduler", "synthetic violation".into());
+        checked.record(6, "DL0", "another".into());
         assert_eq!(checked.violation_count(), 2);
         match checked.into_result() {
             Err(Error::Invariant { count, sample }) => {
                 assert_eq!(count, 2);
                 assert_eq!(sample.len(), 2);
+                // Every surfaced message locates itself: structure + cycle.
+                assert_eq!(sample[0], "[cycle 5] scheduler: synthetic violation");
+                assert_eq!(sample[1], "[cycle 6] DL0: another");
             }
             other => panic!("expected invariant error, got {other:?}"),
         }
@@ -366,14 +378,14 @@ mod tests {
     #[should_panic(expected = "invariant violation")]
     fn fail_fast_panics_on_first_violation() {
         let mut checked = CheckedHooks::new(NoHooks, Policy::FailFast, 1);
-        checked.record(1, "boom".into());
+        checked.record(1, "test", "boom".into());
     }
 
     #[test]
     fn sample_is_bounded() {
         let mut checked = CheckedHooks::new(NoHooks, Policy::Count, 1);
         for i in 0..100 {
-            checked.record(i, format!("v{i}"));
+            checked.record(i, "test", format!("v{i}"));
         }
         assert_eq!(checked.violation_count(), 100);
         assert_eq!(checked.violations().len(), MAX_SAMPLE);

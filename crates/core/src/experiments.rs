@@ -25,6 +25,7 @@ use nbti_model::duty::Duty;
 use nbti_model::guardband::GuardbandModel;
 use nbti_model::metric::{BlockCost, ProcessorAggregator};
 use nbti_model::rd::RdModel;
+use penelope_telemetry::{recorder, EventSource};
 use tracegen::error::TraceError;
 use tracegen::fault::faulted;
 use tracegen::trace::Workload;
@@ -38,6 +39,7 @@ use crate::cache_aware::SchemeKind;
 use crate::error::Error;
 use crate::fault::{FaultHooks, FaultInjector, FaultPlan, RinvAccess};
 use crate::invert_mode::{full_guardband_baseline, InvertMode};
+use crate::obs::{self, with_recording};
 use crate::processor::{build, PenelopeConfig};
 use crate::regfile_aware::{RegfileIsv, RegfileIsvHooks};
 use crate::sched_aware::{worst_figure8_bias, SchedulerBalancer, SchedulerHooks, SchedulerPolicy};
@@ -90,32 +92,41 @@ impl Scale {
 
 /// Runs the whole workload through one pipeline, merging per-trace results.
 ///
+/// When a telemetry recorder is installed (see
+/// [`penelope_telemetry::recorder::install`]), the hook chain is wrapped
+/// in sampling telemetry and the run's cycles/uops are credited to the
+/// collector; with no recorder the loop is exactly the uninstrumented one.
+///
 /// # Errors
 ///
 /// Returns [`Error::Pipeline`] for an uninstantiable configuration and
 /// [`Error::Trace`] when the workload holds no traces.
-pub fn run_workload<H: Hooks>(
+pub fn run_workload<H: Hooks + EventSource>(
     config: PipelineConfig,
     scale: Scale,
     hooks: &mut H,
 ) -> Result<(Pipeline, RunResult), Error> {
     let mut pipe = Pipeline::try_new(config)?;
-    let mut total: Option<RunResult> = None;
-    for spec in scale.workload().specs() {
-        let r = pipe.run(spec.generate(scale.uops_per_trace), hooks);
-        match &mut total {
-            Some(t) => t.merge(&r),
-            None => total = Some(r),
+    let total = with_recording(hooks, |mut h| {
+        let mut total: Option<RunResult> = None;
+        for spec in scale.workload().specs() {
+            let r = pipe.run(spec.generate(scale.uops_per_trace), &mut h);
+            match &mut total {
+                Some(t) => t.merge(&r),
+                None => total = Some(r),
+            }
         }
-    }
+        total
+    });
     let total = total.ok_or(TraceError::EmptyWorkload)?;
+    recorder::record_run(total.cycles, total.uops);
     Ok((pipe, total))
 }
 
 /// Like [`run_workload`], but with a [`FaultInjector`] perturbing the
 /// workload, every trace stream and the live structures. Returns the fault
 /// wrapper alongside the results so callers can inspect what landed.
-pub fn run_workload_faulted<H: Hooks + RinvAccess>(
+pub fn run_workload_faulted<H: Hooks + RinvAccess + EventSource>(
     config: PipelineConfig,
     scale: Scale,
     hooks: H,
@@ -124,19 +135,20 @@ pub fn run_workload_faulted<H: Hooks + RinvAccess>(
     let mut pipe = Pipeline::try_new(config)?;
     let mut fault_hooks = injector.hooks(hooks);
     let workload = injector.perturb_workload(scale.workload());
-    let mut total: Option<RunResult> = None;
-    for spec in workload.specs() {
-        let fault = injector.trace_fault(scale.uops_per_trace);
-        let r = pipe.run(
-            faulted(spec.generate(scale.uops_per_trace), fault),
-            &mut fault_hooks,
-        );
-        match &mut total {
-            Some(t) => t.merge(&r),
-            None => total = Some(r),
+    let total = with_recording(&mut fault_hooks, |mut h| {
+        let mut total: Option<RunResult> = None;
+        for spec in workload.specs() {
+            let fault = injector.trace_fault(scale.uops_per_trace);
+            let r = pipe.run(faulted(spec.generate(scale.uops_per_trace), fault), &mut h);
+            match &mut total {
+                Some(t) => t.merge(&r),
+                None => total = Some(r),
+            }
         }
-    }
+        total
+    });
     let total = total.ok_or(TraceError::EmptyWorkload)?;
+    recorder::record_run(total.cycles, total.uops);
     Ok((pipe, total, fault_hooks))
 }
 
@@ -183,7 +195,9 @@ pub fn motivation(scale: Scale) -> Result<Motivation, Error> {
         }
     }
 
-    let (mut pipe, uniform_result) = run_workload(PipelineConfig::default(), scale, &mut NoHooks)?;
+    let (mut pipe, uniform_result) = recorder::phase("motivation: uniform", || {
+        run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+    })?;
     let now = pipe.now();
     pipe.parts.int_rf.sync(now);
     let biases = pipe.parts.int_rf.residency().biases();
@@ -201,7 +215,9 @@ pub fn motivation(scale: Scale) -> Result<Motivation, Error> {
         adder_policy: AdderPolicy::Prioritized,
         ..PipelineConfig::default()
     };
-    let (_, prio_result) = run_workload(prio_config, scale, &mut NoHooks)?;
+    let (_, prio_result) = recorder::phase("motivation: prioritized", || {
+        run_workload(prio_config, scale, &mut NoHooks)
+    })?;
     let prio = prio_result.adder_utilization();
     let prio_alu: Vec<f64> = vec![prio[0], prio[1]];
     let prio_min = prio_alu.iter().cloned().fold(1.0, f64::min);
@@ -319,7 +335,9 @@ pub fn fig6(scale: Scale) -> Result<Fig6, Error> {
     let to_fracs =
         |biases: Vec<Duty>| -> Vec<f64> { biases.into_iter().map(|d| d.fraction()).collect() };
 
-    let (mut base, _) = run_workload(PipelineConfig::default(), scale, &mut NoHooks)?;
+    let (mut base, _) = recorder::phase("fig6: baseline", || {
+        run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+    })?;
     let now = base.now();
     base.parts.int_rf.sync(now);
     base.parts.fp_rf.sync(now);
@@ -329,7 +347,9 @@ pub fn fig6(scale: Scale) -> Result<Fig6, Error> {
     let fp_free = base.parts.fp_rf.free_fraction(now);
 
     let mut hooks = RegfileIsvHooks::new(scale.time_scale.max(64));
-    let (mut isv, _) = run_workload(PipelineConfig::default(), scale, &mut hooks)?;
+    let (mut isv, _) = recorder::phase("fig6: isv", || {
+        run_workload(PipelineConfig::default(), scale, &mut hooks)
+    })?;
     let now = isv.now();
     isv.parts.int_rf.sync(now);
     isv.parts.fp_rf.sync(now);
@@ -382,7 +402,9 @@ pub struct Fig8 {
 /// values (the paper profiles 100 of its 531 traces), then the protected
 /// configuration runs with the derived policy.
 pub fn fig8(scale: Scale) -> Result<Fig8, Error> {
-    let (mut base, _) = run_workload(PipelineConfig::default(), scale, &mut NoHooks)?;
+    let (mut base, _) = recorder::phase("fig8: baseline", || {
+        run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+    })?;
     let now = base.now();
     base.parts.sched.sync(now);
     let occupancy = base.parts.sched.occupancy(now);
@@ -392,7 +414,9 @@ pub fn fig8(scale: Scale) -> Result<Fig8, Error> {
     let mut hooks = SchedulerHooks {
         balancer: SchedulerBalancer::new(policy, scale.time_scale.max(64)),
     };
-    let (mut prot, _) = run_workload(PipelineConfig::default(), scale, &mut hooks)?;
+    let (mut prot, _) = recorder::phase("fig8: protected", || {
+        run_workload(PipelineConfig::default(), scale, &mut hooks)
+    })?;
     let now_p = prot.now();
     prot.parts.sched.sync(now_p);
 
@@ -462,15 +486,20 @@ fn scheme_cpi(
     };
     let (mut pipe, mut hooks) = build(&config)?;
     // Only the cache schemes matter for Table 3: run with cache hooks only.
-    let mut total: Option<RunResult> = None;
-    for spec in scale.workload().specs() {
-        let r = pipe.run(spec.generate(scale.uops_per_trace), &mut hooks);
-        match &mut total {
-            Some(t) => t.merge(&r),
-            None => total = Some(r),
+    let total = with_recording(&mut hooks, |mut h| {
+        let mut total: Option<RunResult> = None;
+        for spec in scale.workload().specs() {
+            let r = pipe.run(spec.generate(scale.uops_per_trace), &mut h);
+            match &mut total {
+                Some(t) => t.merge(&r),
+                None => total = Some(r),
+            }
         }
-    }
-    Ok(total.ok_or(TraceError::EmptyWorkload)?.cpi())
+        total
+    });
+    let total = total.ok_or(TraceError::EmptyWorkload)?;
+    recorder::record_run(total.cycles, total.uops);
+    Ok(total.cpi())
 }
 
 /// Runs the full Table 3 sweep. This is the most expensive experiment:
@@ -485,35 +514,43 @@ pub fn table3(scale: Scale) -> Result<Table3, Error> {
                 dl0: CacheConfig::dl0(kb, ways),
                 ..PipelineConfig::default()
             };
-            let baseline = scheme_cpi(
-                base_config,
-                SchemeKind::Baseline,
-                SchemeKind::Baseline,
-                scale,
-                1,
-            )?;
+            let (baseline, set_fixed, line_fixed, line_dynamic) =
+                recorder::phase(&format!("table3: DL0 {ways}-way {kb}KB"), || {
+                    Ok::<_, Error>((
+                        scheme_cpi(
+                            base_config,
+                            SchemeKind::Baseline,
+                            SchemeKind::Baseline,
+                            scale,
+                            1,
+                        )?,
+                        scheme_cpi(
+                            base_config,
+                            SchemeKind::set_fixed_50(rotation),
+                            SchemeKind::Baseline,
+                            scale,
+                            2,
+                        )?,
+                        scheme_cpi(
+                            base_config,
+                            SchemeKind::line_fixed_50(),
+                            SchemeKind::Baseline,
+                            scale,
+                            3,
+                        )?,
+                        scheme_cpi(
+                            base_config,
+                            SchemeKind::line_dynamic_60(
+                                SchemeKind::dl0_threshold(kb),
+                                scale.time_scale,
+                            ),
+                            SchemeKind::Baseline,
+                            scale,
+                            4,
+                        )?,
+                    ))
+                })?;
             let loss = |cpi: f64| (cpi / baseline - 1.0).max(0.0);
-            let set_fixed = scheme_cpi(
-                base_config,
-                SchemeKind::set_fixed_50(rotation),
-                SchemeKind::Baseline,
-                scale,
-                2,
-            )?;
-            let line_fixed = scheme_cpi(
-                base_config,
-                SchemeKind::line_fixed_50(),
-                SchemeKind::Baseline,
-                scale,
-                3,
-            )?;
-            let line_dynamic = scheme_cpi(
-                base_config,
-                SchemeKind::line_dynamic_60(SchemeKind::dl0_threshold(kb), scale.time_scale),
-                SchemeKind::Baseline,
-                scale,
-                4,
-            )?;
             rows.push(Table3Row {
                 label: format!("DL0 {ways}-way {kb}KB"),
                 set_fixed: loss(set_fixed),
@@ -528,35 +565,43 @@ pub fn table3(scale: Scale) -> Result<Table3, Error> {
             dtlb_entries: entries,
             ..PipelineConfig::default()
         };
-        let baseline = scheme_cpi(
-            base_config,
-            SchemeKind::Baseline,
-            SchemeKind::Baseline,
-            scale,
-            5,
-        )?;
+        let (baseline, set_fixed, line_fixed, line_dynamic) =
+            recorder::phase(&format!("table3: DTLB {entries} ent."), || {
+                Ok::<_, Error>((
+                    scheme_cpi(
+                        base_config,
+                        SchemeKind::Baseline,
+                        SchemeKind::Baseline,
+                        scale,
+                        5,
+                    )?,
+                    scheme_cpi(
+                        base_config,
+                        SchemeKind::Baseline,
+                        SchemeKind::set_fixed_50(rotation),
+                        scale,
+                        6,
+                    )?,
+                    scheme_cpi(
+                        base_config,
+                        SchemeKind::Baseline,
+                        SchemeKind::line_fixed_50(),
+                        scale,
+                        7,
+                    )?,
+                    scheme_cpi(
+                        base_config,
+                        SchemeKind::Baseline,
+                        SchemeKind::line_dynamic_60(
+                            SchemeKind::dtlb_threshold(entries),
+                            scale.time_scale,
+                        ),
+                        scale,
+                        8,
+                    )?,
+                ))
+            })?;
         let loss = |cpi: f64| (cpi / baseline - 1.0).max(0.0);
-        let set_fixed = scheme_cpi(
-            base_config,
-            SchemeKind::Baseline,
-            SchemeKind::set_fixed_50(rotation),
-            scale,
-            6,
-        )?;
-        let line_fixed = scheme_cpi(
-            base_config,
-            SchemeKind::Baseline,
-            SchemeKind::line_fixed_50(),
-            scale,
-            7,
-        )?;
-        let line_dynamic = scheme_cpi(
-            base_config,
-            SchemeKind::Baseline,
-            SchemeKind::line_dynamic_60(SchemeKind::dtlb_threshold(entries), scale.time_scale),
-            scale,
-            8,
-        )?;
         rows.push(Table3Row {
             label: format!("DTLB 8-way {entries} ent."),
             set_fixed: loss(set_fixed),
@@ -614,7 +659,9 @@ pub fn efficiency_summary(scale: Scale) -> Result<Vec<EfficiencyRow>, Error> {
     // Adder: measured utilization → guardband.
     let adder = LadnerFischerAdder::new(32);
     let protection = AdderProtection::select(&adder);
-    let (_, run) = run_workload(PipelineConfig::default(), scale, &mut NoHooks)?;
+    let (_, run) = recorder::phase("efficiency: adder", || {
+        run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+    })?;
     let util = run.max_adder_utilization().clamp(0.0, 1.0);
     let inputs: Vec<(u64, u64, bool)> = scale
         .workload()
@@ -648,20 +695,24 @@ pub fn efficiency_summary(scale: Scale) -> Result<Vec<EfficiencyRow>, Error> {
     ));
 
     // DL0: LineFixed50% CPI loss on the 32KB 8-way geometry.
-    let base = scheme_cpi(
-        PipelineConfig::default(),
-        SchemeKind::Baseline,
-        SchemeKind::Baseline,
-        scale,
-        11,
-    )?;
-    let lf = scheme_cpi(
-        PipelineConfig::default(),
-        SchemeKind::line_fixed_50(),
-        SchemeKind::Baseline,
-        scale,
-        12,
-    )?;
+    let (base, lf) = recorder::phase("efficiency: dl0", || {
+        Ok::<_, Error>((
+            scheme_cpi(
+                PipelineConfig::default(),
+                SchemeKind::Baseline,
+                SchemeKind::Baseline,
+                scale,
+                11,
+            )?,
+            scheme_cpi(
+                PipelineConfig::default(),
+                SchemeKind::line_fixed_50(),
+                SchemeKind::Baseline,
+                scale,
+                12,
+            )?,
+        ))
+    })?;
     let dl0_cost = BlockCost::new((lf / base).max(1.0), 1.01, model.best_case().fraction());
     rows.push(EfficiencyRow::new(
         "Penelope DL0 (LineFixed50%)",
@@ -699,6 +750,8 @@ pub fn efficiency_summary_faulted(
     };
     injector.perturb_config(&mut config);
     let (mut pipe, hooks) = build(&config)?;
+    recorder::manifest_entry("scale", obs::scale_json(&scale));
+    recorder::manifest_entry("config", obs::config_json(&config));
 
     // Runtime faults, with the invariant checker watching the wrapper.
     let fault_hooks = injector.hooks(hooks);
@@ -706,19 +759,22 @@ pub fn efficiency_summary_faulted(
 
     // Workload- and trace-level faults.
     let workload = injector.perturb_workload(scale.workload());
-    let mut total: Option<RunResult> = None;
-    for spec in workload.specs() {
-        let fault = injector.trace_fault(scale.uops_per_trace);
-        let r = pipe.run(
-            faulted(spec.generate(scale.uops_per_trace), fault),
-            &mut checked,
-        );
-        match &mut total {
-            Some(t) => t.merge(&r),
-            None => total = Some(r),
-        }
-    }
+    let total = recorder::phase("faulted run", || {
+        with_recording(&mut checked, |mut h| {
+            let mut total: Option<RunResult> = None;
+            for spec in workload.specs() {
+                let fault = injector.trace_fault(scale.uops_per_trace);
+                let r = pipe.run(faulted(spec.generate(scale.uops_per_trace), fault), &mut h);
+                match &mut total {
+                    Some(t) => t.merge(&r),
+                    None => total = Some(r),
+                }
+            }
+            total
+        })
+    });
     let run = total.ok_or(TraceError::EmptyWorkload)?;
+    recorder::record_run(run.cycles, run.uops);
     if run.uops == 0 {
         return Err(TraceError::EmptyTrace.into());
     }
@@ -808,7 +864,10 @@ pub fn table4(scale: Scale) -> Result<Table4, Error> {
 
     // Baseline CPI; the run doubles as the profiling pass for the
     // scheduler's K values (§4.5).
-    let (mut base_pipe, base_run) = run_workload(PipelineConfig::default(), scale, &mut NoHooks)?;
+    recorder::manifest_entry("scale", obs::scale_json(&scale));
+    let (mut base_pipe, base_run) = recorder::phase("table4: baseline", || {
+        run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+    })?;
     let base_now = base_pipe.now();
     let sched_policy = SchedulerPolicy::from_scheduler(&mut base_pipe.parts.sched, base_now)?;
 
@@ -820,16 +879,23 @@ pub fn table4(scale: Scale) -> Result<Table4, Error> {
         sched_policy,
         ..PenelopeConfig::default()
     };
+    recorder::manifest_entry("config", obs::config_json(&config));
     let (mut pipe, mut hooks) = build(&config)?;
-    let mut total: Option<RunResult> = None;
-    for spec in scale.workload().specs() {
-        let r = pipe.run(spec.generate(scale.uops_per_trace), &mut hooks);
-        match &mut total {
-            Some(t) => t.merge(&r),
-            None => total = Some(r),
-        }
-    }
+    let total = recorder::phase("table4: penelope", || {
+        with_recording(&mut hooks, |mut h| {
+            let mut total: Option<RunResult> = None;
+            for spec in scale.workload().specs() {
+                let r = pipe.run(spec.generate(scale.uops_per_trace), &mut h);
+                match &mut total {
+                    Some(t) => t.merge(&r),
+                    None => total = Some(r),
+                }
+            }
+            total
+        })
+    });
     let pen_run = total.ok_or(TraceError::EmptyWorkload)?;
+    recorder::record_run(pen_run.cycles, pen_run.uops);
     let combined_cpi = pen_run.cpi() / base_run.cpi();
     let now = pipe.now();
 
@@ -951,15 +1017,18 @@ pub fn table3_tail(scale: Scale) -> Result<Vec<TailRow>, Error> {
             ..PenelopeConfig::default()
         };
         let (mut pipe, mut hooks) = build(&config)?;
-        Ok(scale
-            .workload()
-            .specs()
-            .iter()
-            .map(|spec| {
-                pipe.run(spec.generate(scale.uops_per_trace), &mut hooks)
-                    .cpi()
-            })
-            .collect())
+        Ok(with_recording(&mut hooks, |mut h| {
+            scale
+                .workload()
+                .specs()
+                .iter()
+                .map(|spec| {
+                    let r = pipe.run(spec.generate(scale.uops_per_trace), &mut h);
+                    recorder::record_run(r.cycles, r.uops);
+                    r.cpi()
+                })
+                .collect()
+        }))
     };
     let baseline = per_trace(SchemeKind::Baseline, 31)?;
     let rotation = (10_000_000 / scale.time_scale).max(2_000);
@@ -1028,15 +1097,22 @@ pub fn btb_extension(scale: Scale) -> Result<Vec<BtbRow>, Error> {
             ..PenelopeConfig::default()
         };
         let (mut pipe, mut hooks) = build(&config)?;
-        let mut total: Option<RunResult> = None;
-        for spec in scale.workload().specs() {
-            let r = pipe.run(spec.generate(scale.uops_per_trace), &mut hooks);
-            match &mut total {
-                Some(t) => t.merge(&r),
-                None => total = Some(r),
-            }
-        }
-        let cpi = total.ok_or(TraceError::EmptyWorkload)?.cpi();
+        let total = recorder::phase(&format!("btb: {}", scheme.label()), || {
+            with_recording(&mut hooks, |mut h| {
+                let mut total: Option<RunResult> = None;
+                for spec in scale.workload().specs() {
+                    let r = pipe.run(spec.generate(scale.uops_per_trace), &mut h);
+                    match &mut total {
+                        Some(t) => t.merge(&r),
+                        None => total = Some(r),
+                    }
+                }
+                total
+            })
+        });
+        let total = total.ok_or(TraceError::EmptyWorkload)?;
+        recorder::record_run(total.cycles, total.uops);
+        let cpi = total.cpi();
         let baseline = *baseline_cpi.get_or_insert(cpi);
         let now = pipe.now();
         rows.push(BtbRow {
@@ -1074,7 +1150,9 @@ pub fn vmin_extension(scale: Scale) -> Result<Vec<VminRow>, Error> {
     use nbti_model::guardband::VminModel;
     let vmin = VminModel::paper_calibrated();
 
-    let (mut base, _) = run_workload(PipelineConfig::default(), scale, &mut NoHooks)?;
+    let (mut base, _) = recorder::phase("vmin: baseline", || {
+        run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+    })?;
     let base_now = base.now();
     base.parts.int_rf.sync(base_now);
     base.parts.fp_rf.sync(base_now);
@@ -1085,9 +1163,14 @@ pub fn vmin_extension(scale: Scale) -> Result<Vec<VminRow>, Error> {
         ..PenelopeConfig::default()
     };
     let (mut pen, mut hooks) = build(&config)?;
-    for spec in scale.workload().specs() {
-        let _ = pen.run(spec.generate(scale.uops_per_trace), &mut hooks);
-    }
+    recorder::phase("vmin: penelope", || {
+        with_recording(&mut hooks, |mut h| {
+            for spec in scale.workload().specs() {
+                let r = pen.run(spec.generate(scale.uops_per_trace), &mut h);
+                recorder::record_run(r.cycles, r.uops);
+            }
+        })
+    });
     let pen_now = pen.now();
     pen.parts.int_rf.sync(pen_now);
     pen.parts.fp_rf.sync(pen_now);

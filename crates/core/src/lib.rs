@@ -35,7 +35,10 @@
 //!   live structures;
 //! - [`checked`]: [`checked::CheckedHooks`], a wrapper validating runtime
 //!   invariants (duties in range, cache accounting, RINV freshness) every
-//!   sample period.
+//!   sample period;
+//! - [`obs`]: the observability glue wiring every hook chain into the
+//!   `penelope-telemetry` recorder ([`obs::with_recording`]) and encoding
+//!   configurations for the run manifest.
 //!
 //! # Quickstart
 //!
@@ -75,6 +78,7 @@ pub mod experiments;
 pub mod fault;
 pub mod invert_mode;
 pub mod l2_study;
+pub mod obs;
 pub mod processor;
 pub mod regfile_aware;
 pub mod report;

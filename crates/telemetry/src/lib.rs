@@ -1,0 +1,43 @@
+//! Zero-cost-when-disabled observability for the Penelope reproduction.
+//!
+//! Every figure and table the paper derives is a time-series summary of
+//! internal simulator state; this crate makes that state continuously
+//! observable and machine-readable:
+//!
+//! - [`metrics`]: a [`Registry`] of counters, gauges and fixed-bucket
+//!   histograms addressed by static ids — registration allocates, the hot
+//!   path is a slice index;
+//! - [`json`]: a hand-rolled, deterministic JSON value/encoder/parser
+//!   (the workspace builds offline — no serde);
+//! - [`series`]: ring-buffered `(cycle, value)` time series;
+//! - [`hooks`]: [`TelemetryHooks`], a `uarch::pipeline::Hooks` wrapper
+//!   that counts events and samples per-structure duty cycles,
+//!   occupancies, cache line-state fractions, RINV freshness and
+//!   fault/invariant events every `sample_period` cycles;
+//! - [`recorder`]: a thread-local facade so experiment drivers contribute
+//!   manifest entries, phase timings and run telemetry without signature
+//!   changes;
+//! - [`report`]: run-report assembly ([`build_report`]), schema
+//!   validation ([`validate_report`]) and the deterministic JSONL export
+//!   ([`series_jsonl`]) pinned by the determinism tests.
+//!
+//! "Zero-cost-when-disabled" is structural: when no recorder is
+//! installed, [`TelemetryHooks`] is never constructed and the pipeline
+//! runs the exact same code as before this crate existed; the only new
+//! work is one thread-local `is-some` check per experiment.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod hooks;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+pub mod series;
+
+pub use hooks::{EventSource, TelemetryHooks, TelemetryOutput};
+pub use json::Json;
+pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, Registry};
+pub use recorder::{Collector, Phase, Settings};
+pub use report::{build_report, series_jsonl, validate_report, SCHEMA_VERSION};
+pub use series::RingSeries;

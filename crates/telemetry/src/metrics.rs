@@ -1,0 +1,371 @@
+//! A registry of counters, gauges and fixed-bucket histograms.
+//!
+//! Metric ids are plain indices handed out at registration time; the hot
+//! path (`inc`, `set`, `observe`) is an array index and an add — no
+//! hashing, no allocation, no locks. Registration happens once per run,
+//! before the pipeline starts, so the cost of the name lookup it performs
+//! is irrelevant.
+
+use crate::json::Json;
+
+/// Id of a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Id of a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Id of a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper edge of
+/// bucket `i`; one extra overflow bucket catches everything above the last
+/// edge, and NaN observations are counted separately (they belong to no
+/// bucket and silently dropping them would hide upstream bugs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    nan_count: u64,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            nan_count: 0,
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            self.nan_count += 1;
+            return;
+        }
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&edge| value <= edge)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.total += 1;
+        if value.is_finite() {
+            self.sum += value;
+        }
+    }
+
+    /// Count in bucket `i` (the last index is the overflow bucket).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Inclusive upper edges of the finite buckets.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Total non-NaN observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// NaN observations rejected.
+    pub fn nan_count(&self) -> u64 {
+        self.nan_count
+    }
+
+    /// Mean of the finite observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += b;
+            }
+            self.total += other.total;
+            self.sum += other.sum;
+        } else {
+            // Incompatible bucketing: fold the other side's mass into the
+            // overflow bucket rather than misfiling it.
+            if let Some(last) = self.counts.last_mut() {
+                *last += other.total;
+            }
+            self.total += other.total;
+            self.sum += other.sum;
+        }
+        self.nan_count += other.nan_count;
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set(
+            "bounds",
+            Json::Array(self.bounds.iter().map(|&b| Json::Float(b)).collect()),
+        );
+        obj.set(
+            "counts",
+            Json::Array(self.counts.iter().map(|&c| Json::UInt(c)).collect()),
+        );
+        obj.set("total", Json::UInt(self.total));
+        obj.set("nan_count", Json::UInt(self.nan_count));
+        obj.set("mean", Json::Float(self.mean()));
+        obj
+    }
+}
+
+/// The metric registry: registration allocates, operations index slices.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counter_names: Vec<&'static str>,
+    counters: Vec<u64>,
+    gauge_names: Vec<&'static str>,
+    gauges: Vec<f64>,
+    histogram_names: Vec<&'static str>,
+    histograms: Vec<Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or finds) a counter by name.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.counter_names.iter().position(|&n| n == name) {
+            return CounterId(i);
+        }
+        self.counter_names.push(name);
+        self.counters.push(0);
+        CounterId(self.counter_names.len() - 1)
+    }
+
+    /// Registers (or finds) a gauge by name.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        if let Some(i) = self.gauge_names.iter().position(|&n| n == name) {
+            return GaugeId(i);
+        }
+        self.gauge_names.push(name);
+        self.gauges.push(0.0);
+        GaugeId(self.gauge_names.len() - 1)
+    }
+
+    /// Registers (or finds) a histogram by name. The bounds of the first
+    /// registration win.
+    pub fn histogram(&mut self, name: &'static str, bounds: &[f64]) -> HistogramId {
+        if let Some(i) = self.histogram_names.iter().position(|&n| n == name) {
+            return HistogramId(i);
+        }
+        self.histogram_names.push(name);
+        self.histograms.push(Histogram::new(bounds));
+        HistogramId(self.histogram_names.len() - 1)
+    }
+
+    /// Adds `n` to a counter. Hot path: one slice index.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0] += n;
+    }
+
+    /// Sets a gauge. Hot path: one slice index.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0] = value;
+    }
+
+    /// Records a histogram observation. Hot path: linear scan over a
+    /// handful of bucket edges.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        self.histograms[id.0].observe(value);
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0]
+    }
+
+    /// A registered histogram.
+    pub fn histogram_value(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0]
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counter_names.is_empty()
+            && self.gauge_names.is_empty()
+            && self.histogram_names.is_empty()
+    }
+
+    /// Merges another registry: counters add, gauges take the other side's
+    /// last value, histogram counts add. Metrics are matched by name, so
+    /// the registries need not have registered in the same order.
+    pub fn merge(&mut self, other: &Registry) {
+        for (i, &name) in other.counter_names.iter().enumerate() {
+            let id = self.counter(name);
+            self.counters[id.0] += other.counters[i];
+        }
+        for (i, &name) in other.gauge_names.iter().enumerate() {
+            let id = self.gauge(name);
+            self.gauges[id.0] = other.gauges[i];
+        }
+        for (i, &name) in other.histogram_names.iter().enumerate() {
+            let id = self.histogram(name, other.histograms[i].bounds());
+            self.histograms[id.0].merge(&other.histograms[i]);
+        }
+    }
+
+    /// Encodes as `{counters: {...}, gauges: {...}, histograms: {...}}`
+    /// with names sorted for output stability across registration orders.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::object();
+        let mut names: Vec<usize> = (0..self.counter_names.len()).collect();
+        names.sort_by_key(|&i| self.counter_names[i]);
+        for i in names {
+            counters.set(self.counter_names[i], Json::UInt(self.counters[i]));
+        }
+        let mut gauges = Json::object();
+        let mut names: Vec<usize> = (0..self.gauge_names.len()).collect();
+        names.sort_by_key(|&i| self.gauge_names[i]);
+        for i in names {
+            gauges.set(self.gauge_names[i], Json::Float(self.gauges[i]));
+        }
+        let mut histograms = Json::object();
+        let mut names: Vec<usize> = (0..self.histogram_names.len()).collect();
+        names.sort_by_key(|&i| self.histogram_names[i]);
+        for i in names {
+            histograms.set(self.histogram_names[i], self.histograms[i].to_json());
+        }
+        let mut obj = Json::object();
+        obj.set("counters", counters);
+        obj.set("gauges", gauges);
+        obj.set("histograms", histograms);
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_through_ids() {
+        let mut r = Registry::new();
+        let a = r.counter("uops");
+        let b = r.counter("cycles");
+        r.inc(a, 3);
+        r.inc(a, 4);
+        r.inc(b, 1);
+        assert_eq!(r.counter_value(a), 7);
+        assert_eq!(r.counter_value(b), 1);
+        // Re-registration returns the same id.
+        assert_eq!(r.counter("uops"), a);
+    }
+
+    #[test]
+    fn gauges_take_last_value() {
+        let mut r = Registry::new();
+        let g = r.gauge("occupancy");
+        r.set(g, 0.5);
+        r.set(g, 0.7);
+        assert!((r.gauge_value(g) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucketing_uses_inclusive_upper_edges() {
+        let mut h = Histogram::new(&[0.25, 0.5, 1.0]);
+        h.observe(0.0); // bucket 0
+        h.observe(0.25); // bucket 0 (inclusive edge)
+        h.observe(0.3); // bucket 1
+        h.observe(1.0); // bucket 2
+        h.observe(7.0); // overflow
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 1);
+        assert_eq!(h.bucket_count(3), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_counts_nan_separately_and_files_infinities() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY); // <= 1.0 → bucket 0
+        assert_eq!(h.nan_count(), 1);
+        assert_eq!(h.bucket_count(1), 1, "+inf lands in the overflow bucket");
+        assert_eq!(h.bucket_count(0), 1, "-inf lands in the first bucket");
+        assert_eq!(h.total(), 2, "NaN is not an observation");
+        // Non-finite observations don't poison the mean.
+        assert!(h.mean().is_finite());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms_by_name() {
+        let mut a = Registry::new();
+        let ca = a.counter("hits");
+        a.inc(ca, 5);
+        let ha = a.histogram("occ", &[0.5]);
+        a.observe(ha, 0.2);
+
+        let mut b = Registry::new();
+        // Registered in a different order — merge matches names.
+        let hb = b.histogram("occ", &[0.5]);
+        b.observe(hb, 0.9);
+        let cb = b.counter("hits");
+        b.inc(cb, 2);
+        let gb = b.gauge("last");
+        b.set(gb, 3.5);
+
+        a.merge(&b);
+        assert_eq!(a.counter_value(ca), 7);
+        assert_eq!(a.histogram_value(ha).total(), 2);
+        let g = a.gauge("last");
+        assert!((a.gauge_value(g) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_mismatched_bounds_preserves_mass() {
+        let mut a = Registry::new();
+        let ha = a.histogram("h", &[1.0, 2.0]);
+        a.observe(ha, 0.5);
+        let mut b = Registry::new();
+        let hb = b.histogram("h", &[10.0]);
+        b.observe(hb, 5.0);
+        b.observe(hb, 6.0);
+        a.merge(&b);
+        assert_eq!(a.histogram_value(ha).total(), 3, "no observations lost");
+    }
+
+    #[test]
+    fn json_output_is_sorted_by_name() {
+        let mut r = Registry::new();
+        let z = r.counter("zeta");
+        let a = r.counter("alpha");
+        r.inc(z, 1);
+        r.inc(a, 2);
+        let encoded = r.to_json().encode();
+        let alpha = encoded.find("alpha").expect("alpha present");
+        let zeta = encoded.find("zeta").expect("zeta present");
+        assert!(alpha < zeta, "{encoded}");
+    }
+}

@@ -1,0 +1,271 @@
+//! The thread-local recorder: a facade that lets deeply nested experiment
+//! code contribute telemetry without threading a collector through every
+//! signature.
+//!
+//! A driver (or the bench CLI) calls [`install`] once; library code then
+//! asks [`settings`] whether telemetry is on, wraps its hooks in
+//! [`crate::TelemetryHooks`] when it is, and feeds the results back with
+//! [`absorb`] / [`record_run`] / [`phase`]. At the end [`finish`] detaches
+//! the collector for report building. When nothing is installed every call
+//! is a cheap thread-local check followed by a branch — the zero-cost-
+//! when-disabled contract.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::hooks::TelemetryOutput;
+use crate::json::Json;
+
+/// How a run should be sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Settings {
+    /// Cycles between structure samples.
+    pub sample_period: u64,
+    /// Maximum points retained per time series.
+    pub series_capacity: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_period: 1024,
+            series_capacity: 256,
+        }
+    }
+}
+
+/// One completed phase of an experiment.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Phase name (e.g. the driver or scheme being run).
+    pub name: String,
+    /// Wall-clock seconds spent in the phase.
+    pub wall_seconds: f64,
+    /// Simulated cycles attributed to the phase.
+    pub cycles: u64,
+    /// Uops retired during the phase.
+    pub uops: u64,
+}
+
+/// Accumulated telemetry for one process run.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    /// The sampling settings in force.
+    pub settings: Settings,
+    /// Free-form manifest entries (config, seed, scale, binary name).
+    pub manifest: Vec<(String, Json)>,
+    /// Completed phases, in execution order.
+    pub phases: Vec<Phase>,
+    /// Total simulated cycles.
+    pub total_cycles: u64,
+    /// Total uops retired.
+    pub total_uops: u64,
+    /// Wall-clock seconds since [`install`].
+    pub wall_seconds: f64,
+    /// Merged structure telemetry from every instrumented run.
+    pub output: TelemetryOutput,
+}
+
+struct ActiveCollector {
+    collector: Collector,
+    started: Instant,
+    /// Cycle/uop totals at the start of the currently open phase.
+    phase_base: Option<(String, Instant, u64, u64)>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveCollector>> = const { RefCell::new(None) };
+}
+
+/// Installs a collector on this thread, replacing (and discarding) any
+/// previous one.
+pub fn install(settings: Settings) {
+    ACTIVE.with(|slot| {
+        *slot.borrow_mut() = Some(ActiveCollector {
+            collector: Collector {
+                settings,
+                manifest: Vec::new(),
+                phases: Vec::new(),
+                total_cycles: 0,
+                total_uops: 0,
+                wall_seconds: 0.0,
+                output: TelemetryOutput::default(),
+            },
+            started: Instant::now(),
+            phase_base: None,
+        });
+    });
+}
+
+/// The active settings, or `None` when telemetry is disabled. This is the
+/// branch instrumented code takes on its cold path.
+pub fn settings() -> Option<Settings> {
+    ACTIVE.with(|slot| slot.borrow().as_ref().map(|a| a.collector.settings))
+}
+
+/// Whether a collector is installed on this thread.
+pub fn active() -> bool {
+    ACTIVE.with(|slot| slot.borrow().is_some())
+}
+
+/// Detaches the collector, stamping the total wall time. Returns `None`
+/// when telemetry was never installed.
+pub fn finish() -> Option<Collector> {
+    ACTIVE.with(|slot| {
+        slot.borrow_mut().take().map(|active| {
+            let mut collector = active.collector;
+            collector.wall_seconds = active.started.elapsed().as_secs_f64();
+            collector
+        })
+    })
+}
+
+/// Adds (or replaces) a manifest entry. No-op when disabled.
+pub fn manifest_entry(key: &str, value: Json) {
+    ACTIVE.with(|slot| {
+        if let Some(active) = slot.borrow_mut().as_mut() {
+            let manifest = &mut active.collector.manifest;
+            match manifest.iter_mut().find(|(k, _)| k == key) {
+                Some((_, v)) => *v = value,
+                None => manifest.push((key.to_string(), value)),
+            }
+        }
+    });
+}
+
+/// Credits a completed pipeline run's cycles and uops to the totals (and
+/// to the open phase, if any). No-op when disabled.
+pub fn record_run(cycles: u64, uops: u64) {
+    ACTIVE.with(|slot| {
+        if let Some(active) = slot.borrow_mut().as_mut() {
+            active.collector.total_cycles += cycles;
+            active.collector.total_uops += uops;
+        }
+    });
+}
+
+/// Merges one instrumented run's structure telemetry. No-op when disabled.
+pub fn absorb(output: &TelemetryOutput) {
+    ACTIVE.with(|slot| {
+        if let Some(active) = slot.borrow_mut().as_mut() {
+            active.collector.output.merge(output);
+        }
+    });
+}
+
+/// Runs `body` as a named phase, recording its wall time and the cycles /
+/// uops credited while it ran. Phases do not nest: opening a phase inside
+/// a phase closes the outer one at the inner one's start. When telemetry
+/// is disabled the closure runs with no bookkeeping at all.
+pub fn phase<R>(name: &str, body: impl FnOnce() -> R) -> R {
+    // Open outside the closure so a body that touches the recorder again
+    // never re-enters a held RefCell borrow.
+    let opened = ACTIVE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let Some(active) = slot.as_mut() else {
+            return false;
+        };
+        close_open_phase(active);
+        active.phase_base = Some((
+            name.to_string(),
+            Instant::now(),
+            active.collector.total_cycles,
+            active.collector.total_uops,
+        ));
+        true
+    });
+    let result = body();
+    if opened {
+        ACTIVE.with(|slot| {
+            if let Some(active) = slot.borrow_mut().as_mut() {
+                close_open_phase(active);
+            }
+        });
+    }
+    result
+}
+
+fn close_open_phase(active: &mut ActiveCollector) {
+    if let Some((name, started, base_cycles, base_uops)) = active.phase_base.take() {
+        active.collector.phases.push(Phase {
+            name,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            cycles: active.collector.total_cycles - base_cycles,
+            uops: active.collector.total_uops - base_uops,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let _ = finish(); // clear anything a previous test left behind
+        assert!(!active());
+        assert!(settings().is_none());
+        record_run(100, 50);
+        manifest_entry("k", Json::from("v"));
+        let ran = phase("p", || 42);
+        assert_eq!(ran, 42);
+        assert!(finish().is_none());
+    }
+
+    #[test]
+    fn collects_phases_runs_and_manifest() {
+        install(Settings::default());
+        manifest_entry("binary", Json::from("test"));
+        manifest_entry("binary", Json::from("test2")); // replaces
+        let out = phase("warmup", || {
+            record_run(1_000, 400);
+            "done"
+        });
+        assert_eq!(out, "done");
+        phase("main", || {
+            record_run(2_000, 900);
+        });
+        record_run(10, 5); // outside any phase: totals only
+        let collector = finish().expect("installed");
+        assert!(!active(), "finish detaches");
+
+        assert_eq!(collector.total_cycles, 3_010);
+        assert_eq!(collector.total_uops, 1_305);
+        assert_eq!(collector.phases.len(), 2);
+        assert_eq!(collector.phases[0].name, "warmup");
+        assert_eq!(collector.phases[0].cycles, 1_000);
+        assert_eq!(collector.phases[1].cycles, 2_000);
+        assert_eq!(collector.manifest.len(), 1);
+        assert_eq!(
+            collector.manifest[0].1.as_str(),
+            Some("test2"),
+            "manifest entries replace by key"
+        );
+    }
+
+    #[test]
+    fn phase_body_may_touch_the_recorder() {
+        install(Settings::default());
+        // A body that opens its own phase must not deadlock or panic on a
+        // held borrow; it closes the outer phase instead.
+        phase("outer", || {
+            phase("inner", || record_run(5, 5));
+        });
+        let collector = finish().expect("installed");
+        let names: Vec<&str> = collector.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn install_resets_previous_state() {
+        install(Settings::default());
+        record_run(1, 1);
+        install(Settings {
+            sample_period: 7,
+            series_capacity: 3,
+        });
+        let collector = finish().expect("installed");
+        assert_eq!(collector.total_cycles, 0, "reinstall discards");
+        assert_eq!(collector.settings.sample_period, 7);
+    }
+}

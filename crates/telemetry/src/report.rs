@@ -1,0 +1,340 @@
+//! Run-report assembly and schema validation.
+//!
+//! The report is the stable machine-readable contract of a bench run:
+//! future PRs diff perf trajectories against it, and CI validates every
+//! emitted report against [`validate_report`]. Top-level schema (version
+//! [`SCHEMA_VERSION`]):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "manifest":  { "binary": "...", "seed": 123, ... },
+//!   "phases":    [ { "name", "wall_seconds", "cycles", "uops",
+//!                    "cycles_per_sec" }, ... ],
+//!   "totals":    { "cycles", "uops", "wall_seconds",
+//!                  "cycles_per_sec", "uops_per_sec" },
+//!   "metrics":   { "counters": {...}, "gauges": {...},
+//!                  "histograms": {...} },
+//!   "series":    { "<name>": [[cycle, value], ...], ... }
+//! }
+//! ```
+//!
+//! Wall-clock numbers live only under `phases`/`totals`; the
+//! [`series_jsonl`] export used by the determinism test contains purely
+//! simulated quantities, so two same-seed runs produce identical bytes.
+
+use crate::json::Json;
+use crate::recorder::Collector;
+
+/// Version of the report's top-level schema.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Builds the full run report from a detached collector.
+pub fn build_report(collector: &Collector) -> Json {
+    let mut report = Json::object();
+    report.set("schema_version", Json::UInt(SCHEMA_VERSION));
+
+    let mut manifest = Json::object();
+    for (key, value) in &collector.manifest {
+        manifest.set(key, value.clone());
+    }
+    manifest.set(
+        "sample_period",
+        Json::UInt(collector.settings.sample_period),
+    );
+    manifest.set(
+        "series_capacity",
+        Json::UInt(collector.settings.series_capacity as u64),
+    );
+    report.set("manifest", manifest);
+
+    let mut phases = Vec::new();
+    for phase in &collector.phases {
+        let mut p = Json::object();
+        p.set("name", Json::from(phase.name.as_str()));
+        p.set("wall_seconds", Json::Float(phase.wall_seconds));
+        p.set("cycles", Json::UInt(phase.cycles));
+        p.set("uops", Json::UInt(phase.uops));
+        p.set(
+            "cycles_per_sec",
+            Json::Float(rate(phase.cycles, phase.wall_seconds)),
+        );
+        phases.push(p);
+    }
+    report.set("phases", Json::Array(phases));
+
+    let mut totals = Json::object();
+    totals.set("cycles", Json::UInt(collector.total_cycles));
+    totals.set("uops", Json::UInt(collector.total_uops));
+    totals.set("wall_seconds", Json::Float(collector.wall_seconds));
+    totals.set(
+        "cycles_per_sec",
+        Json::Float(rate(collector.total_cycles, collector.wall_seconds)),
+    );
+    totals.set(
+        "uops_per_sec",
+        Json::Float(rate(collector.total_uops, collector.wall_seconds)),
+    );
+    report.set("totals", totals);
+
+    report.set("metrics", collector.output.registry.to_json());
+
+    let mut series = Json::object();
+    let mut names: Vec<usize> = (0..collector.output.series.len()).collect();
+    names.sort_by_key(|&i| collector.output.series[i].0);
+    for i in names {
+        let (name, ring) = &collector.output.series[i];
+        series.set(name, ring.to_json());
+    }
+    report.set("series", series);
+    report
+}
+
+fn rate(count: u64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        count as f64 / seconds
+    } else {
+        0.0
+    }
+}
+
+/// The deterministic JSONL export: one line per time series plus one
+/// metrics line, containing only simulated quantities (no wall time).
+/// Same seed, same bytes — this is what the determinism test pins.
+pub fn series_jsonl(collector: &Collector) -> String {
+    let mut out = String::new();
+    let mut metrics_line = Json::object();
+    metrics_line.set("metrics", collector.output.registry.to_json());
+    metrics_line.write(&mut out);
+    out.push('\n');
+    let mut names: Vec<usize> = (0..collector.output.series.len()).collect();
+    names.sort_by_key(|&i| collector.output.series[i].0);
+    for i in names {
+        let (name, ring) = &collector.output.series[i];
+        let mut line = Json::object();
+        line.set("series", Json::from(*name));
+        line.set("points", ring.to_json());
+        line.write(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Checks a report against the expected top-level schema: required keys
+/// present with the right JSON types, phase entries well-formed, series
+/// values arrays of `[time, value]` pairs.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch.
+pub fn validate_report(report: &Json) -> Result<(), String> {
+    if report.as_object().is_none() {
+        return Err(format!(
+            "report must be an object, got {}",
+            report.type_name()
+        ));
+    }
+
+    let version = report
+        .get("schema_version")
+        .ok_or("missing key: schema_version")?
+        .as_u64()
+        .ok_or("schema_version must be an unsigned integer")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != expected {SCHEMA_VERSION}"
+        ));
+    }
+
+    expect_type(report, "manifest", "object")?;
+    expect_type(report, "phases", "array")?;
+    expect_type(report, "totals", "object")?;
+    expect_type(report, "metrics", "object")?;
+    expect_type(report, "series", "object")?;
+
+    let totals = report.get("totals").ok_or("missing key: totals")?;
+    for key in [
+        "cycles",
+        "uops",
+        "wall_seconds",
+        "cycles_per_sec",
+        "uops_per_sec",
+    ] {
+        let value = totals
+            .get(key)
+            .ok_or_else(|| format!("totals missing key: {key}"))?;
+        if value.as_f64().is_none() {
+            return Err(format!(
+                "totals.{key} must be a number, got {}",
+                value.type_name()
+            ));
+        }
+    }
+
+    if let Some(phases) = report.get("phases").and_then(Json::as_array) {
+        for (i, phase) in phases.iter().enumerate() {
+            for key in ["name", "wall_seconds", "cycles", "uops"] {
+                if phase.get(key).is_none() {
+                    return Err(format!("phases[{i}] missing key: {key}"));
+                }
+            }
+            if phase.get("name").and_then(Json::as_str).is_none() {
+                return Err(format!("phases[{i}].name must be a string"));
+            }
+        }
+    }
+
+    let metrics = report.get("metrics").ok_or("missing key: metrics")?;
+    for key in ["counters", "gauges", "histograms"] {
+        let value = metrics
+            .get(key)
+            .ok_or_else(|| format!("metrics missing key: {key}"))?;
+        if value.as_object().is_none() {
+            return Err(format!(
+                "metrics.{key} must be an object, got {}",
+                value.type_name()
+            ));
+        }
+    }
+
+    if let Some(series) = report.get("series").and_then(Json::as_object) {
+        for (name, points) in series {
+            let points = points
+                .as_array()
+                .ok_or_else(|| format!("series.{name} must be an array"))?;
+            for point in points {
+                let pair = point
+                    .as_array()
+                    .ok_or_else(|| format!("series.{name} points must be [t, v] pairs"))?;
+                if pair.len() != 2 {
+                    return Err(format!(
+                        "series.{name} point has {} elements, expected 2",
+                        pair.len()
+                    ));
+                }
+                if pair[0].as_u64().is_none() {
+                    return Err(format!("series.{name} sample time must be an integer"));
+                }
+                // pair[1] may be null: a non-finite sample value.
+                if pair[1].as_f64().is_none() && pair[1] != Json::Null {
+                    return Err(format!(
+                        "series.{name} sample value must be numeric or null"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn expect_type(report: &Json, key: &str, type_name: &str) -> Result<(), String> {
+    let value = report
+        .get(key)
+        .ok_or_else(|| format!("missing key: {key}"))?;
+    if value.type_name() != type_name {
+        return Err(format!(
+            "{key} must be {type_name}, got {}",
+            value.type_name()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::recorder::{Phase, Settings};
+
+    fn sample_collector() -> Collector {
+        let mut collector = Collector {
+            settings: Settings::default(),
+            manifest: vec![("binary".to_string(), Json::from("fig6"))],
+            phases: vec![Phase {
+                name: "main".to_string(),
+                wall_seconds: 0.5,
+                cycles: 1_000,
+                uops: 400,
+            }],
+            total_cycles: 1_000,
+            total_uops: 400,
+            wall_seconds: 0.6,
+            output: crate::hooks::TelemetryOutput::default(),
+        };
+        let id = collector.output.registry.counter("uops");
+        collector.output.registry.inc(id, 400);
+        let mut ring = crate::series::RingSeries::new(8);
+        ring.push(100, 0.5);
+        ring.push(200, 0.75);
+        collector.output.series.push(("sched.occupancy", ring));
+        collector
+    }
+
+    #[test]
+    fn built_reports_validate_and_round_trip() {
+        let report = build_report(&sample_collector());
+        validate_report(&report).expect("self-built report validates");
+        let reparsed = parse(&report.encode()).expect("parses");
+        validate_report(&reparsed).expect("validates after round trip");
+        assert_eq!(
+            reparsed
+                .get("totals")
+                .and_then(|t| t.get("cycles"))
+                .and_then(Json::as_u64),
+            Some(1_000)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_missing_and_mistyped_keys() {
+        let mut report = build_report(&sample_collector());
+        report.set("schema_version", Json::from("one"));
+        assert!(validate_report(&report).is_err());
+
+        let report = parse(r#"{"schema_version":1}"#).expect("valid json");
+        let err = validate_report(&report).expect_err("incomplete");
+        assert!(err.contains("manifest"), "{err}");
+
+        let mut report = build_report(&sample_collector());
+        report.set("metrics", Json::Array(vec![]));
+        let err = validate_report(&report).expect_err("mistyped");
+        assert!(err.contains("metrics"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_series_points() {
+        let mut report = build_report(&sample_collector());
+        let mut series = Json::object();
+        series.set("bad", Json::Array(vec![Json::Array(vec![Json::UInt(1)])]));
+        report.set("series", series);
+        let err = validate_report(&report).expect_err("short point");
+        assert!(err.contains("expected 2"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_contains_no_wall_time_and_is_line_structured() {
+        let collector = sample_collector();
+        let jsonl = series_jsonl(&collector);
+        assert!(!jsonl.contains("wall"), "wall time leaked into JSONL");
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2, "metrics line + one series line");
+        for line in lines {
+            parse(line).expect("each line is standalone JSON");
+        }
+        // Determinism: building twice gives identical bytes.
+        assert_eq!(jsonl, series_jsonl(&collector));
+    }
+
+    #[test]
+    fn rates_guard_against_zero_wall_time() {
+        let mut collector = sample_collector();
+        collector.wall_seconds = 0.0;
+        let report = build_report(&collector);
+        let rate = report
+            .get("totals")
+            .and_then(|t| t.get("cycles_per_sec"))
+            .and_then(Json::as_f64)
+            .expect("rate present");
+        assert!((rate - 0.0).abs() < 1e-12);
+    }
+}

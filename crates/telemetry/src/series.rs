@@ -1,0 +1,127 @@
+//! Ring-buffered time series.
+//!
+//! Samples are `(cycle, value)` pairs. The buffer keeps the most recent
+//! `capacity` samples so a thorough-scale run cannot grow a report without
+//! bound; for trend plots the tail of the run is the interesting part.
+
+use crate::json::Json;
+
+/// A fixed-capacity ring buffer of `(time, value)` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSeries {
+    capacity: usize,
+    /// Physical storage; logically the ring starts at `head`.
+    data: Vec<(u64, f64)>,
+    head: usize,
+    /// Samples pushed over the series' lifetime (≥ `data.len()`).
+    pushed: u64,
+}
+
+impl RingSeries {
+    /// Creates an empty series keeping at most `capacity` samples
+    /// (capacity 0 is bumped to 1 so a push is never a no-op).
+    pub fn new(capacity: usize) -> RingSeries {
+        RingSeries {
+            capacity: capacity.max(1),
+            data: Vec::new(),
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, t: u64, v: f64) {
+        if self.data.len() < self.capacity {
+            self.data.push((t, v));
+        } else {
+            self.data[self.head] = (t, v);
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.pushed += 1;
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Samples pushed over the series' lifetime, including evicted ones.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        let (tail, head) = self.data.split_at(self.head);
+        head.iter().chain(tail.iter()).copied()
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<(u64, f64)> {
+        if self.data.is_empty() {
+            None
+        } else if self.head == 0 {
+            self.data.last().copied()
+        } else {
+            Some(self.data[self.head - 1])
+        }
+    }
+
+    /// Encodes as `[[t, v], ...]`, oldest first.
+    pub fn to_json(&self) -> Json {
+        Json::Array(
+            self.iter()
+                .map(|(t, v)| Json::Array(vec![Json::UInt(t), Json::Float(v)]))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_insertion_order_under_capacity() {
+        let mut s = RingSeries::new(4);
+        s.push(0, 1.0);
+        s.push(10, 2.0);
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![(0, 1.0), (10, 2.0)]);
+        assert_eq!(s.last(), Some((10, 2.0)));
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut s = RingSeries::new(3);
+        for i in 0..5u64 {
+            s.push(i, i as f64);
+        }
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![(2, 2.0), (3, 3.0), (4, 4.0)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.total_pushed(), 5);
+        assert_eq!(s.last(), Some((4, 4.0)));
+    }
+
+    #[test]
+    fn zero_capacity_is_bumped() {
+        let mut s = RingSeries::new(0);
+        s.push(1, 1.0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn json_is_oldest_first() {
+        let mut s = RingSeries::new(2);
+        s.push(0, 0.5);
+        s.push(1, 0.75);
+        s.push(2, 1.0);
+        assert_eq!(s.to_json().encode(), "[[1,0.75],[2,1]]");
+    }
+}

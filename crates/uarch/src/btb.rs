@@ -53,6 +53,11 @@ impl Btb {
         self.cache.stats()
     }
 
+    /// Instantaneous fraction of entries holding a trained target.
+    pub fn valid_fraction(&self) -> f64 {
+        self.cache.valid_fraction()
+    }
+
     /// The underlying cache, for the NBTI inversion schemes.
     pub fn cache_mut(&mut self) -> &mut SetAssocCache {
         &mut self.cache

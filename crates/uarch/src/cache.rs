@@ -383,6 +383,21 @@ impl SetAssocCache {
             .count()
     }
 
+    /// Number of currently invalid lines (neither valid nor inverted).
+    pub fn invalid_count(&self) -> usize {
+        self.config.lines() - self.valid_count() - self.inverted_count()
+    }
+
+    /// Instantaneous fraction of lines holding valid data.
+    pub fn valid_fraction(&self) -> f64 {
+        self.valid_count() as f64 / self.config.lines() as f64
+    }
+
+    /// Instantaneous fraction of lines in the Inverted state.
+    pub fn inverted_fraction(&self) -> f64 {
+        self.inverted_count() as f64 / self.config.lines() as f64
+    }
+
     /// State of one line.
     pub fn line_state(&self, set: usize, way: usize) -> LineState {
         self.sets[set][way].state

@@ -205,6 +205,66 @@ pub struct NoHooks;
 
 impl Hooks for NoHooks {}
 
+/// Forwarding impl so hook chains can be composed by mutable borrow: a
+/// wrapper (telemetry, fault injection) can hold `&mut H` instead of
+/// taking ownership of the chain it instruments.
+impl<H: Hooks + ?Sized> Hooks for &mut H {
+    fn regfile_released(
+        &mut self,
+        rf: &mut RegisterFile,
+        class: RegClass,
+        preg: PhysReg,
+        now: u64,
+    ) {
+        (**self).regfile_released(rf, class, preg, now);
+    }
+
+    fn regfile_written(
+        &mut self,
+        rf: &mut RegisterFile,
+        class: RegClass,
+        preg: PhysReg,
+        value: u128,
+        now: u64,
+    ) {
+        (**self).regfile_written(rf, class, preg, value, now);
+    }
+
+    fn scheduler_released(&mut self, sched: &mut Scheduler, slot: SlotId, now: u64) {
+        (**self).scheduler_released(sched, slot, now);
+    }
+
+    fn scheduler_allocated(
+        &mut self,
+        sched: &mut Scheduler,
+        slot: SlotId,
+        values: &EntryValues,
+        now: u64,
+    ) {
+        (**self).scheduler_allocated(sched, slot, values, now);
+    }
+
+    fn dl0_accessed(&mut self, dl0: &mut SetAssocCache, outcome: &AccessOutcome, now: u64) {
+        (**self).dl0_accessed(dl0, outcome, now);
+    }
+
+    fn l2_accessed(&mut self, l2: &mut SetAssocCache, outcome: &AccessOutcome, now: u64) {
+        (**self).l2_accessed(l2, outcome, now);
+    }
+
+    fn dtlb_accessed(&mut self, dtlb: &mut Dtlb, outcome: &AccessOutcome, now: u64) {
+        (**self).dtlb_accessed(dtlb, outcome, now);
+    }
+
+    fn btb_accessed(&mut self, btb: &mut Btb, outcome: &AccessOutcome, now: u64) {
+        (**self).btb_accessed(btb, outcome, now);
+    }
+
+    fn cycle_end(&mut self, parts: &mut Parts, now: u64) {
+        (**self).cycle_end(parts, now);
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
     class: UopClass,
@@ -421,6 +481,11 @@ impl Pipeline {
     /// Current cycle.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Uops retired over the pipeline's lifetime (across all runs).
+    pub fn uops_retired(&self) -> u64 {
+        self.uops_retired
     }
 
     /// The configuration.

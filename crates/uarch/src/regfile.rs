@@ -184,6 +184,16 @@ impl RegisterFile {
         self.free_list.len()
     }
 
+    /// Number of physical registers.
+    pub fn entries(&self) -> usize {
+        usize::from(self.config.entries)
+    }
+
+    /// Number of currently allocated registers.
+    pub fn busy_count(&self) -> usize {
+        self.entries() - self.free_count()
+    }
+
     /// Flushes residency accounting of every cell up to `now`. Call before
     /// reading [`RegisterFile::residency`].
     pub fn sync(&mut self, now: u64) {

@@ -49,6 +49,11 @@ impl Dtlb {
         self.cache.stats()
     }
 
+    /// Instantaneous fraction of entries holding a valid translation.
+    pub fn valid_fraction(&self) -> f64 {
+        self.cache.valid_fraction()
+    }
+
     /// The underlying cache, for the NBTI inversion schemes.
     pub fn cache_mut(&mut self) -> &mut SetAssocCache {
         &mut self.cache
