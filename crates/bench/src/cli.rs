@@ -10,12 +10,17 @@
 //!
 //! - `--scale <quick|standard|thorough>` — experiment size; overrides the
 //!   `PENELOPE_SCALE` environment variable;
+//! - `--jobs <N>` — worker threads for the parallel sweep engine
+//!   (`penelope::par`); overrides `PENELOPE_JOBS`; defaults to the
+//!   machine's available parallelism;
 //! - `--json <path>` — write a machine-readable run report (schema in
 //!   `penelope-telemetry`); overrides `PENELOPE_METRICS`;
 //! - `-h` / `--help` — print usage and exit successfully.
 //!
 //! When a report path is active the recorder is installed before the
-//! experiment runs, drivers contribute phases/series through
+//! environment variables are resolved — so a malformed `PENELOPE_SCALE`,
+//! `PENELOPE_JOBS` or `PENELOPE_FAULTS` lands in the report's `warnings`
+//! array, not just on stderr — drivers contribute phases/series through
 //! `penelope::obs`, and the finished report is validated and written even
 //! when the experiment fails (with `"status": "error"` in the manifest).
 
@@ -26,6 +31,7 @@ use std::process::ExitCode;
 use penelope::error::Error;
 use penelope::experiments::{efficiency_summary_faulted, Scale};
 use penelope::fault::FaultPlan;
+use penelope::par;
 use penelope::report::render_efficiency;
 use penelope_telemetry::recorder::{self, Settings};
 use penelope_telemetry::{build_report, validate_report, Json};
@@ -71,21 +77,67 @@ pub fn scale_name(scale: Scale) -> &'static str {
     }
 }
 
+/// Reports a degraded-mode fallback: on stderr for whoever is watching
+/// the run, and into the run report's `warnings` array when a recorder is
+/// installed (a no-op otherwise), so a batch consumer reading only the
+/// JSON still learns the run did not execute as configured.
+fn degraded(message: String) {
+    eprintln!("{message}");
+    recorder::warning(message);
+}
+
 /// Reads the experiment scale from `PENELOPE_SCALE` (default: standard).
-/// Unrecognized values warn on stderr and fall back to the default.
+/// Unrecognized values warn — on stderr and in the run report — and fall
+/// back to the default.
 pub fn scale_from_env() -> Scale {
     match std::env::var("PENELOPE_SCALE") {
         Ok(value) => parse_scale(&value).unwrap_or_else(|warning| {
-            eprintln!("PENELOPE_SCALE: {warning}; using standard");
+            degraded(format!("PENELOPE_SCALE: {warning}; using standard"));
             Scale::standard()
         }),
         Err(_) => Scale::standard(),
     }
 }
 
+/// Parses a worker count for the parallel sweep engine: a positive
+/// integer.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the rejected value.
+pub fn parse_jobs(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) | Err(_) => Err(format!(
+            "invalid job count {value:?} (expected a positive integer)"
+        )),
+        Ok(jobs) => Ok(jobs),
+    }
+}
+
+/// Reads the worker count from `PENELOPE_JOBS`. Unset or empty means
+/// "use the machine's available parallelism"; unparseable values warn —
+/// on stderr and in the run report — and fall back the same way.
+pub fn jobs_from_env() -> Option<usize> {
+    let raw = std::env::var("PENELOPE_JOBS").ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match parse_jobs(trimmed) {
+        Ok(jobs) => Some(jobs),
+        Err(warning) => {
+            degraded(format!(
+                "PENELOPE_JOBS: {warning}; using available parallelism"
+            ));
+            None
+        }
+    }
+}
+
 /// Reads a fault plan from `PENELOPE_FAULTS`: a `u64` seed expanding into
 /// a seeded random [`FaultPlan`]. Unset or empty means no faults;
-/// unparseable values warn and disable injection rather than abort.
+/// unparseable values warn — on stderr and in the run report — and
+/// disable injection rather than abort.
 pub fn fault_plan_from_env() -> Option<FaultPlan> {
     let raw = std::env::var("PENELOPE_FAULTS").ok()?;
     let trimmed = raw.trim();
@@ -95,10 +147,10 @@ pub fn fault_plan_from_env() -> Option<FaultPlan> {
     match trimmed.parse::<u64>() {
         Ok(seed) => Some(FaultPlan::random(seed)),
         Err(_) => {
-            eprintln!(
+            degraded(format!(
                 "unparseable PENELOPE_FAULTS {trimmed:?} (expected a u64 seed); \
                  faults disabled"
-            );
+            ));
             None
         }
     }
@@ -118,6 +170,7 @@ pub fn header(what: &str, paper_ref: &str, scale: Scale) {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 struct Args {
     scale: Option<Scale>,
+    jobs: Option<usize>,
     json: Option<PathBuf>,
     help: bool,
 }
@@ -140,6 +193,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         };
         match flag.as_str() {
             "--scale" => parsed.scale = Some(parse_scale(&value("--scale")?)?),
+            "--jobs" => parsed.jobs = Some(parse_jobs(&value("--jobs")?)?),
             "--json" => parsed.json = Some(PathBuf::from(value("--json")?)),
             "-h" | "--help" => parsed.help = true,
             other => {
@@ -152,15 +206,19 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
 
 fn usage(slug: &str) {
     println!(
-        "USAGE: {slug} [--scale <quick|standard|thorough>] [--json <path>]\n\
+        "USAGE: {slug} [--scale <quick|standard|thorough>] [--jobs <N>] [--json <path>]\n\
          \n\
          Options:\n\
          \x20 --scale <name>   experiment size (default: PENELOPE_SCALE or standard)\n\
+         \x20 --jobs <N>       worker threads for experiment sweeps (default:\n\
+         \x20                  PENELOPE_JOBS or the machine's available parallelism);\n\
+         \x20                  results are identical at any setting\n\
          \x20 --json <path>    write a machine-readable run report (default: PENELOPE_METRICS)\n\
          \x20 -h, --help       print this help\n\
          \n\
          Environment:\n\
          \x20 PENELOPE_SCALE   scale when --scale is absent\n\
+         \x20 PENELOPE_JOBS    worker threads when --jobs is absent\n\
          \x20 PENELOPE_METRICS report path when --json is absent\n\
          \x20 PENELOPE_FAULTS  u64 seed: replace the experiment with a seeded\n\
          \x20                  fault-injection run (always exits nonzero)"
@@ -204,6 +262,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 /// recorder is active for the whole run and a validated JSON run report is
 /// written to `path` on the way out — also on failure, with
 /// `"status": "error"` in its manifest.
+///
+/// `--jobs <N>` (or `PENELOPE_JOBS=<N>`) sets the worker count for the
+/// parallel sweep engine before the experiment starts; results and
+/// reports are byte-identical at any setting outside wall-clock fields.
 pub fn run_main(
     slug: &str,
     what: &str,
@@ -221,17 +283,30 @@ pub fn run_main(
         usage(slug);
         return ExitCode::SUCCESS;
     }
-    let scale = args.scale.unwrap_or_else(scale_from_env);
     let report = report_path(args.json);
-    header(what, paper_ref, scale);
 
+    // Install the recorder before resolving the environment so that a
+    // malformed PENELOPE_SCALE / PENELOPE_JOBS / PENELOPE_FAULTS fallback
+    // is recorded in the report's `warnings` array, not just on stderr.
     if report.is_some() {
         recorder::install(Settings::default());
         recorder::manifest_entry("binary", Json::from(slug));
         recorder::manifest_entry("artifact", Json::from(what));
         recorder::manifest_entry("paper_ref", Json::from(paper_ref));
+    }
+    let scale = args.scale.unwrap_or_else(scale_from_env);
+    if report.is_some() {
         recorder::manifest_entry("scale_name", Json::from(scale_name(scale)));
     }
+    // The jobs count steers wall-clock only — it is deliberately kept out
+    // of the manifest so reports stay byte-identical across --jobs
+    // settings (the determinism contract in `penelope::par`).
+    let jobs = args
+        .jobs
+        .or_else(jobs_from_env)
+        .unwrap_or_else(par::available_parallelism);
+    par::set_jobs(jobs);
+    header(what, paper_ref, scale);
 
     let exit = if let Some(plan) = fault_plan_from_env() {
         recorder::manifest_entry("fault_seed", Json::from(plan.seed));
@@ -344,14 +419,55 @@ mod tests {
 
     #[test]
     fn args_parse_both_flag_styles() {
-        let parsed = parse_args(strings(&["--scale", "quick", "--json", "out.json"])).unwrap();
+        let parsed = parse_args(strings(&[
+            "--scale", "quick", "--jobs", "4", "--json", "out.json",
+        ]))
+        .unwrap();
         assert_eq!(parsed.scale, Some(Scale::quick()));
+        assert_eq!(parsed.jobs, Some(4));
         assert_eq!(parsed.json, Some(PathBuf::from("out.json")));
         assert!(!parsed.help);
 
-        let parsed = parse_args(strings(&["--scale=thorough", "--json=r/x.json"])).unwrap();
+        let parsed = parse_args(strings(&[
+            "--scale=thorough",
+            "--jobs=2",
+            "--json=r/x.json",
+        ]))
+        .unwrap();
         assert_eq!(parsed.scale, Some(Scale::thorough()));
+        assert_eq!(parsed.jobs, Some(2));
         assert_eq!(parsed.json, Some(PathBuf::from("r/x.json")));
+    }
+
+    #[test]
+    fn jobs_parse_strictly() {
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs(" 16 "), Ok(16));
+        for bad in ["0", "-1", "two", "1.5", ""] {
+            let err = parse_jobs(bad).unwrap_err();
+            assert!(err.contains("positive integer"), "{bad:?}: {err}");
+        }
+        // The flag is strict: a bad --jobs is a parse error, not a warning.
+        assert!(parse_args(strings(&["--jobs", "zero"]))
+            .unwrap_err()
+            .contains("positive integer"));
+    }
+
+    #[test]
+    fn unparseable_jobs_env_warns_into_the_report() {
+        // Only this test touches PENELOPE_JOBS, so the process-global
+        // environment is not contended.
+        std::env::set_var("PENELOPE_JOBS", "not-a-number");
+        recorder::install(Settings::default());
+        assert_eq!(jobs_from_env(), None, "garbage falls back to the default");
+        let collector = recorder::finish().expect("installed above");
+        std::env::remove_var("PENELOPE_JOBS");
+        assert_eq!(collector.warnings.len(), 1);
+        assert!(
+            collector.warnings[0].contains("PENELOPE_JOBS"),
+            "{:?}",
+            collector.warnings
+        );
     }
 
     #[test]

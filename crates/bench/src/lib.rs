@@ -10,6 +10,10 @@
 //! - machine-readable run reports via `--json <path>` or
 //!   `PENELOPE_METRICS=<path>`, produced by the `penelope-telemetry`
 //!   recorder;
+//! - parallel sweeps via `--jobs <N>` or `PENELOPE_JOBS=<N>` (default:
+//!   all cores), wired to the `penelope::par` engine; results and
+//!   telemetry are byte-identical to a serial run modulo wall-clock
+//!   fields;
 //! - a panic supervisor: drivers return typed errors, and anything that
 //!   still panics is caught, reported as a partial-results failure and
 //!   mapped to a nonzero exit code instead of an abort;
@@ -23,4 +27,7 @@
 
 pub mod cli;
 
-pub use cli::{fault_plan_from_env, header, parse_scale, run_main, scale_from_env, scale_name};
+pub use cli::{
+    fault_plan_from_env, header, jobs_from_env, parse_jobs, parse_scale, run_main, scale_from_env,
+    scale_name,
+};

@@ -1,0 +1,172 @@
+//! End-to-end CLI tests for `--jobs` / `PENELOPE_JOBS`: the flag parses
+//! strictly, the env var degrades gracefully into the report's `warnings`
+//! array, reports stay byte-identical across jobs settings, and a
+//! fault-injected parallel run still exits nonzero with the fault
+//! reported.
+//!
+//! These drive the real binaries through `CARGO_BIN_EXE_*`, so they cover
+//! the full path: argument parsing → recorder install → engine jobs
+//! wiring → report write.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use penelope_telemetry::{validate_report, Json};
+
+fn fig6() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig6"));
+    // Isolate from the ambient environment CI or a developer might have.
+    cmd.env_remove("PENELOPE_SCALE")
+        .env_remove("PENELOPE_JOBS")
+        .env_remove("PENELOPE_METRICS")
+        .env_remove("PENELOPE_FAULTS");
+    cmd
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("penelope-parallel-cli");
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    dir.join(name)
+}
+
+fn read_report(path: &std::path::Path) -> Json {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|err| panic!("cannot read report {}: {err}", path.display()));
+    let report = penelope_telemetry::json::parse(&raw).expect("report parses as JSON");
+    validate_report(&report).expect("report matches the schema");
+    report
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// Strips wall-clock fields so reports can be compared across jobs
+/// settings (mirrors tests/parallel.rs at the crate boundary).
+fn canonicalize(json: &mut Json) {
+    match json {
+        Json::Object(fields) => {
+            fields.retain(|(key, _)| {
+                !matches!(
+                    key.as_str(),
+                    "wall_seconds" | "cycles_per_sec" | "uops_per_sec"
+                )
+            });
+            for (_, value) in fields.iter_mut() {
+                canonicalize(value);
+            }
+        }
+        Json::Array(items) => {
+            for value in items.iter_mut() {
+                canonicalize(value);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_jobs_settings() {
+    let serial_path = tmp_path("fig6-jobs1.json");
+    let parallel_path = tmp_path("fig6-jobs4.json");
+    for (jobs, path) in [("1", &serial_path), ("4", &parallel_path)] {
+        let output = fig6()
+            .args(["--scale", "quick", "--jobs", jobs, "--json"])
+            .arg(path)
+            .output()
+            .expect("fig6 binary runs");
+        assert!(
+            output.status.success(),
+            "jobs={jobs}: {}",
+            stderr_of(&output)
+        );
+    }
+    let mut serial = read_report(&serial_path);
+    let mut parallel = read_report(&parallel_path);
+    canonicalize(&mut serial);
+    canonicalize(&mut parallel);
+    assert_eq!(
+        serial.encode(),
+        parallel.encode(),
+        "--jobs 4 report differs from --jobs 1 outside wall-clock fields"
+    );
+}
+
+#[test]
+fn bad_jobs_flag_is_a_hard_error() {
+    let output = fig6()
+        .args(["--scale", "quick", "--jobs", "zero"])
+        .output()
+        .expect("fig6 binary runs");
+    assert!(
+        !output.status.success(),
+        "a bad --jobs must not run anything"
+    );
+    assert!(
+        stderr_of(&output).contains("positive integer"),
+        "stderr: {}",
+        stderr_of(&output)
+    );
+}
+
+#[test]
+fn unparseable_jobs_env_degrades_into_report_warnings() {
+    let path = tmp_path("fig6-bad-jobs-env.json");
+    let output = fig6()
+        .env("PENELOPE_JOBS", "banana")
+        .args(["--scale", "quick", "--json"])
+        .arg(&path)
+        .output()
+        .expect("fig6 binary runs");
+    assert!(
+        output.status.success(),
+        "env degradation must not fail the run: {}",
+        stderr_of(&output)
+    );
+    assert!(stderr_of(&output).contains("PENELOPE_JOBS"));
+    let report = read_report(&path);
+    let warnings = report
+        .get("warnings")
+        .and_then(Json::as_array)
+        .expect("report carries a warnings array");
+    assert!(
+        warnings
+            .iter()
+            .filter_map(Json::as_str)
+            .any(|w| w.contains("PENELOPE_JOBS")),
+        "degradation missing from warnings: {warnings:?}"
+    );
+}
+
+#[test]
+fn faulted_parallel_run_exits_nonzero_and_reports_the_faults() {
+    let path = tmp_path("fig6-faulted-jobs4.json");
+    let output = fig6()
+        .env("PENELOPE_FAULTS", "5")
+        .env("PENELOPE_JOBS", "4")
+        .args(["--scale", "quick", "--json"])
+        .arg(&path)
+        .output()
+        .expect("fig6 binary runs");
+    assert!(
+        !output.status.success(),
+        "a faulted run never counts as a reproduction, at any jobs"
+    );
+    let stderr = stderr_of(&output);
+    assert!(
+        stderr.contains("FAULT INJECTION ACTIVE"),
+        "stderr: {stderr}"
+    );
+    let report = read_report(&path);
+    let manifest = report.get("manifest").expect("manifest object");
+    assert_eq!(
+        manifest.get("fault_seed").and_then(Json::as_u64),
+        Some(5),
+        "the seed that perturbed the run must be in the manifest"
+    );
+    assert_eq!(
+        manifest.get("status").and_then(Json::as_str),
+        Some("error"),
+        "faulted runs report status=error"
+    );
+}

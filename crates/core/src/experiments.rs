@@ -7,6 +7,12 @@
 //! typed [`Error`] values instead of panics, and the `_faulted` variants
 //! thread a [`FaultPlan`] through every layer for robustness testing.
 //!
+//! Sweeps decompose into independent, seed-deterministic grid cells and
+//! run on the [`par`] engine: `--jobs N` executes cells on a worker pool,
+//! `--jobs 1` runs them inline, and both merge results and telemetry in
+//! cell-index order, so the two modes are byte-identical outside
+//! wall-clock fields (the [`par`] module documents the contract).
+//!
 //! | Paper artifact | Driver |
 //! |---|---|
 //! | Figure 1 (NIT dynamics) | [`fig1`] |
@@ -40,6 +46,7 @@ use crate::error::Error;
 use crate::fault::{FaultHooks, FaultInjector, FaultPlan, RinvAccess};
 use crate::invert_mode::{full_guardband_baseline, InvertMode};
 use crate::obs::{self, with_recording};
+use crate::par;
 use crate::processor::{build, PenelopeConfig};
 use crate::regfile_aware::{RegfileIsv, RegfileIsvHooks};
 use crate::sched_aware::{worst_figure8_bias, SchedulerBalancer, SchedulerHooks, SchedulerPolicy};
@@ -195,43 +202,66 @@ pub fn motivation(scale: Scale) -> Result<Motivation, Error> {
         }
     }
 
-    let (mut pipe, uniform_result) = recorder::phase("motivation: uniform", || {
-        run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+    // The uniform and prioritized runs are independent: one engine cell
+    // each, merged back in grid order.
+    struct MotCell {
+        int_bias_min: f64,
+        int_bias_max: f64,
+        sched_worst_bias: f64,
+        util: (f64, f64),
+    }
+    let mut cells = par::try_cells(2, |cell| {
+        if cell.index == 0 {
+            let (mut pipe, uniform_result) = recorder::phase("motivation: uniform", || {
+                run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+            })?;
+            let now = pipe.now();
+            pipe.parts.int_rf.sync(now);
+            let biases = pipe.parts.int_rf.residency().biases();
+            pipe.parts.sched.sync(now);
+            let uniform = uniform_result.adder_utilization();
+            Ok(MotCell {
+                int_bias_min: biases.iter().map(|d| d.fraction()).fold(1.0, f64::min),
+                int_bias_max: biases.iter().map(|d| d.fraction()).fold(0.0, f64::max),
+                sched_worst_bias: Field::ALL
+                    .iter()
+                    .filter(|f| **f != Field::Opcode)
+                    .flat_map(|f| pipe.parts.sched.field_residency(*f).biases())
+                    .map(|d| d.fraction())
+                    .fold(0.0, f64::max),
+                util: (uniform[0], uniform[1]),
+            })
+        } else {
+            let prio_config = PipelineConfig {
+                adder_policy: AdderPolicy::Prioritized,
+                ..PipelineConfig::default()
+            };
+            let (_, prio_result) = recorder::phase("motivation: prioritized", || {
+                run_workload(prio_config, scale, &mut NoHooks)
+            })?;
+            let prio = prio_result.adder_utilization();
+            Ok(MotCell {
+                int_bias_min: 0.0,
+                int_bias_max: 0.0,
+                sched_worst_bias: 0.0,
+                util: (prio[0], prio[1]),
+            })
+        }
     })?;
-    let now = pipe.now();
-    pipe.parts.int_rf.sync(now);
-    let biases = pipe.parts.int_rf.residency().biases();
-    let int_bias_min = biases.iter().map(|d| d.fraction()).fold(1.0, f64::min);
-    let int_bias_max = biases.iter().map(|d| d.fraction()).fold(0.0, f64::max);
-    pipe.parts.sched.sync(now);
-    let sched_worst_bias = Field::ALL
-        .iter()
-        .filter(|f| **f != Field::Opcode)
-        .flat_map(|f| pipe.parts.sched.field_residency(*f).biases())
-        .map(|d| d.fraction())
-        .fold(0.0, f64::max);
-
-    let prio_config = PipelineConfig {
-        adder_policy: AdderPolicy::Prioritized,
-        ..PipelineConfig::default()
-    };
-    let (_, prio_result) = recorder::phase("motivation: prioritized", || {
-        run_workload(prio_config, scale, &mut NoHooks)
-    })?;
-    let prio = prio_result.adder_utilization();
-    let prio_alu: Vec<f64> = vec![prio[0], prio[1]];
-    let prio_min = prio_alu.iter().cloned().fold(1.0, f64::min);
-    let prio_max = prio_alu.iter().cloned().fold(0.0, f64::max);
-
-    let uniform = uniform_result.adder_utilization();
+    let prio = cells
+        .pop()
+        .ok_or_else(|| Error::config("motivation grid lost a cell"))?;
+    let uniform = cells
+        .pop()
+        .ok_or_else(|| Error::config("motivation grid lost a cell"))?;
 
     Ok(Motivation {
         carry_in_zero: 1.0 - carries as f64 / adds.max(1) as f64,
-        int_bias_min,
-        int_bias_max,
-        sched_worst_bias,
-        adder_util_uniform: (uniform[0] + uniform[1]) / 2.0,
-        adder_util_prioritized: (prio_min, prio_max),
+        int_bias_min: uniform.int_bias_min,
+        int_bias_max: uniform.int_bias_max,
+        sched_worst_bias: uniform.sched_worst_bias,
+        adder_util_uniform: (uniform.util.0 + uniform.util.1) / 2.0,
+        adder_util_prioritized: (prio.util.0.min(prio.util.1), prio.util.0.max(prio.util.1)),
     })
 }
 
@@ -264,21 +294,25 @@ pub fn fig5(scale: Scale) -> Result<Vec<Fig5Row>, Error> {
     for spec in scale.workload().specs() {
         inputs.extend(real_adder_inputs(spec, (scale.uops_per_trace / 4).max(512)));
     }
-    let mut rows = vec![Fig5Row {
-        label: "real inputs".into(),
-        guardband: protection
-            .guardband(&adder, 1.0, inputs.iter().copied(), &model)
-            .fraction(),
-    }];
-    for util in [0.30, 0.21, 0.11] {
-        rows.push(Fig5Row {
-            label: format!("{:.0}% real + 000 + 111", util * 100.0),
-            guardband: protection
-                .guardband(&adder, util, inputs.iter().copied(), &model)
-                .fraction(),
-        });
-    }
-    Ok(rows)
+    // One engine cell per bar: the guardband searches are pure CPU over
+    // the same read-only input sample.
+    let scenarios = [None, Some(0.30), Some(0.21), Some(0.11)];
+    par::try_cells(scenarios.len(), |cell| {
+        Ok(match scenarios[cell.index] {
+            None => Fig5Row {
+                label: "real inputs".into(),
+                guardband: protection
+                    .guardband(&adder, 1.0, inputs.iter().copied(), &model)
+                    .fraction(),
+            },
+            Some(util) => Fig5Row {
+                label: format!("{:.0}% real + 000 + 111", util * 100.0),
+                guardband: protection
+                    .guardband(&adder, util, inputs.iter().copied(), &model)
+                    .fraction(),
+            },
+        })
+    })
 }
 
 // ---------------------------------------------------------------- Figure 6
@@ -330,41 +364,70 @@ impl Fig6 {
     }
 }
 
-/// Runs Figure 6: baseline and ISV register files over the workload.
+/// Runs Figure 6: baseline and ISV register files over the workload. The
+/// two configurations are independent engine cells.
 pub fn fig6(scale: Scale) -> Result<Fig6, Error> {
+    struct Fig6Cell {
+        int_bias: Vec<f64>,
+        fp_bias: Vec<f64>,
+        int_free: f64,
+        fp_free: f64,
+        int_port_rate: f64,
+        fp_port_rate: f64,
+    }
     let to_fracs =
         |biases: Vec<Duty>| -> Vec<f64> { biases.into_iter().map(|d| d.fraction()).collect() };
 
-    let (mut base, _) = recorder::phase("fig6: baseline", || {
-        run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+    let mut cells = par::try_cells(2, |cell| {
+        if cell.index == 0 {
+            let (mut base, _) = recorder::phase("fig6: baseline", || {
+                run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+            })?;
+            let now = base.now();
+            base.parts.int_rf.sync(now);
+            base.parts.fp_rf.sync(now);
+            Ok(Fig6Cell {
+                int_bias: to_fracs(base.parts.int_rf.residency().biases()),
+                fp_bias: to_fracs(base.parts.fp_rf.residency().biases()),
+                int_free: base.parts.int_rf.free_fraction(now),
+                fp_free: base.parts.fp_rf.free_fraction(now),
+                int_port_rate: 0.0,
+                fp_port_rate: 0.0,
+            })
+        } else {
+            let mut hooks = RegfileIsvHooks::new(scale.time_scale.max(64));
+            let (mut isv, _) = recorder::phase("fig6: isv", || {
+                run_workload(PipelineConfig::default(), scale, &mut hooks)
+            })?;
+            let now = isv.now();
+            isv.parts.int_rf.sync(now);
+            isv.parts.fp_rf.sync(now);
+            Ok(Fig6Cell {
+                int_bias: to_fracs(isv.parts.int_rf.residency().biases()),
+                fp_bias: to_fracs(isv.parts.fp_rf.residency().biases()),
+                int_free: 0.0,
+                fp_free: 0.0,
+                int_port_rate: hooks.int.update_success_rate(),
+                fp_port_rate: hooks.fp.update_success_rate(),
+            })
+        }
     })?;
-    let now = base.now();
-    base.parts.int_rf.sync(now);
-    base.parts.fp_rf.sync(now);
-    let int_baseline = to_fracs(base.parts.int_rf.residency().biases());
-    let fp_baseline = to_fracs(base.parts.fp_rf.residency().biases());
-    let int_free = base.parts.int_rf.free_fraction(now);
-    let fp_free = base.parts.fp_rf.free_fraction(now);
-
-    let mut hooks = RegfileIsvHooks::new(scale.time_scale.max(64));
-    let (mut isv, _) = recorder::phase("fig6: isv", || {
-        run_workload(PipelineConfig::default(), scale, &mut hooks)
-    })?;
-    let now = isv.now();
-    isv.parts.int_rf.sync(now);
-    isv.parts.fp_rf.sync(now);
-    let int_isv = to_fracs(isv.parts.int_rf.residency().biases());
-    let fp_isv = to_fracs(isv.parts.fp_rf.residency().biases());
+    let isv = cells
+        .pop()
+        .ok_or_else(|| Error::config("fig6 grid lost a cell"))?;
+    let base = cells
+        .pop()
+        .ok_or_else(|| Error::config("fig6 grid lost a cell"))?;
 
     Ok(Fig6 {
-        int_baseline,
-        int_isv,
-        fp_baseline,
-        fp_isv,
-        int_free,
-        fp_free,
-        int_port_rate: hooks.int.update_success_rate(),
-        fp_port_rate: hooks.fp.update_success_rate(),
+        int_baseline: base.int_bias,
+        int_isv: isv.int_bias,
+        fp_baseline: base.fp_bias,
+        fp_isv: isv.fp_bias,
+        int_free: base.int_free,
+        fp_free: base.fp_free,
+        int_port_rate: isv.int_port_rate,
+        fp_port_rate: isv.fp_port_rate,
     })
 }
 
@@ -401,47 +464,96 @@ pub struct Fig8 {
 /// Runs Figure 8: a baseline run doubles as the profiling run for the K
 /// values (the paper profiles 100 of its 531 traces), then the protected
 /// configuration runs with the derived policy.
+///
+/// The second stage consumes the first stage's policy, so the stages are
+/// sequential; each runs as a single engine cell (executed inline — no
+/// thread is spawned for a one-cell grid) so its telemetry follows the
+/// same snapshot path as the wide sweeps.
 pub fn fig8(scale: Scale) -> Result<Fig8, Error> {
-    let (mut base, _) = recorder::phase("fig8: baseline", || {
-        run_workload(PipelineConfig::default(), scale, &mut NoHooks)
-    })?;
-    let now = base.now();
-    base.parts.sched.sync(now);
-    let occupancy = base.parts.sched.occupancy(now);
-    let data_occupancy = base.parts.sched.data_occupancy(now);
+    struct Fig8Stage {
+        bits: Vec<(Field, Vec<f64>)>,
+        worst: f64,
+        occupancy: f64,
+        data_occupancy: f64,
+        policy: Option<SchedulerPolicy>,
+    }
+    fn field_bits(sched: &uarch::scheduler::Scheduler) -> Vec<(Field, Vec<f64>)> {
+        Field::ALL
+            .iter()
+            .filter(|f| **f != Field::Opcode)
+            .map(|f| {
+                let bits = sched
+                    .field_residency(*f)
+                    .biases()
+                    .into_iter()
+                    .map(|d| d.fraction())
+                    .collect();
+                (*f, bits)
+            })
+            .collect()
+    }
 
-    let policy = SchedulerPolicy::from_scheduler(&mut base.parts.sched, now)?;
-    let mut hooks = SchedulerHooks {
-        balancer: SchedulerBalancer::new(policy, scale.time_scale.max(64)),
-    };
-    let (mut prot, _) = recorder::phase("fig8: protected", || {
-        run_workload(PipelineConfig::default(), scale, &mut hooks)
-    })?;
-    let now_p = prot.now();
-    prot.parts.sched.sync(now_p);
+    let mut base = par::try_cells(1, |_| {
+        let (mut pipe, _) = recorder::phase("fig8: baseline", || {
+            run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+        })?;
+        let now = pipe.now();
+        pipe.parts.sched.sync(now);
+        let occupancy = pipe.parts.sched.occupancy(now);
+        let data_occupancy = pipe.parts.sched.data_occupancy(now);
+        let policy = SchedulerPolicy::from_scheduler(&mut pipe.parts.sched, now)?;
+        Ok(Fig8Stage {
+            bits: field_bits(&pipe.parts.sched),
+            worst: worst_figure8_bias(&pipe.parts.sched).fraction(),
+            occupancy,
+            data_occupancy,
+            policy: Some(policy),
+        })
+    })?
+    .pop()
+    .ok_or_else(|| Error::config("fig8 baseline cell vanished"))?;
+
+    let policy = base
+        .policy
+        .take()
+        .ok_or_else(|| Error::config("fig8 baseline produced no scheduler policy"))?;
+    let prot = par::try_cells(1, |_| {
+        let mut hooks = SchedulerHooks {
+            balancer: SchedulerBalancer::new(policy.clone(), scale.time_scale.max(64)),
+        };
+        let (mut pipe, _) = recorder::phase("fig8: protected", || {
+            run_workload(PipelineConfig::default(), scale, &mut hooks)
+        })?;
+        let now = pipe.now();
+        pipe.parts.sched.sync(now);
+        Ok(Fig8Stage {
+            bits: field_bits(&pipe.parts.sched),
+            worst: worst_figure8_bias(&pipe.parts.sched).fraction(),
+            occupancy: 0.0,
+            data_occupancy: 0.0,
+            policy: None,
+        })
+    })?
+    .pop()
+    .ok_or_else(|| Error::config("fig8 protected cell vanished"))?;
 
     let mut rows = Vec::new();
-    for field in Field::ALL {
-        if field == Field::Opcode {
-            continue;
-        }
-        let b = base.parts.sched.field_residency(field).biases();
-        let p = prot.parts.sched.field_residency(field).biases();
-        for bit in 0..field.width() {
+    for ((field, b), (_, p)) in base.bits.iter().zip(&prot.bits) {
+        for bit in 0..b.len().min(p.len()) {
             rows.push(Fig8Row {
-                field,
+                field: *field,
                 bit,
-                baseline: b[bit].fraction(),
-                protected: p[bit].fraction(),
+                baseline: b[bit],
+                protected: p[bit],
             });
         }
     }
     Ok(Fig8 {
-        worst_baseline: worst_figure8_bias(&base.parts.sched).fraction(),
-        worst_protected: worst_figure8_bias(&prot.parts.sched).fraction(),
+        worst_baseline: base.worst,
+        worst_protected: prot.worst,
         rows,
-        occupancy,
-        data_occupancy,
+        occupancy: base.occupancy,
+        data_occupancy: base.data_occupancy,
     })
 }
 
@@ -504,12 +616,29 @@ fn scheme_cpi(
 
 /// Runs the full Table 3 sweep. This is the most expensive experiment:
 /// (6 DL0 + 3 DTLB geometries) × (baseline + 3 schemes) workload runs.
+/// Every geometry is an independent engine cell — its four runs carry the
+/// same seeds (1–4 for DL0 rows, 5–8 for DTLB rows) the serial sweep
+/// used, so the rows are identical at any `--jobs` setting.
 pub fn table3(scale: Scale) -> Result<Table3, Error> {
     let rotation = (10_000_000 / scale.time_scale).max(2_000);
-    let mut rows = Vec::new();
 
+    #[derive(Clone, Copy)]
+    enum Geometry {
+        Dl0 { ways: u16, kb: u32 },
+        Dtlb { entries: u32 },
+    }
+    let mut grid = Vec::new();
     for ways in [8u16, 4] {
         for kb in [32u32, 16, 8] {
+            grid.push(Geometry::Dl0 { ways, kb });
+        }
+    }
+    for entries in [128u32, 64, 32] {
+        grid.push(Geometry::Dtlb { entries });
+    }
+
+    let rows = par::try_cells(grid.len(), |cell| match grid[cell.index] {
+        Geometry::Dl0 { ways, kb } => {
             let base_config = PipelineConfig {
                 dl0: CacheConfig::dl0(kb, ways),
                 ..PipelineConfig::default()
@@ -551,64 +680,63 @@ pub fn table3(scale: Scale) -> Result<Table3, Error> {
                     ))
                 })?;
             let loss = |cpi: f64| (cpi / baseline - 1.0).max(0.0);
-            rows.push(Table3Row {
+            Ok(Table3Row {
                 label: format!("DL0 {ways}-way {kb}KB"),
                 set_fixed: loss(set_fixed),
                 line_fixed: loss(line_fixed),
                 line_dynamic: loss(line_dynamic),
-            });
+            })
         }
-    }
-
-    for entries in [128u32, 64, 32] {
-        let base_config = PipelineConfig {
-            dtlb_entries: entries,
-            ..PipelineConfig::default()
-        };
-        let (baseline, set_fixed, line_fixed, line_dynamic) =
-            recorder::phase(&format!("table3: DTLB {entries} ent."), || {
-                Ok::<_, Error>((
-                    scheme_cpi(
-                        base_config,
-                        SchemeKind::Baseline,
-                        SchemeKind::Baseline,
-                        scale,
-                        5,
-                    )?,
-                    scheme_cpi(
-                        base_config,
-                        SchemeKind::Baseline,
-                        SchemeKind::set_fixed_50(rotation),
-                        scale,
-                        6,
-                    )?,
-                    scheme_cpi(
-                        base_config,
-                        SchemeKind::Baseline,
-                        SchemeKind::line_fixed_50(),
-                        scale,
-                        7,
-                    )?,
-                    scheme_cpi(
-                        base_config,
-                        SchemeKind::Baseline,
-                        SchemeKind::line_dynamic_60(
-                            SchemeKind::dtlb_threshold(entries),
-                            scale.time_scale,
-                        ),
-                        scale,
-                        8,
-                    )?,
-                ))
-            })?;
-        let loss = |cpi: f64| (cpi / baseline - 1.0).max(0.0);
-        rows.push(Table3Row {
-            label: format!("DTLB 8-way {entries} ent."),
-            set_fixed: loss(set_fixed),
-            line_fixed: loss(line_fixed),
-            line_dynamic: loss(line_dynamic),
-        });
-    }
+        Geometry::Dtlb { entries } => {
+            let base_config = PipelineConfig {
+                dtlb_entries: entries,
+                ..PipelineConfig::default()
+            };
+            let (baseline, set_fixed, line_fixed, line_dynamic) =
+                recorder::phase(&format!("table3: DTLB {entries} ent."), || {
+                    Ok::<_, Error>((
+                        scheme_cpi(
+                            base_config,
+                            SchemeKind::Baseline,
+                            SchemeKind::Baseline,
+                            scale,
+                            5,
+                        )?,
+                        scheme_cpi(
+                            base_config,
+                            SchemeKind::Baseline,
+                            SchemeKind::set_fixed_50(rotation),
+                            scale,
+                            6,
+                        )?,
+                        scheme_cpi(
+                            base_config,
+                            SchemeKind::Baseline,
+                            SchemeKind::line_fixed_50(),
+                            scale,
+                            7,
+                        )?,
+                        scheme_cpi(
+                            base_config,
+                            SchemeKind::Baseline,
+                            SchemeKind::line_dynamic_60(
+                                SchemeKind::dtlb_threshold(entries),
+                                scale.time_scale,
+                            ),
+                            scale,
+                            8,
+                        )?,
+                    ))
+                })?;
+            let loss = |cpi: f64| (cpi / baseline - 1.0).max(0.0);
+            Ok(Table3Row {
+                label: format!("DTLB 8-way {entries} ent."),
+                set_fixed: loss(set_fixed),
+                line_fixed: loss(line_fixed),
+                line_dynamic: loss(line_dynamic),
+            })
+        }
+    })?;
 
     Ok(Table3 { rows })
 }
@@ -656,69 +784,98 @@ pub fn efficiency_summary(scale: Scale) -> Result<Vec<EfficiencyRow>, Error> {
         ),
     ];
 
-    // Adder: measured utilization → guardband.
-    let adder = LadnerFischerAdder::new(32);
-    let protection = AdderProtection::select(&adder);
-    let (_, run) = recorder::phase("efficiency: adder", || {
-        run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+    // The four measured case studies are independent engine cells. The
+    // register-file and scheduler cells call [`fig6`]/[`fig8`], whose own
+    // engine grids nest under the cell's inherited recorder, so the
+    // merged phase stream matches the serial one.
+    enum Piece {
+        Adder(BlockCost),
+        Regfile(f64),
+        Scheduler(f64),
+        Dl0 { base: f64, line_fixed: f64 },
+    }
+    let pieces = par::try_cells(4, |cell| match cell.index {
+        0 => {
+            // Adder: measured utilization → guardband.
+            let adder = LadnerFischerAdder::new(32);
+            let protection = AdderProtection::select(&adder);
+            let (_, run) = recorder::phase("efficiency: adder", || {
+                run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+            })?;
+            let util = run.max_adder_utilization().clamp(0.0, 1.0);
+            let inputs: Vec<(u64, u64, bool)> = scale
+                .workload()
+                .specs()
+                .iter()
+                .take(3)
+                .flat_map(|s| real_adder_inputs(s, (scale.uops_per_trace / 4).max(512)))
+                .collect();
+            Ok(Piece::Adder(AdderProtection::block_cost(
+                protection.guardband(&adder, util, inputs, &model),
+            )))
+        }
+        1 => {
+            // Register file: measured worst bias under ISV.
+            let f6 = fig6(scale)?;
+            Ok(Piece::Regfile(f6.int_isv_worst().max(f6.fp_isv_worst())))
+        }
+        2 => {
+            // Scheduler: measured worst residual bias.
+            let f8 = fig8(scale)?;
+            Ok(Piece::Scheduler(f8.worst_protected))
+        }
+        _ => {
+            // DL0: LineFixed50% CPI loss on the 32KB 8-way geometry.
+            let (base, line_fixed) = recorder::phase("efficiency: dl0", || {
+                Ok::<_, Error>((
+                    scheme_cpi(
+                        PipelineConfig::default(),
+                        SchemeKind::Baseline,
+                        SchemeKind::Baseline,
+                        scale,
+                        11,
+                    )?,
+                    scheme_cpi(
+                        PipelineConfig::default(),
+                        SchemeKind::line_fixed_50(),
+                        SchemeKind::Baseline,
+                        scale,
+                        12,
+                    )?,
+                ))
+            })?;
+            Ok(Piece::Dl0 { base, line_fixed })
+        }
     })?;
-    let util = run.max_adder_utilization().clamp(0.0, 1.0);
-    let inputs: Vec<(u64, u64, bool)> = scale
-        .workload()
-        .specs()
-        .iter()
-        .take(3)
-        .flat_map(|s| real_adder_inputs(s, (scale.uops_per_trace / 4).max(512)))
-        .collect();
-    let adder_gb = protection.guardband(&adder, util, inputs, &model);
-    rows.push(EfficiencyRow::new(
-        "Penelope adder (round-robin inputs)",
-        AdderProtection::block_cost(adder_gb),
-        1.24,
-    ));
 
-    // Register file: measured worst bias under ISV.
-    let f6 = fig6(scale)?;
-    let worst_rf = f6.int_isv_worst().max(f6.fp_isv_worst());
-    rows.push(EfficiencyRow::new(
-        "Penelope register file (ISV at release)",
-        RegfileIsv::block_cost(Duty::saturating(worst_rf), &model),
-        1.12,
-    ));
-
-    // Scheduler: measured worst residual bias.
-    let f8 = fig8(scale)?;
-    rows.push(EfficiencyRow::new(
-        "Penelope scheduler (ALL1/ALL1-K%/ISV)",
-        SchedulerBalancer::block_cost(Duty::saturating(f8.worst_protected), &model),
-        1.24,
-    ));
-
-    // DL0: LineFixed50% CPI loss on the 32KB 8-way geometry.
-    let (base, lf) = recorder::phase("efficiency: dl0", || {
-        Ok::<_, Error>((
-            scheme_cpi(
-                PipelineConfig::default(),
-                SchemeKind::Baseline,
-                SchemeKind::Baseline,
-                scale,
-                11,
-            )?,
-            scheme_cpi(
-                PipelineConfig::default(),
-                SchemeKind::line_fixed_50(),
-                SchemeKind::Baseline,
-                scale,
-                12,
-            )?,
-        ))
-    })?;
-    let dl0_cost = BlockCost::new((lf / base).max(1.0), 1.01, model.best_case().fraction());
-    rows.push(EfficiencyRow::new(
-        "Penelope DL0 (LineFixed50%)",
-        dl0_cost,
-        1.09,
-    ));
+    for piece in pieces {
+        match piece {
+            Piece::Adder(cost) => rows.push(EfficiencyRow::new(
+                "Penelope adder (round-robin inputs)",
+                cost,
+                1.24,
+            )),
+            Piece::Regfile(worst) => rows.push(EfficiencyRow::new(
+                "Penelope register file (ISV at release)",
+                RegfileIsv::block_cost(Duty::saturating(worst), &model),
+                1.12,
+            )),
+            Piece::Scheduler(worst) => rows.push(EfficiencyRow::new(
+                "Penelope scheduler (ALL1/ALL1-K%/ISV)",
+                SchedulerBalancer::block_cost(Duty::saturating(worst), &model),
+                1.24,
+            )),
+            Piece::Dl0 { base, line_fixed } => rows.push(EfficiencyRow::new(
+                "Penelope DL0 (LineFixed50%)",
+                BlockCost::new(
+                    (line_fixed / base).max(1.0),
+                    1.01,
+                    model.best_case().fraction(),
+                ),
+                1.09,
+            )),
+        }
+    }
 
     Ok(rows)
 }
@@ -859,17 +1016,46 @@ pub struct Table4 {
 }
 
 /// Runs everything together and aggregates with equations (2)–(4).
+///
+/// The Penelope stage consumes the baseline stage's profiled scheduler
+/// policy, so the two stages are sequential single-cell engine runs (a
+/// one-cell grid executes inline).
 pub fn table4(scale: Scale) -> Result<Table4, Error> {
     let model = GuardbandModel::paper_calibrated();
+
+    struct BaseStage {
+        cpi: f64,
+        policy: Option<SchedulerPolicy>,
+    }
+    struct PenStage {
+        cpi: f64,
+        adder_gb: f64,
+        rf_worst: f64,
+        sched_worst: Duty,
+        dl0_frac: f64,
+        dtlb_frac: f64,
+    }
 
     // Baseline CPI; the run doubles as the profiling pass for the
     // scheduler's K values (§4.5).
     recorder::manifest_entry("scale", obs::scale_json(&scale));
-    let (mut base_pipe, base_run) = recorder::phase("table4: baseline", || {
-        run_workload(PipelineConfig::default(), scale, &mut NoHooks)
-    })?;
-    let base_now = base_pipe.now();
-    let sched_policy = SchedulerPolicy::from_scheduler(&mut base_pipe.parts.sched, base_now)?;
+    let mut base = par::try_cells(1, |_| {
+        let (mut base_pipe, base_run) = recorder::phase("table4: baseline", || {
+            run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+        })?;
+        let base_now = base_pipe.now();
+        let policy = SchedulerPolicy::from_scheduler(&mut base_pipe.parts.sched, base_now)?;
+        Ok(BaseStage {
+            cpi: base_run.cpi(),
+            policy: Some(policy),
+        })
+    })?
+    .pop()
+    .ok_or_else(|| Error::config("table4 baseline cell vanished"))?;
+    let sched_policy = base
+        .policy
+        .take()
+        .ok_or_else(|| Error::config("table4 baseline produced no scheduler policy"))?;
 
     // Penelope: all mechanisms at once. The §4.7 composition covers the
     // paper's five blocks; the BTB extension is evaluated separately.
@@ -880,64 +1066,75 @@ pub fn table4(scale: Scale) -> Result<Table4, Error> {
         ..PenelopeConfig::default()
     };
     recorder::manifest_entry("config", obs::config_json(&config));
-    let (mut pipe, mut hooks) = build(&config)?;
-    let total = recorder::phase("table4: penelope", || {
-        with_recording(&mut hooks, |mut h| {
-            let mut total: Option<RunResult> = None;
-            for spec in scale.workload().specs() {
-                let r = pipe.run(spec.generate(scale.uops_per_trace), &mut h);
-                match &mut total {
-                    Some(t) => t.merge(&r),
-                    None => total = Some(r),
+    let pen = par::try_cells(1, |_| {
+        let (mut pipe, mut hooks) = build(&config)?;
+        let total = recorder::phase("table4: penelope", || {
+            with_recording(&mut hooks, |mut h| {
+                let mut total: Option<RunResult> = None;
+                for spec in scale.workload().specs() {
+                    let r = pipe.run(spec.generate(scale.uops_per_trace), &mut h);
+                    match &mut total {
+                        Some(t) => t.merge(&r),
+                        None => total = Some(r),
+                    }
                 }
-            }
-            total
+                total
+            })
+        });
+        let pen_run = total.ok_or(TraceError::EmptyWorkload)?;
+        recorder::record_run(pen_run.cycles, pen_run.uops);
+        let now = pipe.now();
+
+        // Adder guardband at the measured utilization.
+        let adder = LadnerFischerAdder::new(32);
+        let protection = AdderProtection::select(&adder);
+        let util = pen_run.max_adder_utilization().clamp(0.0, 1.0);
+        let inputs: Vec<(u64, u64, bool)> = scale
+            .workload()
+            .specs()
+            .iter()
+            .take(3)
+            .flat_map(|s| real_adder_inputs(s, (scale.uops_per_trace / 4).max(512)))
+            .collect();
+        let adder_gb = protection.guardband(&adder, util, inputs, &model);
+
+        // Register files under ISV (from the combined run).
+        pipe.parts.int_rf.sync(now);
+        pipe.parts.fp_rf.sync(now);
+        let rf_worst = pipe
+            .parts
+            .int_rf
+            .residency()
+            .worst_cell_duty()
+            .fraction()
+            .max(pipe.parts.fp_rf.residency().worst_cell_duty().fraction());
+
+        // Scheduler under the balancer.
+        pipe.parts.sched.sync(now);
+        Ok(PenStage {
+            cpi: pen_run.cpi(),
+            adder_gb: adder_gb.fraction(),
+            rf_worst,
+            sched_worst: worst_figure8_bias(&pipe.parts.sched),
+            dl0_frac: hooks.dl0.inverted_fraction(&pipe.parts.dl0, now),
+            dtlb_frac: hooks.dtlb.inverted_fraction(pipe.parts.dtlb.cache(), now),
         })
-    });
-    let pen_run = total.ok_or(TraceError::EmptyWorkload)?;
-    recorder::record_run(pen_run.cycles, pen_run.uops);
-    let combined_cpi = pen_run.cpi() / base_run.cpi();
-    let now = pipe.now();
+    })?
+    .pop()
+    .ok_or_else(|| Error::config("table4 penelope cell vanished"))?;
 
-    // Adder guardband at the measured utilization.
-    let adder = LadnerFischerAdder::new(32);
-    let protection = AdderProtection::select(&adder);
-    let util = pen_run.max_adder_utilization().clamp(0.0, 1.0);
-    let inputs: Vec<(u64, u64, bool)> = scale
-        .workload()
-        .specs()
-        .iter()
-        .take(3)
-        .flat_map(|s| real_adder_inputs(s, (scale.uops_per_trace / 4).max(512)))
-        .collect();
-    let adder_gb = protection.guardband(&adder, util, inputs, &model);
-
-    // Register files under ISV (from the combined run).
-    pipe.parts.int_rf.sync(now);
-    pipe.parts.fp_rf.sync(now);
-    let rf_worst = pipe
-        .parts
-        .int_rf
-        .residency()
-        .worst_cell_duty()
-        .fraction()
-        .max(pipe.parts.fp_rf.residency().worst_cell_duty().fraction());
-
-    // Scheduler under the balancer.
-    pipe.parts.sched.sync(now);
-    let sched_worst = worst_figure8_bias(&pipe.parts.sched);
+    let combined_cpi = pen.cpi / base.cpi;
+    let rf_worst = pen.rf_worst;
+    let sched_worst = pen.sched_worst;
 
     // Caches: effective bias from the measured inverted-time fraction,
     // assuming the paper's ~90% data bias for cache bit cells.
-    let dl0_frac = hooks.dl0.inverted_fraction(&pipe.parts.dl0, now);
-    let dtlb_frac = hooks.dtlb.inverted_fraction(pipe.parts.dtlb.cache(), now);
+    let dl0_frac = pen.dl0_frac;
+    let dtlb_frac = pen.dtlb_frac;
     let cache_bias = |frac: f64| Duty::saturating(crate::cache_aware::effective_bias(0.9, frac));
 
     let blocks = vec![
-        (
-            "adder".to_string(),
-            BlockCost::new(1.0, 1.0, adder_gb.fraction()),
-        ),
+        ("adder".to_string(), BlockCost::new(1.0, 1.0, pen.adder_gb)),
         (
             "register file".to_string(),
             BlockCost::new(
@@ -1030,16 +1227,21 @@ pub fn table3_tail(scale: Scale) -> Result<Vec<TailRow>, Error> {
                 .collect()
         }))
     };
-    let baseline = per_trace(SchemeKind::Baseline, 31)?;
     let rotation = (10_000_000 / scale.time_scale).max(2_000);
     let schemes = [
         SchemeKind::set_fixed_50(rotation),
         SchemeKind::line_fixed_50(),
         SchemeKind::line_dynamic_60(SchemeKind::dl0_threshold(16), scale.time_scale),
     ];
+    // Cell 0 is the shared baseline (seed 31); the scheme cells reuse
+    // seed 32 like the serial loop did.
+    let mut per_cell = par::try_cells(1 + schemes.len(), |cell| match cell.index {
+        0 => per_trace(SchemeKind::Baseline, 31),
+        i => per_trace(schemes[i - 1], 32),
+    })?;
+    let baseline = per_cell.remove(0);
     let mut rows = Vec::new();
-    for scheme in schemes {
-        let cpis = per_trace(scheme, 32)?;
+    for (scheme, cpis) in schemes.into_iter().zip(per_cell) {
         let losses: Vec<f64> = cpis
             .iter()
             .zip(&baseline)
@@ -1086,9 +1288,10 @@ pub fn btb_extension(scale: Scale) -> Result<Vec<BtbRow>, Error> {
         SchemeKind::line_fixed_50(),
         SchemeKind::line_dynamic_60(0.02, scale.time_scale),
     ];
-    let mut rows = Vec::new();
-    let mut baseline_cpi = None;
-    for scheme in schemes {
+    // One engine cell per scheme; cell 0 is the unprotected baseline the
+    // losses are relative to.
+    let cells = par::try_cells(schemes.len(), |cell| {
+        let scheme = schemes[cell.index];
         let config = PenelopeConfig {
             dl0_scheme: SchemeKind::Baseline,
             dtlb_scheme: SchemeKind::Baseline,
@@ -1112,17 +1315,27 @@ pub fn btb_extension(scale: Scale) -> Result<Vec<BtbRow>, Error> {
         });
         let total = total.ok_or(TraceError::EmptyWorkload)?;
         recorder::record_run(total.cycles, total.uops);
-        let cpi = total.cpi();
-        let baseline = *baseline_cpi.get_or_insert(cpi);
         let now = pipe.now();
-        rows.push(BtbRow {
+        Ok((
+            total.cpi(),
+            pipe.parts.btb.stats().miss_ratio(),
+            hooks.btb.inverted_fraction(pipe.parts.btb.cache(), now),
+        ))
+    })?;
+    let baseline = cells
+        .first()
+        .map(|(cpi, _, _)| *cpi)
+        .ok_or_else(|| Error::config("btb sweep produced no cells"))?;
+    Ok(schemes
+        .into_iter()
+        .zip(cells)
+        .map(|(scheme, (cpi, miss_ratio, inverted_fraction))| BtbRow {
             scheme: scheme.label(),
             cpi_loss: (cpi / baseline - 1.0).max(0.0),
-            miss_ratio: pipe.parts.btb.stats().miss_ratio(),
-            inverted_fraction: hooks.btb.inverted_fraction(pipe.parts.btb.cache(), now),
-        });
-    }
-    Ok(rows)
+            miss_ratio,
+            inverted_fraction,
+        })
+        .collect())
 }
 
 /// One row of the Vmin/energy extension (§2/§5: mitigating NBTI lowers
@@ -1150,31 +1363,61 @@ pub fn vmin_extension(scale: Scale) -> Result<Vec<VminRow>, Error> {
     use nbti_model::guardband::VminModel;
     let vmin = VminModel::paper_calibrated();
 
-    let (mut base, _) = recorder::phase("vmin: baseline", || {
-        run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+    // The baseline and Penelope runs are independent engine cells; each
+    // returns the worst duties the Vmin model needs.
+    struct VminCell {
+        int: Duty,
+        fp: Duty,
+        sched: Duty,
+        dl0_frac: f64,
+    }
+    let mut cells = par::try_cells(2, |cell| {
+        if cell.index == 0 {
+            let (mut base, _) = recorder::phase("vmin: baseline", || {
+                run_workload(PipelineConfig::default(), scale, &mut NoHooks)
+            })?;
+            let base_now = base.now();
+            base.parts.int_rf.sync(base_now);
+            base.parts.fp_rf.sync(base_now);
+            base.parts.sched.sync(base_now);
+            Ok(VminCell {
+                int: base.parts.int_rf.residency().worst_cell_duty(),
+                fp: base.parts.fp_rf.residency().worst_cell_duty(),
+                sched: worst_figure8_bias(&base.parts.sched),
+                dl0_frac: 0.0,
+            })
+        } else {
+            let config = PenelopeConfig {
+                sample_period: scale.time_scale.max(64),
+                ..PenelopeConfig::default()
+            };
+            let (mut pen, mut hooks) = build(&config)?;
+            recorder::phase("vmin: penelope", || {
+                with_recording(&mut hooks, |mut h| {
+                    for spec in scale.workload().specs() {
+                        let r = pen.run(spec.generate(scale.uops_per_trace), &mut h);
+                        recorder::record_run(r.cycles, r.uops);
+                    }
+                })
+            });
+            let pen_now = pen.now();
+            pen.parts.int_rf.sync(pen_now);
+            pen.parts.fp_rf.sync(pen_now);
+            pen.parts.sched.sync(pen_now);
+            Ok(VminCell {
+                int: pen.parts.int_rf.residency().worst_cell_duty(),
+                fp: pen.parts.fp_rf.residency().worst_cell_duty(),
+                sched: worst_figure8_bias(&pen.parts.sched),
+                dl0_frac: hooks.dl0.inverted_fraction(&pen.parts.dl0, pen_now),
+            })
+        }
     })?;
-    let base_now = base.now();
-    base.parts.int_rf.sync(base_now);
-    base.parts.fp_rf.sync(base_now);
-    base.parts.sched.sync(base_now);
-
-    let config = PenelopeConfig {
-        sample_period: scale.time_scale.max(64),
-        ..PenelopeConfig::default()
-    };
-    let (mut pen, mut hooks) = build(&config)?;
-    recorder::phase("vmin: penelope", || {
-        with_recording(&mut hooks, |mut h| {
-            for spec in scale.workload().specs() {
-                let r = pen.run(spec.generate(scale.uops_per_trace), &mut h);
-                recorder::record_run(r.cycles, r.uops);
-            }
-        })
-    });
-    let pen_now = pen.now();
-    pen.parts.int_rf.sync(pen_now);
-    pen.parts.fp_rf.sync(pen_now);
-    pen.parts.sched.sync(pen_now);
+    let pen = cells
+        .pop()
+        .ok_or_else(|| Error::config("vmin grid lost a cell"))?;
+    let base = cells
+        .pop()
+        .ok_or_else(|| Error::config("vmin grid lost a cell"))?;
 
     let mut rows = Vec::new();
     let mut push = |name: &str, b: Duty, p: Duty| {
@@ -1189,26 +1432,13 @@ pub fn vmin_extension(scale: Scale) -> Result<Vec<VminRow>, Error> {
             energy_ratio: vmin.energy_factor(p) / vmin.energy_factor(b),
         });
     };
-    push(
-        "INT register file",
-        base.parts.int_rf.residency().worst_cell_duty(),
-        pen.parts.int_rf.residency().worst_cell_duty(),
-    );
-    push(
-        "FP register file",
-        base.parts.fp_rf.residency().worst_cell_duty(),
-        pen.parts.fp_rf.residency().worst_cell_duty(),
-    );
-    push(
-        "scheduler",
-        worst_figure8_bias(&base.parts.sched),
-        worst_figure8_bias(&pen.parts.sched),
-    );
-    let dl0_frac = hooks.dl0.inverted_fraction(&pen.parts.dl0, pen_now);
+    push("INT register file", base.int, pen.int);
+    push("FP register file", base.fp, pen.fp);
+    push("scheduler", base.sched, pen.sched);
     push(
         "DL0",
         Duty::saturating(0.9),
-        Duty::saturating(crate::cache_aware::effective_bias(0.9, dl0_frac)),
+        Duty::saturating(crate::cache_aware::effective_bias(0.9, pen.dl0_frac)),
     );
     Ok(rows)
 }
@@ -1231,22 +1461,30 @@ pub fn ablation(scale: Scale) -> Result<Vec<AblationRow>, Error> {
     let mut rows = Vec::new();
 
     // SetFixed rotation period: shorter rotations heal more evenly but
-    // flush more often.
-    let baseline = scheme_cpi(
-        PipelineConfig::default(),
-        SchemeKind::Baseline,
-        SchemeKind::Baseline,
-        scale,
-        21,
-    )?;
-    for rotation in [5_000u64, 20_000, 100_000] {
-        let cpi = scheme_cpi(
+    // flush more often. Cell 0 is the unprotected baseline (seed 21); the
+    // rotation cells reuse seed 22 like the serial loop did.
+    let rotations = [5_000u64, 20_000, 100_000];
+    let cpis = par::try_cells(1 + rotations.len(), |cell| match cell.index {
+        0 => scheme_cpi(
             PipelineConfig::default(),
-            SchemeKind::set_fixed_50(rotation),
+            SchemeKind::Baseline,
+            SchemeKind::Baseline,
+            scale,
+            21,
+        ),
+        i => scheme_cpi(
+            PipelineConfig::default(),
+            SchemeKind::set_fixed_50(rotations[i - 1]),
             SchemeKind::Baseline,
             scale,
             22,
-        )?;
+        ),
+    })?;
+    let baseline = cpis
+        .first()
+        .copied()
+        .ok_or_else(|| Error::config("ablation sweep produced no baseline"))?;
+    for (rotation, cpi) in rotations.into_iter().zip(cpis.into_iter().skip(1)) {
         rows.push(AblationRow {
             label: format!("SetFixed50% rotation {rotation}"),
             cpi_loss: (cpi / baseline - 1.0).max(0.0),
@@ -1257,16 +1495,20 @@ pub fn ablation(scale: Scale) -> Result<Vec<AblationRow>, Error> {
     // ISV sampling period: stale RINV samples balance almost as well —
     // the paper's claim that sampling every "thousands or millions of
     // cycles" suffices.
-    for period in [64u64, 1_024, 16_384] {
-        let mut hooks = RegfileIsvHooks::new(period);
+    let periods = [64u64, 1_024, 16_384];
+    let duties = par::try_cells(periods.len(), |cell| {
+        let mut hooks = RegfileIsvHooks::new(periods[cell.index]);
         let (mut pipe, _) = run_workload(PipelineConfig::default(), scale, &mut hooks)?;
         let now = pipe.now();
         pipe.parts.int_rf.sync(now);
+        Ok(pipe.parts.int_rf.residency().worst_cell_duty().fraction())
+    })?;
+    for (period, worst) in periods.into_iter().zip(duties) {
         rows.push(AblationRow {
             label: format!("ISV sample period {period}"),
             // ISV writes use only idle ports: CPI is untouched by design.
             cpi_loss: 0.0,
-            worst_duty: Some(pipe.parts.int_rf.residency().worst_cell_duty().fraction()),
+            worst_duty: Some(worst),
         });
     }
     Ok(rows)

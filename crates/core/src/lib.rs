@@ -38,7 +38,12 @@
 //!   sample period;
 //! - [`obs`]: the observability glue wiring every hook chain into the
 //!   `penelope-telemetry` recorder ([`obs::with_recording`]) and encoding
-//!   configurations for the run manifest.
+//!   configurations for the run manifest;
+//! - [`par`]: the parallel sweep engine — a scoped-thread worker pool
+//!   executing experiment grids cell by cell with per-worker telemetry
+//!   recorders and a deterministic, cell-index-ordered merge, so
+//!   `--jobs N` runs reproduce `--jobs 1` byte for byte outside
+//!   wall-clock fields.
 //!
 //! # Quickstart
 //!
@@ -79,6 +84,7 @@ pub mod fault;
 pub mod invert_mode;
 pub mod l2_study;
 pub mod obs;
+pub mod par;
 pub mod processor;
 pub mod regfile_aware;
 pub mod report;

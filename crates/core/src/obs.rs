@@ -78,11 +78,15 @@ impl<H: EventSource> EventSource for CheckedHooks<H> {
 /// The body receives the hook chain as `&mut dyn Hooks` so the same loop
 /// serves both paths; pass it to `Pipeline::run` by reference
 /// (`pipe.run(trace, &mut h)`). Collected telemetry is absorbed into the
-/// recorder before returning.
+/// recorder before returning — also when the body unwinds, so a panic
+/// caught by the bench supervisor still reports whatever the run
+/// collected up to the point of failure instead of a blank stream.
 pub fn with_recording<T>(
     hooks: &mut (impl Hooks + EventSource),
     body: impl FnOnce(&mut dyn Hooks) -> T,
 ) -> T {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
     match recorder::settings() {
         Some(settings) => {
             let mut telemetry = TelemetryHooks::new(
@@ -90,9 +94,14 @@ pub fn with_recording<T>(
                 settings.sample_period,
                 settings.series_capacity,
             );
-            let result = body(&mut telemetry);
+            // AssertUnwindSafe: on unwind the hooks/pipeline state is
+            // discarded by the supervisor, never observed half-mutated.
+            let result = catch_unwind(AssertUnwindSafe(|| body(&mut telemetry)));
             recorder::absorb(telemetry.output());
-            result
+            match result {
+                Ok(result) => result,
+                Err(payload) => resume_unwind(payload),
+            }
         }
         None => body(hooks),
     }

@@ -1,0 +1,316 @@
+//! The parallel sweep engine: a hand-rolled scoped-thread worker pool with
+//! a sharded work queue and a deterministic telemetry merge.
+//!
+//! Every paper figure and table is a grid of independent, seed-
+//! deterministic runs — technique × K% × structure × scale. Each grid
+//! point is a [`Cell`]; a driver hands the engine the cell count and a
+//! closure computing one cell, and the engine executes cells on a pool of
+//! scoped worker threads (the workspace builds offline, so no rayon),
+//! pulling indices from a shared atomic cursor.
+//!
+//! # Determinism contract
+//!
+//! A parallel run must be indistinguishable from a serial run except in
+//! wall-clock fields. Two properties make that structural rather than
+//! accidental:
+//!
+//! 1. **Cells are hermetic.** Each cell runs under its own private
+//!    telemetry recorder, inherited from the installing thread through a
+//!    [`recorder::WorkerHandle`]; pipelines, hooks and RNG streams are
+//!    constructed inside the cell from plain-data inputs. Nothing a cell
+//!    records can interleave with another cell's stream.
+//! 2. **The merge is ordered by cell index, not completion.** After the
+//!    pool drains, per-cell [`recorder::Snapshot`]s are absorbed into the
+//!    installing thread's recorder in index order, and results are
+//!    returned in index order. Whatever the worker scheduling did, the
+//!    merged phases, metrics, series and result rows come out identical —
+//!    `--jobs 1` and `--jobs N` reports differ only in wall-clock fields.
+//!
+//! The serial path (`jobs == 1`, or a single cell) runs the same
+//! `record_cell` → `absorb_snapshot` pipeline inline on the calling
+//! thread, so both modes produce byte-identical simulated-quantity
+//! streams by construction (the merge sequence is the same, down to
+//! float-summation grouping).
+//!
+//! # Errors and panics
+//!
+//! Cell errors are values: the engine returns every cell's
+//! `Result` and [`try_cells`] surfaces the lowest-indexed error, so a
+//! failing sweep reports the same error no matter how many workers ran.
+//! A panicking cell propagates once all workers have stopped (scoped
+//! threads re-raise on join); the per-cell recorder guard in
+//! `record_cell` uninstalls the dead cell's collector first, so a caught
+//! panic (the bench supervisor catches them) never leaves a poisoned or
+//! stale recorder installed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use penelope_telemetry::recorder::{self, Snapshot};
+
+use crate::error::Error;
+
+/// Process-wide worker count for engine invocations that don't pass one
+/// explicitly. 0 means "unset": fall back to the machine's available
+/// parallelism.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count (the bench CLI wires `--jobs` /
+/// `PENELOPE_JOBS` here). 0 resets to "available parallelism".
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count engine invocations use by default: the last
+/// [`set_jobs`] value, or the machine's available parallelism when unset.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => available_parallelism(),
+        n => n,
+    }
+}
+
+/// The machine's available parallelism (1 when undeterminable).
+pub fn available_parallelism() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// One independent unit of an experiment grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Position in the grid, in the driver's serial iteration order. The
+    /// engine merges results and telemetry in this order.
+    pub index: usize,
+}
+
+/// Executes `cells` grid cells with the process-wide [`jobs`] worker
+/// count, returning per-cell results in index order. See
+/// [`run_cells_with_jobs`].
+pub fn run_cells<T, F>(cells: usize, body: F) -> Vec<Result<T, Error>>
+where
+    T: Send,
+    F: Fn(Cell) -> Result<T, Error> + Sync,
+{
+    run_cells_with_jobs(jobs(), cells, body)
+}
+
+/// Like [`run_cells`], but stops at the first error in cell-index order
+/// (later cells still execute — the grid is already dispatched — but the
+/// lowest-indexed error wins deterministically).
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing cell.
+pub fn try_cells<T, F>(cells: usize, body: F) -> Result<Vec<T>, Error>
+where
+    T: Send,
+    F: Fn(Cell) -> Result<T, Error> + Sync,
+{
+    run_cells(cells, body).into_iter().collect()
+}
+
+/// Executes `cells` grid cells on `jobs` scoped worker threads (clamped to
+/// the cell count; `jobs <= 1` runs inline on the calling thread), then
+/// merges per-cell telemetry snapshots and results in cell-index order.
+///
+/// The closure must be `Sync` (shared by every worker) and is handed each
+/// cell exactly once. Telemetry recorded inside a cell — phases,
+/// `record_run` totals, manifest entries, warnings, instrumented-run
+/// output — lands in the cell's private recorder and is reassembled into
+/// the calling thread's recorder deterministically; with no recorder
+/// installed the cells run with zero telemetry bookkeeping.
+pub fn run_cells_with_jobs<T, F>(jobs: usize, cells: usize, body: F) -> Vec<Result<T, Error>>
+where
+    T: Send,
+    F: Fn(Cell) -> Result<T, Error> + Sync,
+{
+    let handle = recorder::worker_handle();
+    let workers = jobs.clamp(1, cells.max(1));
+
+    if workers <= 1 {
+        // Inline path: same record/absorb pipeline, no threads.
+        let mut results = Vec::with_capacity(cells);
+        for index in 0..cells {
+            let (result, snapshot) = handle.record_cell(|| body(Cell { index }));
+            if let Some(snapshot) = snapshot {
+                recorder::absorb_snapshot(snapshot);
+            }
+            results.push(result);
+        }
+        return results;
+    }
+
+    // What a worker deposits for one finished cell: the cell's result
+    // plus its private telemetry snapshot (None when no recorder is
+    // installed).
+    type CellOutput<T> = (Result<T, Error>, Option<Snapshot>);
+
+    // Sharded work queue: workers race on one atomic cursor, so a slow
+    // cell never blocks the rest of the grid behind it.
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellOutput<T>>>> = (0..cells).map(|_| Mutex::new(None)).collect();
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= cells {
+                    break;
+                }
+                let (result, snapshot) = handle.record_cell(|| body(Cell { index }));
+                match slots[index].lock() {
+                    Ok(mut slot) => *slot = Some((result, snapshot)),
+                    // A sibling panicked while storing (it never holds the
+                    // lock across cell work, so this is vestigial); the
+                    // scope will re-raise that panic after joining.
+                    Err(poisoned) => *poisoned.into_inner() = Some((result, snapshot)),
+                }
+            });
+        }
+    });
+
+    // Deterministic merge: cell-index order, not completion order.
+    let mut results = Vec::with_capacity(cells);
+    for (index, slot) in slots.into_iter().enumerate() {
+        let stored = match slot.into_inner() {
+            Ok(stored) => stored,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match stored {
+            Some((result, snapshot)) => {
+                if let Some(snapshot) = snapshot {
+                    recorder::absorb_snapshot(snapshot);
+                }
+                results.push(result);
+            }
+            // Unreachable after a clean scope join; keep the sweep total
+            // rather than panicking inside the engine.
+            None => results.push(Err(Error::config(format!(
+                "parallel engine lost cell {index} (worker terminated early)"
+            )))),
+        }
+    }
+    results
+}
+
+// The result slots hold `(Result<T, Error>, Option<Snapshot>)` shared
+// across the scope's workers; both halves must stay `Send` for any cell
+// payload to be. Pinned here so a non-`Send` member added to either type
+// fails in this file rather than at every driver's `try_cells` call.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Error>();
+    assert_send::<Snapshot>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use penelope_telemetry::recorder::Settings;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for jobs in [1, 2, 4, 16] {
+            let results = run_cells_with_jobs(jobs, 9, |cell| Ok(cell.index * 10));
+            let values: Vec<usize> = results.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, (0..9).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_cells_surfaces_the_lowest_indexed_error() {
+        let out: Result<Vec<usize>, Error> = try_cells(8, |cell| {
+            if cell.index % 3 == 2 {
+                Err(Error::config(format!("cell {} failed", cell.index)))
+            } else {
+                Ok(cell.index)
+            }
+        });
+        match out {
+            Err(Error::Config { message }) => assert_eq!(message, "cell 2 failed"),
+            other => panic!("expected the index-2 error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_merges_in_cell_order_whatever_the_completion_order() {
+        let run = |jobs: usize| {
+            recorder::install(Settings::default());
+            let _ = run_cells_with_jobs(jobs, 6, |cell| {
+                // Stagger completion: later cells finish first under
+                // parallelism, exercising the index-ordered merge.
+                if jobs > 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        (6 - cell.index as u64) * 3,
+                    ));
+                }
+                recorder::phase(&format!("cell {}", cell.index), || {
+                    recorder::record_run(100 * (cell.index as u64 + 1), 10);
+                });
+                Ok(cell.index)
+            });
+            recorder::finish().expect("installed")
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        let names = |c: &penelope_telemetry::Collector| -> Vec<String> {
+            c.phases.iter().map(|p| p.name.clone()).collect()
+        };
+        assert_eq!(names(&serial), names(&parallel));
+        assert_eq!(serial.total_cycles, parallel.total_cycles);
+        let cycles: Vec<u64> = serial.phases.iter().map(|p| p.cycles).collect();
+        assert_eq!(cycles, vec![100, 200, 300, 400, 500, 600]);
+    }
+
+    #[test]
+    fn engine_without_a_recorder_is_inert() {
+        let _ = recorder::finish();
+        let results = run_cells_with_jobs(4, 4, |cell| {
+            assert!(
+                !recorder::active(),
+                "no recorder must be installed in workers when the parent has none"
+            );
+            Ok(cell.index)
+        });
+        assert_eq!(results.len(), 4);
+        assert!(recorder::finish().is_none());
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_leaving_a_recorder() {
+        recorder::install(Settings::default());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cells_with_jobs(2, 4, |cell| {
+                if cell.index == 1 {
+                    panic!("cell 1 exploded");
+                }
+                Ok(cell.index)
+            })
+        }));
+        assert!(caught.is_err(), "worker panics re-raise at the join");
+        // The calling thread's recorder survives and no worker left a
+        // stale cell collector installed anywhere.
+        assert!(recorder::active(), "parent recorder still installed");
+        let collector = recorder::finish().expect("parent recorder intact");
+        assert!(
+            collector.phases.is_empty(),
+            "no partial phases leaked from the panicked sweep"
+        );
+    }
+
+    #[test]
+    fn zero_cells_is_an_empty_sweep() {
+        assert!(run_cells_with_jobs(4, 0, |_| Ok(())).is_empty());
+        assert_eq!(try_cells(0, |_| Ok(0u8)).map(|v| v.len()), Ok(0));
+    }
+
+    #[test]
+    fn jobs_defaults_to_available_parallelism() {
+        set_jobs(0);
+        assert_eq!(jobs(), available_parallelism());
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+    }
+}

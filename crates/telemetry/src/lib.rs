@@ -15,8 +15,10 @@
 //!   occupancies, cache line-state fractions, RINV freshness and
 //!   fault/invariant events every `sample_period` cycles;
 //! - [`recorder`]: a thread-local facade so experiment drivers contribute
-//!   manifest entries, phase timings and run telemetry without signature
-//!   changes;
+//!   manifest entries, phase timings, warnings and run telemetry without
+//!   signature changes; worker threads inherit the recording decision via
+//!   [`recorder::WorkerHandle`] and feed mergeable
+//!   [`recorder::Snapshot`]s back for a deterministic reassembly;
 //! - [`report`]: run-report assembly ([`build_report`]), schema
 //!   validation ([`validate_report`]) and the deterministic JSONL export
 //!   ([`series_jsonl`]) pinned by the determinism tests.
@@ -38,6 +40,6 @@ pub mod series;
 pub use hooks::{EventSource, TelemetryHooks, TelemetryOutput};
 pub use json::Json;
 pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, Registry};
-pub use recorder::{Collector, Phase, Settings};
+pub use recorder::{Collector, Phase, Settings, Snapshot, WorkerHandle};
 pub use report::{build_report, series_jsonl, validate_report, SCHEMA_VERSION};
 pub use series::RingSeries;

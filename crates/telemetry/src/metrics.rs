@@ -30,6 +30,9 @@ pub struct Histogram {
     counts: Vec<u64>,
     nan_count: u64,
     total: u64,
+    /// Finite observations only, so [`Histogram::mean`] really is the mean
+    /// of the finite observations even when infinities were filed.
+    finite: u64,
     sum: f64,
 }
 
@@ -40,6 +43,7 @@ impl Histogram {
             counts: vec![0; bounds.len() + 1],
             nan_count: 0,
             total: 0,
+            finite: 0,
             sum: 0.0,
         }
     }
@@ -58,6 +62,7 @@ impl Histogram {
         self.counts[bucket] += 1;
         self.total += 1;
         if value.is_finite() {
+            self.finite += 1;
             self.sum += value;
         }
     }
@@ -82,12 +87,12 @@ impl Histogram {
         self.nan_count
     }
 
-    /// Mean of the finite observations (0 when empty).
+    /// Mean of the finite observations (0 when none were recorded).
     pub fn mean(&self) -> f64 {
-        if self.total == 0 {
+        if self.finite == 0 {
             0.0
         } else {
-            self.sum / self.total as f64
+            self.sum / self.finite as f64
         }
     }
 
@@ -96,17 +101,16 @@ impl Histogram {
             for (a, b) in self.counts.iter_mut().zip(&other.counts) {
                 *a += b;
             }
-            self.total += other.total;
-            self.sum += other.sum;
         } else {
             // Incompatible bucketing: fold the other side's mass into the
             // overflow bucket rather than misfiling it.
             if let Some(last) = self.counts.last_mut() {
                 *last += other.total;
             }
-            self.total += other.total;
-            self.sum += other.sum;
         }
+        self.total += other.total;
+        self.finite += other.finite;
+        self.sum += other.sum;
         self.nan_count += other.nan_count;
     }
 
@@ -341,6 +345,54 @@ mod tests {
         assert_eq!(a.histogram_value(ha).total(), 2);
         let g = a.gauge("last");
         assert!((a.gauge_value(g) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merging_identical_bounds_equals_observing_the_union() {
+        // Regression pin for the documented contract: with identical
+        // bounds, merge(h(A), h(B)) must equal h(A ∪ B) — including the
+        // inclusive-upper-edge filing, the overflow bucket, NaN
+        // accounting, infinities and the finite mean. Values are chosen
+        // exactly representable so the float sums compare with `==`.
+        let bounds = [0.25, 0.5, 1.0];
+        let lhs_values = [0.0, 0.25, 0.5, f64::NEG_INFINITY];
+        let rhs_values = [0.25, 0.375, 1.0, 7.0, f64::NAN, f64::INFINITY];
+
+        let mut lhs = Histogram::new(&bounds);
+        for v in lhs_values {
+            lhs.observe(v);
+        }
+        let mut rhs = Histogram::new(&bounds);
+        for v in rhs_values {
+            rhs.observe(v);
+        }
+        lhs.merge(&rhs);
+
+        let mut union = Histogram::new(&bounds);
+        for v in lhs_values.into_iter().chain(rhs_values) {
+            union.observe(v);
+        }
+
+        assert_eq!(lhs, union, "merge must equal observing the union");
+        // Spot-check the edge filing survived the merge: both 0.25
+        // observations sit inclusively in bucket 0, 7.0 and +inf overflow.
+        assert_eq!(union.bucket_count(0), 4, "-inf, 0.0 and both 0.25s");
+        assert_eq!(union.bucket_count(1), 2, "0.375 and 0.5");
+        assert_eq!(union.bucket_count(2), 1, "1.0 inclusive on the top edge");
+        assert_eq!(union.bucket_count(3), 2, "7.0 and +inf overflow");
+        assert_eq!(union.nan_count(), 1);
+        // The mean covers finite observations only, on both paths.
+        let finite_sum = 0.0 + 0.25 + 0.5 + 0.25 + 0.375 + 1.0 + 7.0;
+        assert_eq!(lhs.mean(), finite_sum / 7.0);
+    }
+
+    #[test]
+    fn mean_ignores_infinities_in_the_divisor() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(2.0);
+        h.observe(f64::INFINITY);
+        // One finite observation of 2.0: its mean is 2.0, not 1.0.
+        assert_eq!(h.mean(), 2.0);
     }
 
     #[test]

@@ -9,6 +9,22 @@
 //! the collector for report building. When nothing is installed every call
 //! is a cheap thread-local check followed by a branch — the zero-cost-
 //! when-disabled contract.
+//!
+//! # Recording off the installing thread
+//!
+//! The collector slot is thread-local, so a recorder installed on one
+//! thread is invisible to every other: a phase or metric recorded on a
+//! worker thread would be silently dropped. Parallel experiment engines
+//! therefore capture a [`WorkerHandle`] on the installing thread and hand
+//! clones to their workers. [`WorkerHandle::record_cell`] runs one unit of
+//! work under a private recorder (inheriting the parent's [`Settings`])
+//! and returns a mergeable [`Snapshot`]; the engine feeds snapshots back
+//! to the installing thread with [`absorb_snapshot`] in a deterministic
+//! order, so the merged stream is byte-identical no matter which worker
+//! finished first. `record_cell` is panic-safe: if the unit of work
+//! unwinds, the temporary recorder is uninstalled and whatever was
+//! previously installed on that thread is reinstated, never leaving a
+//! stale collector behind.
 
 use std::cell::RefCell;
 use std::time::Instant;
@@ -56,6 +72,8 @@ pub struct Collector {
     pub manifest: Vec<(String, Json)>,
     /// Completed phases, in execution order.
     pub phases: Vec<Phase>,
+    /// Degradation warnings (fallbacks taken, misconfigured environment).
+    pub warnings: Vec<String>,
     /// Total simulated cycles.
     pub total_cycles: u64,
     /// Total uops retired.
@@ -63,6 +81,29 @@ pub struct Collector {
     /// Wall-clock seconds since [`install`].
     pub wall_seconds: f64,
     /// Merged structure telemetry from every instrumented run.
+    pub output: TelemetryOutput,
+}
+
+/// The wall-clock-free, mergeable record of one unit of work, produced by
+/// [`WorkerHandle::record_cell`] and consumed by [`absorb_snapshot`].
+///
+/// Phase wall times are retained (they are informational), but the
+/// snapshot carries no run-level wall clock: the parent recorder keeps its
+/// own, so merging snapshots in a deterministic order yields the same
+/// simulated-quantity stream regardless of worker scheduling.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Manifest entries recorded inside the cell (replace-by-key on merge).
+    pub manifest: Vec<(String, Json)>,
+    /// Phases completed inside the cell, in execution order.
+    pub phases: Vec<Phase>,
+    /// Warnings recorded inside the cell.
+    pub warnings: Vec<String>,
+    /// Simulated cycles credited inside the cell.
+    pub total_cycles: u64,
+    /// Uops credited inside the cell.
+    pub total_uops: u64,
+    /// Structure telemetry collected inside the cell.
     pub output: TelemetryOutput,
 }
 
@@ -77,23 +118,28 @@ thread_local! {
     static ACTIVE: RefCell<Option<ActiveCollector>> = const { RefCell::new(None) };
 }
 
+fn fresh(settings: Settings) -> ActiveCollector {
+    ActiveCollector {
+        collector: Collector {
+            settings,
+            manifest: Vec::new(),
+            phases: Vec::new(),
+            warnings: Vec::new(),
+            total_cycles: 0,
+            total_uops: 0,
+            wall_seconds: 0.0,
+            output: TelemetryOutput::default(),
+        },
+        started: Instant::now(),
+        phase_base: None,
+    }
+}
+
 /// Installs a collector on this thread, replacing (and discarding) any
 /// previous one.
 pub fn install(settings: Settings) {
     ACTIVE.with(|slot| {
-        *slot.borrow_mut() = Some(ActiveCollector {
-            collector: Collector {
-                settings,
-                manifest: Vec::new(),
-                phases: Vec::new(),
-                total_cycles: 0,
-                total_uops: 0,
-                wall_seconds: 0.0,
-                output: TelemetryOutput::default(),
-            },
-            started: Instant::now(),
-            phase_base: None,
-        });
+        *slot.borrow_mut() = Some(fresh(settings));
     });
 }
 
@@ -108,11 +154,13 @@ pub fn active() -> bool {
     ACTIVE.with(|slot| slot.borrow().is_some())
 }
 
-/// Detaches the collector, stamping the total wall time. Returns `None`
-/// when telemetry was never installed.
+/// Detaches the collector, stamping the total wall time. A phase still
+/// open (e.g. because its body unwound past the facade) is closed rather
+/// than dropped. Returns `None` when telemetry was never installed.
 pub fn finish() -> Option<Collector> {
     ACTIVE.with(|slot| {
-        slot.borrow_mut().take().map(|active| {
+        slot.borrow_mut().take().map(|mut active| {
+            close_open_phase(&mut active);
             let mut collector = active.collector;
             collector.wall_seconds = active.started.elapsed().as_secs_f64();
             collector
@@ -129,6 +177,17 @@ pub fn manifest_entry(key: &str, value: Json) {
                 Some((_, v)) => *v = value,
                 None => manifest.push((key.to_string(), value)),
             }
+        }
+    });
+}
+
+/// Records a degradation warning (a fallback taken, an environment
+/// variable ignored) so the run report distinguishes a degraded run from a
+/// clean one. No-op when disabled.
+pub fn warning(message: impl Into<String>) {
+    ACTIVE.with(|slot| {
+        if let Some(active) = slot.borrow_mut().as_mut() {
+            active.collector.warnings.push(message.into());
         }
     });
 }
@@ -153,10 +212,34 @@ pub fn absorb(output: &TelemetryOutput) {
     });
 }
 
+/// Merges a worker-produced [`Snapshot`] into this thread's recorder:
+/// manifest entries replace by key, phases and warnings append in the
+/// snapshot's order, totals add and structure telemetry merges. No-op when
+/// disabled (the snapshot is dropped, matching the facade's contract).
+pub fn absorb_snapshot(snapshot: Snapshot) {
+    ACTIVE.with(|slot| {
+        if let Some(active) = slot.borrow_mut().as_mut() {
+            for (key, value) in snapshot.manifest {
+                let manifest = &mut active.collector.manifest;
+                match manifest.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, v)) => *v = value,
+                    None => manifest.push((key, value)),
+                }
+            }
+            active.collector.phases.extend(snapshot.phases);
+            active.collector.warnings.extend(snapshot.warnings);
+            active.collector.total_cycles += snapshot.total_cycles;
+            active.collector.total_uops += snapshot.total_uops;
+            active.collector.output.merge(&snapshot.output);
+        }
+    });
+}
+
 /// Runs `body` as a named phase, recording its wall time and the cycles /
 /// uops credited while it ran. Phases do not nest: opening a phase inside
 /// a phase closes the outer one at the inner one's start. When telemetry
-/// is disabled the closure runs with no bookkeeping at all.
+/// is disabled the closure runs with no bookkeeping at all. Panic-safe: a
+/// body that unwinds still closes its phase on the way out.
 pub fn phase<R>(name: &str, body: impl FnOnce() -> R) -> R {
     // Open outside the closure so a body that touches the recorder again
     // never re-enters a held RefCell borrow.
@@ -174,15 +257,24 @@ pub fn phase<R>(name: &str, body: impl FnOnce() -> R) -> R {
         ));
         true
     });
-    let result = body();
-    if opened {
-        ACTIVE.with(|slot| {
-            if let Some(active) = slot.borrow_mut().as_mut() {
-                close_open_phase(active);
-            }
-        });
+    // Close in a drop guard so the phase is flushed even if `body` unwinds
+    // (the panic supervisor upstream may still write a report).
+    struct CloseGuard {
+        opened: bool,
     }
-    result
+    impl Drop for CloseGuard {
+        fn drop(&mut self) {
+            if self.opened {
+                ACTIVE.with(|slot| {
+                    if let Some(active) = slot.borrow_mut().as_mut() {
+                        close_open_phase(active);
+                    }
+                });
+            }
+        }
+    }
+    let _guard = CloseGuard { opened };
+    body()
 }
 
 fn close_open_phase(active: &mut ActiveCollector) {
@@ -193,6 +285,83 @@ fn close_open_phase(active: &mut ActiveCollector) {
             cycles: active.collector.total_cycles - base_cycles,
             uops: active.collector.total_uops - base_uops,
         });
+    }
+}
+
+/// A cloneable, `Send` capture of this thread's recording decision, taken
+/// with [`worker_handle`]. Worker threads (or the same thread, between
+/// cells) use it to run units of work under private recorders that inherit
+/// the parent's settings; the resulting [`Snapshot`]s merge back with
+/// [`absorb_snapshot`].
+#[derive(Debug, Clone)]
+pub struct WorkerHandle {
+    settings: Option<Settings>,
+}
+
+/// Captures whether (and how) a recorder is installed on this thread, for
+/// handing to worker threads.
+pub fn worker_handle() -> WorkerHandle {
+    WorkerHandle {
+        settings: settings(),
+    }
+}
+
+/// Removes whatever is installed on this thread when dropped, reinstating
+/// the slot's previous occupant — including on unwind.
+struct RestoreGuard {
+    saved: Option<ActiveCollector>,
+}
+
+impl Drop for RestoreGuard {
+    fn drop(&mut self) {
+        let saved = self.saved.take();
+        ACTIVE.with(|slot| *slot.borrow_mut() = saved);
+    }
+}
+
+impl WorkerHandle {
+    /// Whether the installing thread had a recorder when the handle was
+    /// captured (i.e. whether `record_cell` will produce snapshots).
+    pub fn recording(&self) -> bool {
+        self.settings.is_some()
+    }
+
+    /// Runs one unit of work under a private recorder inheriting the
+    /// captured settings, returning its result and the detached
+    /// [`Snapshot`] (`None` when recording is off — the body then runs
+    /// with no bookkeeping at all).
+    ///
+    /// Safe to call on the installing thread itself: the installed
+    /// recorder is set aside for the duration and reinstated afterwards.
+    /// Panic-safe: if `body` unwinds, the private recorder is discarded
+    /// and the previous occupant of the slot reinstated before the panic
+    /// continues, so no stale collector ever leaks into later cells.
+    pub fn record_cell<R>(&self, body: impl FnOnce() -> R) -> (R, Option<Snapshot>) {
+        let Some(settings) = self.settings else {
+            return (body(), None);
+        };
+        let saved = ACTIVE.with(|slot| slot.borrow_mut().take());
+        install(settings);
+        let guard = RestoreGuard { saved };
+        let result = body();
+        let cell = finish();
+        drop(guard); // reinstates whatever was installed before the cell
+        (result, cell.map(Collector::into_snapshot))
+    }
+}
+
+impl Collector {
+    /// Converts a detached per-cell collector into its mergeable,
+    /// wall-clock-free snapshot.
+    pub fn into_snapshot(self) -> Snapshot {
+        Snapshot {
+            manifest: self.manifest,
+            phases: self.phases,
+            warnings: self.warnings,
+            total_cycles: self.total_cycles,
+            total_uops: self.total_uops,
+            output: self.output,
+        }
     }
 }
 
@@ -207,6 +376,7 @@ mod tests {
         assert!(settings().is_none());
         record_run(100, 50);
         manifest_entry("k", Json::from("v"));
+        warning("dropped");
         let ran = phase("p", || 42);
         assert_eq!(ran, 42);
         assert!(finish().is_none());
@@ -217,6 +387,7 @@ mod tests {
         install(Settings::default());
         manifest_entry("binary", Json::from("test"));
         manifest_entry("binary", Json::from("test2")); // replaces
+        warning("fallback taken");
         let out = phase("warmup", || {
             record_run(1_000, 400);
             "done"
@@ -236,6 +407,7 @@ mod tests {
         assert_eq!(collector.phases[0].cycles, 1_000);
         assert_eq!(collector.phases[1].cycles, 2_000);
         assert_eq!(collector.manifest.len(), 1);
+        assert_eq!(collector.warnings, vec!["fallback taken".to_string()]);
         assert_eq!(
             collector.manifest[0].1.as_str(),
             Some("test2"),
@@ -267,5 +439,118 @@ mod tests {
         let collector = finish().expect("installed");
         assert_eq!(collector.total_cycles, 0, "reinstall discards");
         assert_eq!(collector.settings.sample_period, 7);
+    }
+
+    #[test]
+    fn finish_closes_an_open_phase() {
+        install(Settings::default());
+        // Open a phase without going through the closure facade: simulate
+        // an unwind that escaped the guard by opening and never closing.
+        ACTIVE.with(|slot| {
+            if let Some(active) = slot.borrow_mut().as_mut() {
+                active.phase_base = Some(("interrupted".to_string(), Instant::now(), 0, 0));
+            }
+        });
+        record_run(500, 100);
+        let collector = finish().expect("installed");
+        assert_eq!(collector.phases.len(), 1, "open phase flushed by finish");
+        assert_eq!(collector.phases[0].name, "interrupted");
+        assert_eq!(collector.phases[0].cycles, 500);
+    }
+
+    #[test]
+    fn phase_closes_on_unwind() {
+        install(Settings::default());
+        let unwound = std::panic::catch_unwind(|| {
+            phase("doomed", || {
+                record_run(100, 10);
+                panic!("boom");
+            })
+        });
+        assert!(unwound.is_err());
+        let collector = finish().expect("installed");
+        assert_eq!(collector.phases.len(), 1, "phase closed by the guard");
+        assert_eq!(collector.phases[0].name, "doomed");
+        assert_eq!(collector.phases[0].cycles, 100);
+    }
+
+    #[test]
+    fn worker_handle_is_inert_when_nothing_is_installed() {
+        let _ = finish();
+        let handle = worker_handle();
+        assert!(!handle.recording());
+        let (out, snapshot) = handle.record_cell(|| {
+            record_run(1, 1); // silently dropped: nothing installed
+            7
+        });
+        assert_eq!(out, 7);
+        assert!(snapshot.is_none());
+        assert!(!active());
+    }
+
+    #[test]
+    fn record_cell_inherits_settings_and_detaches_a_snapshot() {
+        install(Settings {
+            sample_period: 99,
+            series_capacity: 5,
+        });
+        record_run(10, 10);
+        let handle = worker_handle();
+        assert!(handle.recording());
+        let (out, snapshot) = handle.record_cell(|| {
+            assert_eq!(
+                settings().map(|s| s.sample_period),
+                Some(99),
+                "cell inherits the parent's settings"
+            );
+            phase("cell work", || record_run(1_000, 400));
+            "cell done"
+        });
+        assert_eq!(out, "cell done");
+        let snapshot = snapshot.expect("recording was on");
+        assert_eq!(snapshot.total_cycles, 1_000);
+        assert_eq!(snapshot.phases.len(), 1);
+
+        // The parent recorder is back in place, untouched by the cell.
+        assert_eq!(settings().map(|s| s.sample_period), Some(99));
+        absorb_snapshot(snapshot);
+        let collector = finish().expect("parent still installed");
+        assert_eq!(collector.total_cycles, 1_010, "cell totals merged");
+        assert_eq!(collector.phases.len(), 1);
+        assert_eq!(collector.phases[0].name, "cell work");
+    }
+
+    #[test]
+    fn record_cell_restores_the_parent_on_panic() {
+        install(Settings::default());
+        record_run(42, 7);
+        let handle = worker_handle();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle.record_cell(|| {
+                record_run(9_999, 9_999);
+                panic!("worker died");
+            })
+        }));
+        assert!(unwound.is_err());
+        // The panicking cell's recorder is gone; the parent survives with
+        // its own totals only.
+        let collector = finish().expect("parent reinstated");
+        assert_eq!(collector.total_cycles, 42, "no stale cell state leaked");
+    }
+
+    #[test]
+    fn snapshots_merge_deterministically_by_call_order() {
+        install(Settings::default());
+        let handle = worker_handle();
+        let (_, first) = handle.record_cell(|| phase("a", || record_run(1, 1)));
+        let (_, second) = handle.record_cell(|| phase("b", || record_run(2, 2)));
+        // Simulate out-of-order completion: absorb in cell-index order
+        // regardless of which snapshot was produced first.
+        absorb_snapshot(first.expect("recording on"));
+        absorb_snapshot(second.expect("recording on"));
+        let collector = finish().expect("installed");
+        let names: Vec<&str> = collector.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(collector.total_cycles, 3);
     }
 }

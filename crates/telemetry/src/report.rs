@@ -9,6 +9,7 @@
 //! {
 //!   "schema_version": 1,
 //!   "manifest":  { "binary": "...", "seed": 123, ... },
+//!   "warnings":  [ "unparseable PENELOPE_SCALE ...", ... ],
 //!   "phases":    [ { "name", "wall_seconds", "cycles", "uops",
 //!                    "cycles_per_sec" }, ... ],
 //!   "totals":    { "cycles", "uops", "wall_seconds",
@@ -18,6 +19,10 @@
 //!   "series":    { "<name>": [[cycle, value], ...], ... }
 //! }
 //! ```
+//!
+//! `warnings` records degradations (environment fallbacks, misconfigured
+//! knobs) so a run that limped through on defaults is distinguishable from
+//! a clean one even though both exit zero.
 //!
 //! Wall-clock numbers live only under `phases`/`totals`; the
 //! [`series_jsonl`] export used by the determinism test contains purely
@@ -47,6 +52,17 @@ pub fn build_report(collector: &Collector) -> Json {
         Json::UInt(collector.settings.series_capacity as u64),
     );
     report.set("manifest", manifest);
+
+    report.set(
+        "warnings",
+        Json::Array(
+            collector
+                .warnings
+                .iter()
+                .map(|w| Json::from(w.as_str()))
+                .collect(),
+        ),
+    );
 
     let mut phases = Vec::new();
     for phase in &collector.phases {
@@ -147,6 +163,18 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
     }
 
     expect_type(report, "manifest", "object")?;
+    // Older reports omit `warnings`; when present it must be an array of
+    // strings.
+    if let Some(warnings) = report.get("warnings") {
+        let warnings = warnings
+            .as_array()
+            .ok_or_else(|| format!("warnings must be an array, got {}", warnings.type_name()))?;
+        for (i, warning) in warnings.iter().enumerate() {
+            if warning.as_str().is_none() {
+                return Err(format!("warnings[{i}] must be a string"));
+            }
+        }
+    }
     expect_type(report, "phases", "array")?;
     expect_type(report, "totals", "object")?;
     expect_type(report, "metrics", "object")?;
@@ -256,6 +284,7 @@ mod tests {
                 cycles: 1_000,
                 uops: 400,
             }],
+            warnings: vec!["PENELOPE_SCALE fell back to standard".to_string()],
             total_cycles: 1_000,
             total_uops: 400,
             wall_seconds: 0.6,
@@ -299,6 +328,37 @@ mod tests {
         report.set("metrics", Json::Array(vec![]));
         let err = validate_report(&report).expect_err("mistyped");
         assert!(err.contains("metrics"), "{err}");
+    }
+
+    #[test]
+    fn warnings_are_carried_and_validated() {
+        let report = build_report(&sample_collector());
+        let warnings = report
+            .get("warnings")
+            .and_then(Json::as_array)
+            .expect("warnings array present");
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(
+            warnings[0].as_str(),
+            Some("PENELOPE_SCALE fell back to standard")
+        );
+
+        // Reports without warnings (older schema) still validate...
+        let report = parse(
+            r#"{"schema_version":1,"manifest":{},"phases":[],
+                "totals":{"cycles":0,"uops":0,"wall_seconds":0.0,
+                          "cycles_per_sec":0.0,"uops_per_sec":0.0},
+                "metrics":{"counters":{},"gauges":{},"histograms":{}},
+                "series":{}}"#,
+        )
+        .expect("valid json");
+        validate_report(&report).expect("warnings are optional");
+
+        // ...but a mistyped warnings key is rejected.
+        let mut report = build_report(&sample_collector());
+        report.set("warnings", Json::Array(vec![Json::UInt(3)]));
+        let err = validate_report(&report).expect_err("non-string warning");
+        assert!(err.contains("warnings[0]"), "{err}");
     }
 
     #[test]

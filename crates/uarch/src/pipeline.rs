@@ -848,6 +848,21 @@ impl Pipeline {
     }
 }
 
+// The parallel sweep engine (`penelope::par`) constructs pipelines inside
+// worker threads and moves their results and parts across the thread
+// boundary at merge time. These assertions pin that contract: growing a
+// non-`Send` member (an `Rc`, a raw pointer, a thread-bound cache handle)
+// into any of these types must fail to compile here, not erupt as a trait
+// error three crates up.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Pipeline>();
+    assert_send::<Parts>();
+    assert_send::<PipelineConfig>();
+    assert_send::<RunResult>();
+    assert_send::<NoHooks>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
