@@ -142,14 +142,22 @@ fn choose_technique_unchecked(occupancy: f64, bias0: f64, bias1: f64) -> Techniq
         return Technique::All0;
     }
     let idle = 1.0 - occupancy;
+    // With no idle time at all (occupancy exactly 1 and both products at
+    // exactly 0.5) there is nothing to write into; K is vacuous, but it must
+    // still be a number, not 0/0.
+    let k_for = |product: f64| {
+        if idle > 0.0 {
+            (1.0 - (0.5 - product) / idle).clamp(0.0, 1.0)
+        } else {
+            1.0
+        }
+    };
     if bias0 > bias1 {
         // Write 1 during K of the idle time so that total zero-time is 1/2:
         // occ·bias0 + idle·(1-K) = 0.5.
-        let k = (1.0 - (0.5 - occupancy * bias0) / idle).clamp(0.0, 1.0);
-        Technique::All1K(k)
+        Technique::All1K(k_for(occupancy * bias0))
     } else {
-        let k = (1.0 - (0.5 - occupancy * bias1) / idle).clamp(0.0, 1.0);
-        Technique::All0K(k)
+        Technique::All0K(k_for(occupancy * bias1))
     }
 }
 

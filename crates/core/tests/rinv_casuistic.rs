@@ -1,0 +1,164 @@
+//! Boundary tests for the Figure 3 casuistic and the RINV/ISV path.
+//!
+//! The decision tree of `choose_technique` has three numeric thresholds —
+//! occupancy vs 50%, occupancy×bias products vs 50%, and bias0 vs bias1 —
+//! and each is exercised exactly at, just below, and just above its
+//! boundary, plus the degenerate all-idle/all-busy corners. Inputs at
+//! exact thresholds use dyadic rationals so float rounding cannot move
+//! them off the boundary.
+
+use penelope::rinv::Rinv;
+use penelope::technique::{balancing_value, choose_technique, KCounter, Technique};
+
+const EPS: f64 = 1e-9;
+
+fn expect_all1k(occupancy: f64, bias0: f64) -> f64 {
+    match choose_technique(occupancy, bias0, 1.0 - bias0) {
+        Ok(Technique::All1K(k)) => k,
+        other => panic!("expected ALL1-K% at ({occupancy}, {bias0}), got {other:?}"),
+    }
+}
+
+fn expect_all0k(occupancy: f64, bias0: f64) -> f64 {
+    match choose_technique(occupancy, bias0, 1.0 - bias0) {
+        Ok(Technique::All0K(k)) => k,
+        other => panic!("expected ALL0-K% at ({occupancy}, {bias0}), got {other:?}"),
+    }
+}
+
+#[test]
+fn occupancy_boundary_is_inclusive_for_isv() {
+    // Figure 3 reads "IF (occupancy > 50%)": exactly 50% free-vs-busy is
+    // NOT the busy branch, even with an extreme bias.
+    assert_eq!(choose_technique(0.5, 1.0, 0.0), Ok(Technique::Isv));
+    assert_eq!(choose_technique(0.5, 0.0, 1.0), Ok(Technique::Isv));
+    // The next representable occupancy above 0.5 crosses into the busy
+    // branch, and with total bias the product already exceeds 50%.
+    let above = f64::from_bits(0.5f64.to_bits() + 1);
+    assert_eq!(choose_technique(above, 1.0, 0.0), Ok(Technique::All1));
+    assert_eq!(choose_technique(above, 0.0, 1.0), Ok(Technique::All0));
+}
+
+#[test]
+fn product_boundary_is_strict_for_all1_and_all0() {
+    // occupancy·bias0 == 0.5 exactly (dyadic: 1.0 × 0.5) must fall through
+    // to the K branch, not ALL1/ALL0 — the figure's test is strict.
+    match choose_technique(1.0, 0.5, 0.5) {
+        Ok(Technique::All1K(k)) | Ok(Technique::All0K(k)) => {
+            assert!(k.is_finite(), "K must be a number, got {k}");
+        }
+        other => panic!("expected a K technique on the exact boundary, got {other:?}"),
+    }
+    // Another exact-0.5 product, this time with idle time left:
+    // occupancy 0.75, bias0 = 0.5/0.75 is not dyadic, so instead pin the
+    // crossover with a straddle: just beyond 2/3 bias flips ALL1-K% → ALL1.
+    assert_eq!(choose_technique(0.75, 0.67, 0.33), Ok(Technique::All1));
+    let k = expect_all1k(0.75, 0.66);
+    // Perfect balancing: occ·bias0 + idle·(1−K) = 0.5.
+    assert!((0.75 * 0.66 + 0.25 * (1.0 - k) - 0.5).abs() < EPS);
+}
+
+#[test]
+fn bias_tie_goes_to_all0k() {
+    // bias0 == bias1 == 0.5: "bias-to-0 > bias-to-1" is false, so the
+    // ELSE arm (ALL0-K%) applies.
+    let k = expect_all0k(0.75, 0.5);
+    // occ·bias1 = 0.375; K = 1 − (0.5 − 0.375)/0.25 = 0.5.
+    assert!((k - 0.5).abs() < EPS, "K = {k}");
+}
+
+#[test]
+fn all_idle_field_uses_isv() {
+    // occupancy 0: the entry is always free; sampled traffic (inverted) is
+    // the only sensible content, whatever the bias says.
+    assert_eq!(choose_technique(0.0, 1.0, 0.0), Ok(Technique::Isv));
+    assert_eq!(choose_technique(0.0, 0.5, 0.5), Ok(Technique::Isv));
+}
+
+#[test]
+fn all_busy_field_never_produces_nan_k() {
+    // occupancy 1: no idle time to write into. Fully biased fields still
+    // pick ALL1/ALL0; the perfectly balanced corner (products exactly 0.5
+    // on both sides) must yield a finite K, not 0/0.
+    assert_eq!(choose_technique(1.0, 1.0, 0.0), Ok(Technique::All1));
+    assert_eq!(choose_technique(1.0, 0.0, 1.0), Ok(Technique::All0));
+    match choose_technique(1.0, 0.5, 0.5) {
+        Ok(Technique::All0K(k)) => assert!(k.is_finite(), "K = {k}"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn k_is_always_in_unit_range_and_balances_exactly() {
+    // Sweep the busy region on a fine grid: whenever a K technique is
+    // chosen, K must lie in [0, 1] without the clamp ever having to mask a
+    // wild value, and (for interior K) satisfy the perfect-balance
+    // equation occ·bias_major + idle·(1−K) = 0.5.
+    for oi in 1..=512 {
+        let occupancy = 0.5 + 0.5 * (oi as f64) / 512.0;
+        for bi in 0..=256 {
+            let bias0 = (bi as f64) / 256.0;
+            let bias1 = 1.0 - bias0;
+            let technique = choose_technique(occupancy, bias0, bias1)
+                .unwrap_or_else(|e| panic!("({occupancy}, {bias0}): {e}"));
+            let (k, product) = match technique {
+                Technique::All1K(k) => (k, occupancy * bias0),
+                Technique::All0K(k) => (k, occupancy * bias1),
+                _ => continue,
+            };
+            assert!(
+                (0.0..=1.0).contains(&k),
+                "K = {k} at ({occupancy}, {bias0})"
+            );
+            let idle = 1.0 - occupancy;
+            if idle > 0.0 {
+                let balance = product + idle * (1.0 - k);
+                assert!(
+                    (balance - 0.5).abs() < 1e-6,
+                    "imbalance {balance} at ({occupancy}, {bias0})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kcounter_clamps_out_of_range_fractions() {
+    assert!((KCounter::new(-0.5).fraction() - 0.0).abs() < EPS);
+    assert!((KCounter::new(1.5).fraction() - 1.0).abs() < EPS);
+    // A clamped-to-1 counter writes the majority value on every tick.
+    let mut c = KCounter::new(7.0);
+    assert!((0..64).all(|_| c.tick()));
+}
+
+#[test]
+fn isv_writes_the_inverted_sample_at_width_extremes() {
+    for width in [1usize, 127, 128] {
+        let mut rinv = Rinv::new(width, 1);
+        assert!(rinv.offer(0, 0), "first sample is always taken");
+        let ones = if width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
+        assert_eq!(rinv.value(), ones, "width {width}: inversion of all-zeros");
+        let mut counter = KCounter::new(0.5);
+        assert_eq!(
+            balancing_value(Technique::Isv, width, &rinv, &mut counter),
+            Some(ones)
+        );
+    }
+}
+
+#[test]
+fn degenerate_rinv_sampling_is_stable() {
+    // Repeated offers at the same timestamp: only the first within the
+    // period is accepted, so a burst of releases in one cycle cannot
+    // thrash the register.
+    let mut rinv = Rinv::new(8, 100);
+    assert!(rinv.offer(0b1111_0000, 0));
+    assert!(!rinv.offer(0b0000_1111, 0));
+    assert_eq!(rinv.value(), 0b0000_1111);
+    // Staleness right at the accept instant is zero, never underflows.
+    assert_eq!(rinv.staleness(0), 0);
+}

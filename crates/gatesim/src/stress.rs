@@ -1,15 +1,25 @@
 //! Per-PMOS duty-cycle accumulation over input streams.
 //!
-//! A [`StressTracker`] owns one [`DutyAccumulator`] per PMOS of a netlist.
-//! Feeding it input vectors (each held for some number of cycles) yields the
+//! A [`StressTracker`] packs the transistors of a netlist 128 to a
+//! [`BitResidency`] block: applying an input vector evaluates the netlist
+//! once, gathers each block's net values into a `u128` mask, and charges
+//! the whole block with one word-parallel `record` instead of one
+//! [`DutyAccumulator`](nbti_model::duty::DutyAccumulator) update per
+//! transistor. The integer zero-time counts (and hence every duty, float
+//! for float) are identical to the per-transistor loop's. Feeding the
+//! tracker input vectors (each held for some number of cycles) yields the
 //! zero-signal probability of every transistor, from which the worst-case
 //! guardband of the block follows.
 
-use nbti_model::duty::{Duty, DutyAccumulator};
+use nbti_model::duty::Duty;
 use nbti_model::guardband::{Guardband, GuardbandModel};
+use uarch::bitstats::BitResidency;
 
 use crate::netlist::Netlist;
 use crate::pmos::{PmosTable, WidthClass};
+
+/// Transistors per residency block (one `u128` mask each).
+const BLOCK_BITS: usize = 128;
 
 /// Accumulates NBTI stress per PMOS across an input stream.
 ///
@@ -33,7 +43,16 @@ use crate::pmos::{PmosTable, WidthClass};
 #[derive(Debug, Clone)]
 pub struct StressTracker {
     table: PmosTable,
-    accumulators: Vec<DutyAccumulator>,
+    /// One residency accumulator per 128 transistors; the last block is
+    /// narrower when the table size is not a multiple of 128.
+    blocks: Vec<BitResidency>,
+}
+
+/// Residency blocks covering `count` bit positions, 128 per block.
+fn blocks_for(count: usize) -> Vec<BitResidency> {
+    (0..count.div_ceil(BLOCK_BITS))
+        .map(|b| BitResidency::new((count - b * BLOCK_BITS).min(BLOCK_BITS)))
+        .collect()
 }
 
 impl StressTracker {
@@ -45,11 +64,8 @@ impl StressTracker {
 
     /// Creates a tracker over a custom transistor table.
     pub fn with_table(table: PmosTable) -> Self {
-        let accumulators = vec![DutyAccumulator::new(); table.len()];
-        StressTracker {
-            table,
-            accumulators,
-        }
+        let blocks = blocks_for(table.len());
+        StressTracker { table, blocks }
     }
 
     /// The transistor table the tracker accounts for.
@@ -59,7 +75,8 @@ impl StressTracker {
 
     /// Applies one primary-input assignment for `duration` cycles,
     /// evaluating the netlist and charging stress to every PMOS whose
-    /// driving net is at "0".
+    /// driving net is at "0" — one word-parallel record per 128
+    /// transistors.
     ///
     /// # Panics
     ///
@@ -67,8 +84,14 @@ impl StressTracker {
     /// the tracker was built for a different netlist.
     pub fn apply(&mut self, netlist: &Netlist, assignment: &[bool], duration: u64) {
         let values = netlist.evaluate(assignment);
-        for (pmos, acc) in self.table.transistors().iter().zip(&mut self.accumulators) {
-            acc.record(values.get(pmos.driven_by), duration);
+        let transistors = self.table.transistors();
+        for (b, block) in self.blocks.iter_mut().enumerate() {
+            let base = b * BLOCK_BITS;
+            let mut mask = 0u128;
+            for (bit, pmos) in transistors[base..base + block.width()].iter().enumerate() {
+                mask |= u128::from(values.get(pmos.driven_by)) << bit;
+            }
+            block.record(mask, duration);
         }
     }
 
@@ -78,7 +101,8 @@ impl StressTracker {
     ///
     /// Panics if `index` is out of range.
     pub fn duty_of(&self, index: usize) -> Duty {
-        self.accumulators[index].duty()
+        assert!(index < self.table.len(), "transistor index out of range");
+        self.blocks[index / BLOCK_BITS].bias(index % BLOCK_BITS)
     }
 
     /// Iterator over `(transistor, duty)` pairs.
@@ -86,15 +110,15 @@ impl StressTracker {
         self.table
             .transistors()
             .iter()
-            .zip(self.accumulators.iter().map(|a| a.duty()))
+            .enumerate()
+            .map(|(i, p)| (p, self.duty_of(i)))
     }
 
     /// Worst (largest) duty among all transistors, or [`Duty::ZERO`] if the
     /// netlist has none.
     pub fn worst_duty(&self) -> Duty {
-        self.accumulators
-            .iter()
-            .map(|a| a.duty())
+        (0..self.table.len())
+            .map(|i| self.duty_of(i))
             .fold(Duty::ZERO, |w, d| if d > w { d } else { w })
     }
 
@@ -131,16 +155,12 @@ impl StressTracker {
 
     /// Resets all accumulated stress (a fresh part).
     pub fn reset(&mut self) {
-        for acc in &mut self.accumulators {
-            *acc = DutyAccumulator::new();
-        }
+        self.blocks = blocks_for(self.table.len());
     }
 
     /// Total observed time in cycles (same for every transistor).
     pub fn observed_time(&self) -> u64 {
-        self.accumulators
-            .first()
-            .map_or(0, DutyAccumulator::total_time)
+        self.blocks.first().map_or(0, BitResidency::total_time)
     }
 }
 
@@ -201,6 +221,42 @@ mod tests {
         // 3 narrow at 100% out of 4 transistors total.
         assert!((t.narrow_fraction_at_or_above(1.0) - 0.75).abs() < 1e-12);
         assert!((t.worst_narrow_duty(&n).fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_sliced_duties_match_a_per_transistor_oracle() {
+        use nbti_model::duty::DutyAccumulator;
+        // An inverter tree with well over 128 PMOS → multiple blocks,
+        // including a narrow trailing one.
+        let mut b = NetlistBuilder::new();
+        let a0 = b.input();
+        let a1 = b.input();
+        let mut nets = vec![a0, a1];
+        for i in 0..300 {
+            let x = b.inv(nets[(i * 7) % nets.len()]);
+            nets.push(x);
+        }
+        let last = *nets.last().unwrap();
+        b.mark_output(last);
+        let n = b.finish();
+        let table = PmosTable::with_default_threshold(&n);
+        assert!(table.len() > 128, "need more than one block");
+
+        let mut t = StressTracker::new(&n);
+        let mut oracle = vec![DutyAccumulator::new(); table.len()];
+        for step in 0..17u64 {
+            let assignment = [step % 2 == 0, step % 3 == 0];
+            let duration = step * 5 + 1;
+            t.apply(&n, &assignment, duration);
+            let values = n.evaluate(&assignment);
+            for (pmos, acc) in table.transistors().iter().zip(&mut oracle) {
+                acc.record(values.get(pmos.driven_by), duration);
+            }
+        }
+        for (i, acc) in oracle.iter().enumerate() {
+            assert_eq!(t.duty_of(i), acc.duty(), "transistor {i}");
+        }
+        assert_eq!(t.observed_time(), oracle[0].total_time());
     }
 
     #[test]

@@ -202,9 +202,11 @@ impl<H: Hooks + EventSource> TelemetryHooks<H> {
         self.output.registry.inc(self.ids.samples, 1);
 
         // Scheduler: time-averaged occupancy, data-field occupancy, and
-        // instantaneous busy fraction.
-        let occ = parts.sched.occupancy(now);
-        let data_occ = parts.sched.data_occupancy(now);
+        // instantaneous busy fraction. The `_at` peeks read the integrals
+        // without advancing the trackers' event clocks — measurement must
+        // not perturb the structures it observes.
+        let occ = parts.sched.occupancy_at(now);
+        let data_occ = parts.sched.data_occupancy_at(now);
         let total = parts.sched.len();
         let free = parts.sched.free_slots().count();
         let busy_frac = if total == 0 {
@@ -225,8 +227,8 @@ impl<H: Hooks + EventSource> TelemetryHooks<H> {
         // the event-driven residency accounting up to `now`).
         parts.int_rf.sync(now);
         parts.fp_rf.sync(now);
-        let int_free = parts.int_rf.free_fraction(now);
-        let fp_free = parts.fp_rf.free_fraction(now);
+        let int_free = parts.int_rf.free_fraction_at(now);
+        let fp_free = parts.fp_rf.free_fraction_at(now);
         self.push("rf.int.free_fraction", now, int_free);
         self.push("rf.fp.free_fraction", now, fp_free);
         self.push(

@@ -7,18 +7,63 @@
 //! accounting is event-driven: a [`TrackedWord`] remembers the value and the
 //! time it was written, and charges `(now − since) × zero-mask` into a
 //! [`BitResidency`] when the value changes.
+//!
+//! # The word-parallel kernel
+//!
+//! Charging an event used to walk every bit position — up to 128 scalar
+//! iterations per write — which made `record` the hottest loop in the
+//! simulator. [`BitResidency`] now accumulates events in *bit-sliced
+//! carry-save planes*: `planes[j]` is a `u128` whose bit `i` contributes
+//! `2^j` cycles to bit position `i`'s zero-count. Adding `(mask, duration)`
+//! ripple-carries the zero-mask once per set bit of `duration`, so the cost
+//! is O(popcount(duration) + carry chain) *word* operations regardless of
+//! width. Planes drain into the exact `zero_time` lanes via an
+//! integer-only [`flush_planes`](BitResidency::flush_planes) before any
+//! lane can overflow, so `bias()`/`merge()`/reports see the same integers
+//! the scalar loop produced — byte-identical, not approximately equal.
+//!
+//! [`ScalarResidency`] keeps the original per-bit loop alive as a reference
+//! oracle; the differential property suite (`tests/bitstats_prop.rs`) and
+//! the `bitstats_record` microbench compare the two implementations
+//! event-for-event.
 
 use nbti_model::duty::Duty;
+
+/// Number of carry-save planes; per-bit pending counts fit in `PLANES` bits.
+const PLANES: usize = 32;
+
+/// Maximum duration the planes may accumulate before a flush is forced.
+/// With `PLANES = 32` every per-bit pending count stays below `2^32`, so a
+/// ripple carry can never run off the last plane.
+const PLANE_CAPACITY: u64 = (1 << PLANES) - 1;
 
 /// Aggregated per-bit zero-time for words of a fixed width.
 ///
 /// Residency from many entries of a structure can be merged into one
 /// `BitResidency` (bias is reported per bit *position*, as in the paper's
 /// figures).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct BitResidency {
+    /// Exact zero-cycles per bit position, LSB first (flushed state).
     zero_time: Vec<u64>,
+    /// Bit-sliced carry-save accumulator: bit `i` of `planes[j]` adds
+    /// `2^j` pending zero-cycles to position `i`.
+    planes: [u128; PLANES],
+    /// Total duration absorbed into `planes` since the last flush;
+    /// bounded by [`PLANE_CAPACITY`].
+    pending: u64,
+    /// Mask selecting the low `width` bits.
+    mask: u128,
     total_time: u64,
+}
+
+/// Mask with the low `width` bits set (`width` in 1..=128).
+fn width_mask(width: usize) -> u128 {
+    if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
 }
 
 impl BitResidency {
@@ -31,6 +76,9 @@ impl BitResidency {
         assert!((1..=128).contains(&width), "width must be in 1..=128");
         BitResidency {
             zero_time: vec![0; width],
+            planes: [0; PLANES],
+            pending: 0,
+            mask: width_mask(width),
             total_time: 0,
         }
     }
@@ -41,6 +89,182 @@ impl BitResidency {
     }
 
     /// Records that `value` was held for `duration` cycles.
+    ///
+    /// Word-parallel: the zero-mask is ripple-carried into the bit-sliced
+    /// planes once per set bit of `duration` instead of once per bit
+    /// position.
+    pub fn record(&mut self, value: u128, duration: u64) {
+        if duration == 0 {
+            return;
+        }
+        self.total_time += duration;
+        let zeros = !value & self.mask;
+        // Cost model: the per-bit lane path costs ~width additions; the
+        // carry-save path costs ~2 word ops per set bit of `duration`
+        // (ripple chains average under two planes). Narrow structures and
+        // dense durations go straight to the lanes — which is also the
+        // only valid path for a single event too large for the planes
+        // (~4 billion cycles). Lane adds and plane adds produce the same
+        // integers, so the choice is invisible to every reader.
+        let lane_is_cheaper = (self.zero_time.len() as u32) < 2 * duration.count_ones();
+        if lane_is_cheaper || duration > PLANE_CAPACITY {
+            for (i, zt) in self.zero_time.iter_mut().enumerate() {
+                if (zeros >> i) & 1 == 1 {
+                    *zt += duration;
+                }
+            }
+            return;
+        }
+        if duration > PLANE_CAPACITY - self.pending {
+            self.flush_planes();
+        }
+        self.pending += duration;
+        let mut weight = duration;
+        while weight != 0 {
+            let bit = weight.trailing_zeros() as usize;
+            weight &= weight - 1;
+            // Carry-save add of `zeros` with weight 2^bit: XOR is the sum,
+            // AND the carry into the next plane. `pending <= PLANE_CAPACITY`
+            // guarantees the carry dies before running off the last plane.
+            let mut carry = zeros;
+            let mut plane = bit;
+            while carry != 0 {
+                debug_assert!(plane < PLANES, "carry escaped the planes");
+                let overflow = self.planes[plane] & carry;
+                self.planes[plane] ^= carry;
+                carry = overflow;
+                plane += 1;
+            }
+        }
+    }
+
+    /// Drains the carry-save planes into the exact `zero_time` lanes.
+    ///
+    /// Integer-only, so the lane values are identical to what the scalar
+    /// per-bit loop would have produced. O(width × planes), but amortized
+    /// away: it runs once per ~2^32 accumulated cycles (or on merge).
+    fn flush_planes(&mut self) {
+        if self.pending == 0 {
+            return;
+        }
+        for (i, zt) in self.zero_time.iter_mut().enumerate() {
+            let mut count = 0u64;
+            for (j, plane) in self.planes.iter().enumerate() {
+                count |= (((plane >> i) as u64) & 1) << j;
+            }
+            *zt += count;
+        }
+        self.planes = [0; PLANES];
+        self.pending = 0;
+    }
+
+    /// Exact zero-cycles of one bit position, including pending plane state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    pub fn zero_cycles(&self, bit: usize) -> u64 {
+        let mut count = self.zero_time[bit];
+        if self.pending != 0 {
+            for (j, plane) in self.planes.iter().enumerate() {
+                count += (((plane >> bit) as u64) & 1) << j;
+            }
+        }
+        count
+    }
+
+    /// Total observed time (per bit position).
+    pub fn total_time(&self) -> u64 {
+        self.total_time
+    }
+
+    /// Bias towards "0" of one bit position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    pub fn bias(&self, bit: usize) -> Duty {
+        if self.total_time == 0 {
+            return Duty::ZERO;
+        }
+        Duty::saturating(self.zero_cycles(bit) as f64 / self.total_time as f64)
+    }
+
+    /// Biases of all bit positions, LSB first.
+    pub fn biases(&self) -> Vec<Duty> {
+        (0..self.width()).map(|i| self.bias(i)).collect()
+    }
+
+    /// The worst *cell* duty over all bit positions: each cell ages at
+    /// `max(bias, 1 − bias)` because of the complementary PMOS pair.
+    pub fn worst_cell_duty(&self) -> Duty {
+        self.biases()
+            .into_iter()
+            .map(Duty::cell_worst)
+            .fold(Duty::ZERO, |w, d| if d > w { d } else { w })
+    }
+
+    /// Merges another accumulator of the same width into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn merge(&mut self, other: &BitResidency) {
+        assert_eq!(self.width(), other.width(), "width mismatch");
+        self.flush_planes();
+        for (i, zt) in self.zero_time.iter_mut().enumerate() {
+            *zt += other.zero_cycles(i);
+        }
+        self.total_time += other.total_time;
+    }
+}
+
+/// Equality is over *effective* counts — two accumulators that charged the
+/// same cycles compare equal regardless of how much is still pending in
+/// their carry-save planes.
+impl PartialEq for BitResidency {
+    fn eq(&self, other: &Self) -> bool {
+        self.width() == other.width()
+            && self.total_time == other.total_time
+            && (0..self.width()).all(|i| self.zero_cycles(i) == other.zero_cycles(i))
+    }
+}
+
+impl Eq for BitResidency {}
+
+/// The original per-bit scalar accounting loop, kept as a reference oracle.
+///
+/// This is the implementation [`BitResidency`] replaced: O(width) scalar
+/// operations per event, trivially auditable. The differential property
+/// suite drives both implementations with identical event streams and
+/// demands exact integer agreement; the `bitstats_record` bench measures
+/// the speedup against it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalarResidency {
+    zero_time: Vec<u64>,
+    total_time: u64,
+}
+
+impl ScalarResidency {
+    /// Creates an accumulator for `width`-bit words (at most 128).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 128.
+    pub fn new(width: usize) -> Self {
+        assert!((1..=128).contains(&width), "width must be in 1..=128");
+        ScalarResidency {
+            zero_time: vec![0; width],
+            total_time: 0,
+        }
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.zero_time.len()
+    }
+
+    /// Records that `value` was held for `duration` cycles (per-bit loop).
     pub fn record(&mut self, value: u128, duration: u64) {
         if duration == 0 {
             return;
@@ -51,6 +275,15 @@ impl BitResidency {
             }
         }
         self.total_time += duration;
+    }
+
+    /// Exact zero-cycles of one bit position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    pub fn zero_cycles(&self, bit: usize) -> u64 {
+        self.zero_time[bit]
     }
 
     /// Total observed time (per bit position).
@@ -75,8 +308,7 @@ impl BitResidency {
         (0..self.width()).map(|i| self.bias(i)).collect()
     }
 
-    /// The worst *cell* duty over all bit positions: each cell ages at
-    /// `max(bias, 1 − bias)` because of the complementary PMOS pair.
+    /// The worst *cell* duty over all bit positions.
     pub fn worst_cell_duty(&self) -> Duty {
         self.biases()
             .into_iter()
@@ -89,7 +321,7 @@ impl BitResidency {
     /// # Panics
     ///
     /// Panics if widths differ.
-    pub fn merge(&mut self, other: &BitResidency) {
+    pub fn merge(&mut self, other: &ScalarResidency) {
         assert_eq!(self.width(), other.width(), "width mismatch");
         for (a, b) in self.zero_time.iter_mut().zip(&other.zero_time) {
             *a += b;
@@ -183,6 +415,12 @@ impl OccupancyTracker {
         self.last = now;
     }
 
+    /// Busy-entry time integral as of `now`, without mutating the tracker.
+    fn busy_time_at(&self, now: u64) -> u128 {
+        debug_assert!(now >= self.last, "time ran backwards");
+        self.busy_time + u128::from(self.busy) * u128::from(now - self.last)
+    }
+
     /// Notes that one entry became busy at time `now`.
     ///
     /// # Panics
@@ -213,16 +451,28 @@ impl OccupancyTracker {
     /// Average fraction of entries busy up to time `now`.
     pub fn occupancy(&mut self, now: u64) -> Duty {
         self.advance(now);
+        self.occupancy_at(now)
+    }
+
+    /// Average fraction of entries busy up to time `now`, without mutating
+    /// the tracker — the measurement peek for telemetry sampling, which
+    /// must not perturb `last`.
+    pub fn occupancy_at(&self, now: u64) -> Duty {
         let span = u128::from(now - self.started) * u128::from(self.capacity);
         if span == 0 {
             return Duty::ZERO;
         }
-        Duty::saturating(self.busy_time as f64 / span as f64)
+        Duty::saturating(self.busy_time_at(now) as f64 / span as f64)
     }
 
     /// Average fraction of entries free up to time `now`.
     pub fn free_fraction(&mut self, now: u64) -> Duty {
         self.occupancy(now).complement()
+    }
+
+    /// Non-mutating counterpart of [`free_fraction`](Self::free_fraction).
+    pub fn free_fraction_at(&self, now: u64) -> Duty {
+        self.occupancy_at(now).complement()
     }
 }
 
@@ -316,6 +566,77 @@ mod tests {
     }
 
     #[test]
+    fn swar_matches_scalar_on_a_mixed_stream() {
+        let mut swar = BitResidency::new(128);
+        let mut scalar = ScalarResidency::new(128);
+        let mut value = 0x0123_4567_89AB_CDEF_u128;
+        for step in 0..200u64 {
+            value = value.rotate_left(7) ^ u128::from(step).wrapping_mul(0x9E37_79B9);
+            let duration = (step * step + 1) % 1009;
+            swar.record(value, duration);
+            scalar.record(value, duration);
+        }
+        assert_eq!(swar.total_time(), scalar.total_time());
+        for bit in 0..128 {
+            assert_eq!(swar.zero_cycles(bit), scalar.zero_cycles(bit), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn equality_ignores_plane_representation() {
+        // Same effective counts via one large event vs many small ones:
+        // the pending plane state differs, the accumulators must not.
+        let mut one = BitResidency::new(8);
+        one.record(0xA5, 1000);
+        let mut many = BitResidency::new(8);
+        for _ in 0..1000 {
+            many.record(0xA5, 1);
+        }
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn plane_capacity_boundary_flushes_exactly() {
+        // Crossing the 2^32−1 accumulation boundary forces a flush;
+        // counts must remain exact on both sides.
+        let mut r = BitResidency::new(2);
+        r.record(0b10, PLANE_CAPACITY - 1);
+        r.record(0b01, 3); // forces flush_planes, then re-accumulates
+        assert_eq!(r.zero_cycles(0), PLANE_CAPACITY - 1);
+        assert_eq!(r.zero_cycles(1), 3);
+        assert_eq!(r.total_time(), PLANE_CAPACITY + 2);
+    }
+
+    #[test]
+    fn oversized_single_event_takes_the_lane_path() {
+        let mut r = BitResidency::new(2);
+        let huge = PLANE_CAPACITY + 17;
+        r.record(0b01, huge);
+        assert_eq!(r.zero_cycles(0), 0);
+        assert_eq!(r.zero_cycles(1), huge);
+        assert_eq!(r.total_time(), huge);
+        // And the planes still work afterwards.
+        r.record(0b10, 5);
+        assert_eq!(r.zero_cycles(0), 5);
+        assert_eq!(r.zero_cycles(1), huge);
+    }
+
+    #[test]
+    fn merge_absorbs_pending_planes_from_both_sides() {
+        let mut a = BitResidency::new(4);
+        a.record(0b0011, 7);
+        let mut b = BitResidency::new(4);
+        b.record(0b1100, 9);
+        a.merge(&b);
+        let mut oracle = ScalarResidency::new(4);
+        oracle.record(0b0011, 7);
+        oracle.record(0b1100, 9);
+        for bit in 0..4 {
+            assert_eq!(a.zero_cycles(bit), oracle.zero_cycles(bit));
+        }
+    }
+
+    #[test]
     fn occupancy_integrates_busy_time() {
         let mut occ = OccupancyTracker::new(4, 0);
         occ.acquire(0); // 1 busy over [0, 10)
@@ -325,6 +646,29 @@ mod tests {
         assert!((occ.occupancy(40).fraction() - 50.0 / 160.0).abs() < 1e-12);
         assert!((occ.free_fraction(40).fraction() - 110.0 / 160.0).abs() < 1e-12);
         assert_eq!(occ.busy_now(), 1);
+    }
+
+    #[test]
+    fn occupancy_peek_matches_the_advancing_read() {
+        let mut occ = OccupancyTracker::new(4, 0);
+        occ.acquire(0);
+        occ.acquire(10);
+        occ.release(20);
+        let snapshot = occ;
+        let peeked = occ.occupancy_at(40);
+        assert_eq!(occ, snapshot, "occupancy_at must not mutate");
+        let advanced = occ.occupancy(40);
+        assert_eq!(peeked, advanced);
+        assert_eq!(occ.free_fraction_at(40), peeked.complement());
+        // Peeking between events does not disturb later accounting.
+        let mut a = OccupancyTracker::new(2, 0);
+        let mut b = OccupancyTracker::new(2, 0);
+        a.acquire(0);
+        b.acquire(0);
+        let _ = a.occupancy_at(5);
+        a.release(10);
+        b.release(10);
+        assert_eq!(a.occupancy(20), b.occupancy(20));
     }
 
     #[test]

@@ -214,6 +214,13 @@ impl RegisterFile {
         self.occupancy.free_fraction(now).fraction()
     }
 
+    /// Non-mutating counterpart of [`RegisterFile::free_fraction`] for
+    /// telemetry sampling: reads the same integral without perturbing the
+    /// tracker's event clock.
+    pub fn free_fraction_at(&self, now: u64) -> f64 {
+        self.occupancy.free_fraction_at(now).fraction()
+    }
+
     /// Fraction of releases that found a spare write port (92% INT / 86%
     /// FP in the paper).
     pub fn release_port_availability(&self) -> f64 {

@@ -486,12 +486,23 @@ impl Scheduler {
         self.occupancy.occupancy(now).fraction()
     }
 
+    /// Non-mutating counterpart of [`Scheduler::occupancy`] for telemetry
+    /// sampling.
+    pub fn occupancy_at(&self, now: u64) -> f64 {
+        self.occupancy.occupancy_at(now).fraction()
+    }
+
     /// Average *data-field* occupancy up to `now` (the paper's 25–30%,
     /// i.e. SRC data/immediate fields available 70–75% of the time):
     /// a data field is busy from allocation to issue, and only when the uop
     /// actually uses it.
     pub fn data_occupancy(&mut self, now: u64) -> f64 {
         self.data_occupancy.occupancy(now).fraction()
+    }
+
+    /// Non-mutating counterpart of [`Scheduler::data_occupancy`].
+    pub fn data_occupancy_at(&self, now: u64) -> f64 {
+        self.data_occupancy.occupancy_at(now).fraction()
     }
 
     /// Fraction of releases that found a spare port.

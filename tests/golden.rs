@@ -6,8 +6,14 @@
 //! identity, ordering and sanity are pinned here (determinism across runs
 //! is covered by the `determinism` suite).
 
-use penelope::experiments::{efficiency_summary, efficiency_summary_faulted, Scale};
+use std::sync::{Mutex, MutexGuard};
+
+use penelope::error::Error;
+use penelope::experiments::{self, efficiency_summary, efficiency_summary_faulted, Scale};
 use penelope::fault::FaultPlan;
+use penelope::par;
+use penelope_telemetry::recorder::{self, Settings};
+use penelope_telemetry::{build_report, Json};
 
 const ROW_NAMES: [&str; 6] = [
     "baseline (full guardband)",
@@ -78,6 +84,105 @@ fn measured_rows_stay_within_paper_neighborhood() {
             row.name,
             row.efficiency,
             row.paper
+        );
+    }
+}
+
+// --- Run-report byte-identity pins -------------------------------------
+//
+// The fig6/table3 JSON run reports are pinned by hash: the constants below
+// were captured from the scalar per-bit residency loop *before* the
+// word-parallel SWAR kernel replaced it, so any accounting drift the kernel
+// (or a later change) introduces — a zero-count off by one, a float summed
+// in a different order, a series sampled at a different cycle — flips the
+// hash. Only wall-clock fields (`wall_seconds`, `cycles_per_sec`,
+// `uops_per_sec`) are stripped before hashing; everything else must be
+// byte-identical, at `--jobs 1` and `--jobs 4` alike.
+
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn jobs_lock() -> MutexGuard<'static, ()> {
+    JOBS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+const FIG6_REPORT_FNV1A: u64 = 0x8e66_90d8_63a2_c3c1;
+const TABLE3_REPORT_FNV1A: u64 = 0xd27c_cdd1_79e7_4a55;
+
+/// FNV-1a 64-bit, the same hash everywhere so pins are easy to regenerate
+/// (print `canonical_report_hash(...)` and paste).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Strips wall-clock fields in place; everything that remains is a pure
+/// function of the simulation.
+fn strip_wall_clock(json: &mut Json) {
+    match json {
+        Json::Object(fields) => {
+            fields.retain(|(key, _)| {
+                !matches!(
+                    key.as_str(),
+                    "wall_seconds" | "cycles_per_sec" | "uops_per_sec"
+                )
+            });
+            for (_, value) in fields.iter_mut() {
+                strip_wall_clock(value);
+            }
+        }
+        Json::Array(items) => {
+            for value in items.iter_mut() {
+                strip_wall_clock(value);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Runs `driver` under a fresh recorder at the given jobs setting and
+/// hashes the canonicalized report encoding.
+fn canonical_report_hash<T>(jobs: usize, driver: impl Fn() -> Result<T, Error>) -> u64 {
+    par::set_jobs(jobs);
+    recorder::install(Settings {
+        sample_period: 256,
+        series_capacity: 128,
+    });
+    driver().expect("quick-scale drivers run");
+    let collector = recorder::finish().expect("recorder was installed");
+    par::set_jobs(0);
+    let mut report = build_report(&collector);
+    strip_wall_clock(&mut report);
+    fnv1a(report.encode().as_bytes())
+}
+
+#[test]
+fn fig6_report_matches_the_pre_kernel_golden_hash() {
+    let _guard = jobs_lock();
+    for jobs in [1, 4] {
+        let hash = canonical_report_hash(jobs, || experiments::fig6(Scale::quick()));
+        assert_eq!(
+            hash, FIG6_REPORT_FNV1A,
+            "fig6 report drifted from the scalar-kernel golden at jobs={jobs}: \
+             got {hash:#018x}, pinned {FIG6_REPORT_FNV1A:#018x}"
+        );
+    }
+}
+
+#[test]
+fn table3_report_matches_the_pre_kernel_golden_hash() {
+    let _guard = jobs_lock();
+    for jobs in [1, 4] {
+        let hash = canonical_report_hash(jobs, || experiments::table3(Scale::quick()));
+        assert_eq!(
+            hash, TABLE3_REPORT_FNV1A,
+            "table3 report drifted from the scalar-kernel golden at jobs={jobs}: \
+             got {hash:#018x}, pinned {TABLE3_REPORT_FNV1A:#018x}"
         );
     }
 }
