@@ -15,6 +15,12 @@
 //!   machine's available parallelism;
 //! - `--json <path>` — write a machine-readable run report (schema in
 //!   `penelope-telemetry`); overrides `PENELOPE_METRICS`;
+//! - `--checkpoint <path>` — persist every completed sweep cell to a
+//!   crash-safe journal (`penelope::journal`); overrides
+//!   `PENELOPE_CHECKPOINT`;
+//! - `--resume` — restore completed cells from the `--checkpoint` journal
+//!   instead of re-executing them; refuses corrupt or mismatched journals
+//!   with a typed error;
 //! - `-h` / `--help` — print usage and exit successfully.
 //!
 //! When a report path is active the recorder is installed before the
@@ -23,6 +29,10 @@
 //! array, not just on stderr — drivers contribute phases/series through
 //! `penelope::obs`, and the finished report is validated and written even
 //! when the experiment fails (with `"status": "error"` in the manifest).
+//! A run whose sweeps quarantined cells (see `penelope::par`) writes the
+//! report with `"status": "incomplete"` and exits with code 3: the
+//! partial results and the structured `quarantined: …` warnings are
+//! preserved instead of aborting the whole reproduction.
 
 use std::panic::{catch_unwind, UnwindSafe};
 use std::path::PathBuf;
@@ -31,6 +41,8 @@ use std::process::ExitCode;
 use penelope::error::Error;
 use penelope::experiments::{efficiency_summary_faulted, Scale};
 use penelope::fault::FaultPlan;
+use penelope::journal::{CheckpointContext, JournalHeader};
+use penelope::obs::{panic_message, scale_json};
 use penelope::par;
 use penelope::report::render_efficiency;
 use penelope_telemetry::recorder::{self, Settings};
@@ -134,26 +146,95 @@ pub fn jobs_from_env() -> Option<usize> {
     }
 }
 
+/// Parses a fault-injection seed: a decimal `u64`.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the rejected value.
+pub fn parse_fault_seed(value: &str) -> Result<u64, String> {
+    value
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| format!("invalid fault seed {value:?} (expected a decimal u64 seed)"))
+}
+
 /// Reads a fault plan from `PENELOPE_FAULTS`: a `u64` seed expanding into
 /// a seeded random [`FaultPlan`]. Unset or empty means no faults;
-/// unparseable values warn — on stderr and in the run report — and
-/// disable injection rather than abort.
+/// unparseable values warn — on stderr and in the run report, naming the
+/// accepted format — and disable injection rather than abort.
 pub fn fault_plan_from_env() -> Option<FaultPlan> {
     let raw = std::env::var("PENELOPE_FAULTS").ok()?;
     let trimmed = raw.trim();
     if trimmed.is_empty() {
         return None;
     }
-    match trimmed.parse::<u64>() {
+    match parse_fault_seed(trimmed) {
         Ok(seed) => Some(FaultPlan::random(seed)),
-        Err(_) => {
-            degraded(format!(
-                "unparseable PENELOPE_FAULTS {trimmed:?} (expected a u64 seed); \
-                 faults disabled"
-            ));
+        Err(warning) => {
+            degraded(format!("PENELOPE_FAULTS: {warning}; faults disabled"));
             None
         }
     }
+}
+
+/// Parses a supervisor retry count: a non-negative integer (0 disables
+/// retries; failing cells quarantine on their first attempt).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the rejected value.
+pub fn parse_retries(value: &str) -> Result<u32, String> {
+    value
+        .trim()
+        .parse::<u32>()
+        .map_err(|_| format!("invalid retry count {value:?} (expected a non-negative integer)"))
+}
+
+/// Parses a per-cell cycle budget: a positive integer count of simulated
+/// cycles.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the rejected value.
+pub fn parse_cell_budget(value: &str) -> Result<u64, String> {
+    match value.trim().parse::<u64>() {
+        Ok(0) | Err(_) => Err(format!(
+            "invalid cell budget {value:?} (expected a positive integer count of simulated cycles)"
+        )),
+        Ok(budget) => Ok(budget),
+    }
+}
+
+/// Builds the sweep supervisor policy from `PENELOPE_RETRIES` and
+/// `PENELOPE_CELL_BUDGET`. Unset or empty means the defaults (one retry,
+/// no cycle budget); unparseable values warn — on stderr and in the run
+/// report, naming the accepted format — and keep the default.
+pub fn supervisor_from_env() -> par::SupervisorPolicy {
+    let mut policy = par::SupervisorPolicy::default();
+    if let Ok(raw) = std::env::var("PENELOPE_RETRIES") {
+        let trimmed = raw.trim();
+        if !trimmed.is_empty() {
+            match parse_retries(trimmed) {
+                Ok(retries) => policy.retries = retries,
+                Err(warning) => degraded(format!(
+                    "PENELOPE_RETRIES: {warning}; using {}",
+                    policy.retries
+                )),
+            }
+        }
+    }
+    if let Ok(raw) = std::env::var("PENELOPE_CELL_BUDGET") {
+        let trimmed = raw.trim();
+        if !trimmed.is_empty() {
+            match parse_cell_budget(trimmed) {
+                Ok(budget) => policy.cycle_budget = Some(budget),
+                Err(warning) => degraded(format!(
+                    "PENELOPE_CELL_BUDGET: {warning}; watchdog disabled"
+                )),
+            }
+        }
+    }
+    policy
 }
 
 /// Prints a standard header naming the artifact being regenerated.
@@ -172,6 +253,8 @@ struct Args {
     scale: Option<Scale>,
     jobs: Option<usize>,
     json: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
     help: bool,
 }
 
@@ -195,6 +278,13 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
             "--scale" => parsed.scale = Some(parse_scale(&value("--scale")?)?),
             "--jobs" => parsed.jobs = Some(parse_jobs(&value("--jobs")?)?),
             "--json" => parsed.json = Some(PathBuf::from(value("--json")?)),
+            "--checkpoint" => parsed.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--resume" => {
+                if inline.is_some() {
+                    return Err("--resume does not take a value".to_string());
+                }
+                parsed.resume = true;
+            }
             "-h" | "--help" => parsed.help = true,
             other => {
                 return Err(format!("unknown argument {other:?} (try --help)"));
@@ -207,21 +297,31 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
 fn usage(slug: &str) {
     println!(
         "USAGE: {slug} [--scale <quick|standard|thorough>] [--jobs <N>] [--json <path>]\n\
+         \x20               [--checkpoint <path>] [--resume]\n\
          \n\
          Options:\n\
-         \x20 --scale <name>   experiment size (default: PENELOPE_SCALE or standard)\n\
-         \x20 --jobs <N>       worker threads for experiment sweeps (default:\n\
-         \x20                  PENELOPE_JOBS or the machine's available parallelism);\n\
-         \x20                  results are identical at any setting\n\
-         \x20 --json <path>    write a machine-readable run report (default: PENELOPE_METRICS)\n\
-         \x20 -h, --help       print this help\n\
+         \x20 --scale <name>      experiment size (default: PENELOPE_SCALE or standard)\n\
+         \x20 --jobs <N>          worker threads for experiment sweeps (default:\n\
+         \x20                     PENELOPE_JOBS or the machine's available parallelism);\n\
+         \x20                     results are identical at any setting\n\
+         \x20 --json <path>       write a machine-readable run report (default: PENELOPE_METRICS)\n\
+         \x20 --checkpoint <path> journal every completed sweep cell to <path> so an\n\
+         \x20                     interrupted run can be resumed (default: PENELOPE_CHECKPOINT)\n\
+         \x20 --resume            restore completed cells from the checkpoint journal\n\
+         \x20                     instead of re-running them (requires a checkpoint path;\n\
+         \x20                     corrupt or mismatched journals are refused)\n\
+         \x20 -h, --help          print this help\n\
          \n\
          Environment:\n\
-         \x20 PENELOPE_SCALE   scale when --scale is absent\n\
-         \x20 PENELOPE_JOBS    worker threads when --jobs is absent\n\
-         \x20 PENELOPE_METRICS report path when --json is absent\n\
-         \x20 PENELOPE_FAULTS  u64 seed: replace the experiment with a seeded\n\
-         \x20                  fault-injection run (always exits nonzero)"
+         \x20 PENELOPE_SCALE       scale when --scale is absent\n\
+         \x20 PENELOPE_JOBS        worker threads when --jobs is absent\n\
+         \x20 PENELOPE_METRICS     report path when --json is absent\n\
+         \x20 PENELOPE_CHECKPOINT  checkpoint journal path when --checkpoint is absent\n\
+         \x20 PENELOPE_FAULTS      u64 seed: replace the experiment with a seeded\n\
+         \x20                      fault-injection run (always exits nonzero)\n\
+         \x20 PENELOPE_RETRIES     supervisor retries per failing sweep cell (default 1)\n\
+         \x20 PENELOPE_CELL_BUDGET quarantine any sweep cell whose telemetry exceeds\n\
+         \x20                      this many simulated cycles"
     );
 }
 
@@ -238,13 +338,49 @@ fn report_path(flag: Option<PathBuf>) -> Option<PathBuf> {
     })
 }
 
-/// Extracts a printable message from a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
-    payload
-        .downcast_ref::<&'static str>()
-        .copied()
-        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
-        .unwrap_or("non-string panic payload")
+/// The checkpoint journal path after merging `--checkpoint` with
+/// `PENELOPE_CHECKPOINT`.
+fn checkpoint_path(flag: Option<PathBuf>) -> Option<PathBuf> {
+    flag.or_else(|| {
+        let raw = std::env::var("PENELOPE_CHECKPOINT").ok()?;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            None
+        } else {
+            Some(PathBuf::from(trimmed))
+        }
+    })
+}
+
+/// How a supervised run ended: cleanly, with quarantined cells (partial
+/// results preserved), or failed outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Pass,
+    Incomplete,
+    Failed,
+}
+
+impl Outcome {
+    /// The tri-state stamped into the report manifest.
+    fn status(self) -> &'static str {
+        match self {
+            Outcome::Pass => "ok",
+            Outcome::Incomplete => "incomplete",
+            Outcome::Failed => "error",
+        }
+    }
+
+    /// The process exit code: 0 clean, 3 incomplete (quarantines), 1
+    /// failed — so batch drivers can distinguish "partial but usable"
+    /// from "nothing produced".
+    fn exit(self) -> ExitCode {
+        match self {
+            Outcome::Pass => ExitCode::SUCCESS,
+            Outcome::Incomplete => ExitCode::from(3),
+            Outcome::Failed => ExitCode::FAILURE,
+        }
+    }
 }
 
 /// Runs one binary's experiment under the supervisor.
@@ -306,32 +442,94 @@ pub fn run_main(
         .or_else(jobs_from_env)
         .unwrap_or_else(par::available_parallelism);
     par::set_jobs(jobs);
+    // The supervisor policy likewise never enters the manifest: retries
+    // and budgets only matter when cells fail, and then the warnings
+    // array carries the structured record.
+    par::set_supervisor(supervisor_from_env());
     header(what, paper_ref, scale);
 
-    let exit = if let Some(plan) = fault_plan_from_env() {
+    // The fault plan resolves before the journal header is stamped: a
+    // checkpointed faulted run must refuse to resume into a fault-free
+    // one (and vice versa).
+    let plan = fault_plan_from_env();
+    let checkpoint = checkpoint_path(args.checkpoint);
+    if args.resume && checkpoint.is_none() {
+        eprintln!(
+            "{slug}: --resume requires a checkpoint journal path \
+             (--checkpoint <path> or PENELOPE_CHECKPOINT)"
+        );
+        let _ = recorder::finish();
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &checkpoint {
+        let journal_header = JournalHeader {
+            binary: slug.to_string(),
+            scale: scale_json(&scale),
+            fault_seed: plan.as_ref().map_or(0, |p| p.seed),
+        };
+        let context = if args.resume {
+            CheckpointContext::resume(path, &journal_header)
+        } else {
+            CheckpointContext::create(path, &journal_header)
+        };
+        match context {
+            Ok(context) => {
+                if args.resume {
+                    eprintln!(
+                        "{slug}: resuming from {} ({} completed cell(s) restored)",
+                        path.display(),
+                        context.restored_cells()
+                    );
+                }
+                par::set_checkpoint(Some(context));
+            }
+            Err(err) => {
+                eprintln!("{slug}: {err}");
+                let _ = recorder::finish();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let outcome = if let Some(plan) = plan {
         recorder::manifest_entry("fault_seed", Json::from(plan.seed));
         run_faulted(what, scale, &plan)
     } else {
         match catch_unwind(move || experiment(scale)) {
             Ok(Ok(rendered)) => {
                 print!("{rendered}");
-                ExitCode::SUCCESS
+                Outcome::Pass
+            }
+            Ok(Err(err @ Error::Quarantined { .. })) => {
+                eprintln!("{what}: experiment incomplete: {err}");
+                eprintln!(
+                    "{what}: quarantined cells are recorded in the report's \
+                     warnings; completed cells were preserved"
+                );
+                Outcome::Incomplete
             }
             Ok(Err(err)) => {
                 eprintln!("{what}: experiment failed: {err}");
                 eprintln!("{what}: no results were produced");
-                ExitCode::FAILURE
+                Outcome::Failed
             }
             Err(payload) => {
-                eprintln!("{what}: experiment panicked: {}", panic_message(&*payload));
+                // `degraded` lands the payload message in the report's
+                // warnings array too, not just on stderr.
+                degraded(format!(
+                    "{what}: experiment panicked: {}",
+                    panic_message(&*payload)
+                ));
                 eprintln!("{what}: partial results lost; this is a bug in the harness");
-                ExitCode::FAILURE
+                Outcome::Failed
             }
         }
     };
+    par::set_checkpoint(None);
 
+    let exit = outcome.exit();
     match report {
-        Some(path) => match write_report(slug, &path, exit == ExitCode::SUCCESS) {
+        Some(path) => match write_report(slug, &path, outcome.status()) {
             Ok(()) => exit,
             Err(message) => {
                 eprintln!("{slug}: {message}");
@@ -342,10 +540,11 @@ pub fn run_main(
     }
 }
 
-/// Detaches the recorder, stamps the run status, validates the report and
-/// writes it (newline-terminated) to `path`.
-fn write_report(slug: &str, path: &std::path::Path, ok: bool) -> Result<(), String> {
-    recorder::manifest_entry("status", Json::from(if ok { "ok" } else { "error" }));
+/// Detaches the recorder, stamps the run status ("ok", "incomplete" or
+/// "error"), validates the report and writes it (newline-terminated) to
+/// `path`.
+fn write_report(slug: &str, path: &std::path::Path, status: &str) -> Result<(), String> {
+    recorder::manifest_entry("status", Json::from(status));
     let collector = recorder::finish()
         .ok_or("internal error: recorder vanished before the report was written")?;
     let report = build_report(&collector);
@@ -360,7 +559,7 @@ fn write_report(slug: &str, path: &std::path::Path, ok: bool) -> Result<(), Stri
 
 /// Executes a fault plan through the pipeline and reports the outcome.
 /// Always returns failure: a faulted run never counts as a reproduction.
-fn run_faulted(what: &str, scale: Scale, plan: &FaultPlan) -> ExitCode {
+fn run_faulted(what: &str, scale: Scale, plan: &FaultPlan) -> Outcome {
     eprintln!(
         "{what}: FAULT INJECTION ACTIVE (seed {}, {:?}) — robustness \
          exercise, not a reproduction",
@@ -376,14 +575,17 @@ fn run_faulted(what: &str, scale: Scale, plan: &FaultPlan) -> ExitCode {
             eprintln!("{what}: faulted run rejected with a typed error: {err}");
         }
         Err(payload) => {
-            eprintln!(
+            // Preserve the payload message in the report's warnings, not
+            // just on stderr: a batch consumer reading only the JSON must
+            // see what killed the run.
+            degraded(format!(
                 "{what}: faulted run PANICKED: {} — the error layer should \
                  have caught this; please report it",
                 panic_message(&*payload)
-            );
+            ));
         }
     }
-    ExitCode::FAILURE
+    Outcome::Failed
 }
 
 #[cfg(test)]
@@ -491,6 +693,56 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_flags_parse_both_styles_and_resume_is_boolean() {
+        let parsed = parse_args(strings(&["--checkpoint", "j.jsonl", "--resume"])).unwrap();
+        assert_eq!(parsed.checkpoint, Some(PathBuf::from("j.jsonl")));
+        assert!(parsed.resume);
+        let parsed = parse_args(strings(&["--checkpoint=ckpt/run.jsonl"])).unwrap();
+        assert_eq!(parsed.checkpoint, Some(PathBuf::from("ckpt/run.jsonl")));
+        assert!(!parsed.resume);
+        assert!(parse_args(strings(&["--resume=yes"]))
+            .unwrap_err()
+            .contains("does not take a value"));
+        assert!(parse_args(strings(&["--checkpoint"]))
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn fault_seeds_parse_strictly() {
+        assert_eq!(parse_fault_seed("17"), Ok(17));
+        assert_eq!(parse_fault_seed(" 0 "), Ok(0));
+        for bad in ["-1", "five", "1.5", "", "0x10"] {
+            let err = parse_fault_seed(bad).unwrap_err();
+            assert!(err.contains("decimal u64 seed"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn supervisor_knobs_parse_strictly() {
+        assert_eq!(parse_retries("0"), Ok(0));
+        assert_eq!(parse_retries(" 3 "), Ok(3));
+        assert!(parse_retries("-1")
+            .unwrap_err()
+            .contains("non-negative integer"));
+        assert_eq!(parse_cell_budget("1000"), Ok(1000));
+        for bad in ["0", "lots", ""] {
+            let err = parse_cell_budget(bad).unwrap_err();
+            assert!(err.contains("positive integer"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn outcomes_map_to_status_and_exit_codes() {
+        assert_eq!(Outcome::Pass.status(), "ok");
+        assert_eq!(Outcome::Incomplete.status(), "incomplete");
+        assert_eq!(Outcome::Failed.status(), "error");
+        assert_eq!(Outcome::Pass.exit(), ExitCode::SUCCESS);
+        assert_eq!(Outcome::Incomplete.exit(), ExitCode::from(3));
+        assert_eq!(Outcome::Failed.exit(), ExitCode::FAILURE);
+    }
+
+    #[test]
     fn panic_messages_are_extracted() {
         let payload: Box<dyn std::any::Any + Send> = Box::new("static str");
         assert_eq!(panic_message(&*payload), "static str");
@@ -504,7 +756,7 @@ mod tests {
     fn report_writing_needs_an_installed_recorder() {
         let _ = recorder::finish();
         let err =
-            write_report("test", std::path::Path::new("/nonexistent/x.json"), true).unwrap_err();
+            write_report("test", std::path::Path::new("/nonexistent/x.json"), "ok").unwrap_err();
         assert!(err.contains("recorder"), "{err}");
     }
 
@@ -516,7 +768,7 @@ mod tests {
         recorder::install(Settings::default());
         recorder::manifest_entry("binary", Json::from("test"));
         recorder::record_run(1_000, 400);
-        write_report("test", &path, false).unwrap();
+        write_report("test", &path, "error").unwrap();
         let raw = std::fs::read_to_string(&path).unwrap();
         let report = penelope_telemetry::json::parse(&raw).unwrap();
         validate_report(&report).unwrap();

@@ -1,0 +1,270 @@
+//! End-to-end CLI tests for `--checkpoint` / `--resume`: a checkpointed
+//! fig6 run that loses the tail of its journal resumes to a report
+//! byte-identical to the uninterrupted one, a damaged journal refuses
+//! resume with a clear message and a nonzero exit, and the supervisor /
+//! checkpoint environment knobs degrade into the report's `warnings`
+//! array instead of failing the run.
+//!
+//! These drive the real binaries through `CARGO_BIN_EXE_*`, so they cover
+//! the full durability path: flag parsing → journal create/resume →
+//! engine restore/skip → deterministic merge → report write.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use penelope_telemetry::{validate_report, Json};
+
+fn fig6() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig6"));
+    // Isolate from the ambient environment CI or a developer might have.
+    cmd.env_remove("PENELOPE_SCALE")
+        .env_remove("PENELOPE_JOBS")
+        .env_remove("PENELOPE_METRICS")
+        .env_remove("PENELOPE_FAULTS")
+        .env_remove("PENELOPE_CHECKPOINT")
+        .env_remove("PENELOPE_RETRIES")
+        .env_remove("PENELOPE_CELL_BUDGET");
+    cmd
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("penelope-checkpoint-cli");
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn read_report(path: &std::path::Path) -> Json {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|err| panic!("cannot read report {}: {err}", path.display()));
+    let report = penelope_telemetry::json::parse(&raw).expect("report parses as JSON");
+    validate_report(&report).expect("report matches the schema");
+    report
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// Strips wall-clock fields so reports can be compared across runs
+/// (mirrors tests/parallel.rs at the crate boundary).
+fn canonicalize(json: &mut Json) {
+    match json {
+        Json::Object(fields) => {
+            fields.retain(|(key, _)| {
+                !matches!(
+                    key.as_str(),
+                    "wall_seconds" | "cycles_per_sec" | "uops_per_sec"
+                )
+            });
+            for (_, value) in fields.iter_mut() {
+                canonicalize(value);
+            }
+        }
+        Json::Array(items) => {
+            for value in items.iter_mut() {
+                canonicalize(value);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn canonical_report(path: &std::path::Path) -> String {
+    let mut report = read_report(path);
+    canonicalize(&mut report);
+    report.encode()
+}
+
+/// Simulates a crash mid-sweep: keeps the journal header plus one data
+/// record and discards the rest, as a SIGKILL between atomic appends
+/// would.
+fn truncate_journal(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path).expect("journal exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 2, "journal too short: {} lines", lines.len());
+    let mut out = lines[..2].join("\n");
+    out.push('\n');
+    std::fs::write(path, out).expect("journal is writable");
+}
+
+#[test]
+fn interrupted_checkpointed_run_resumes_byte_identically() {
+    let plain_report = tmp_path("fig6-plain.json");
+    let full_report = tmp_path("fig6-full.json");
+    let resumed_report = tmp_path("fig6-resumed.json");
+    let journal = tmp_path("fig6.jsonl");
+
+    // Reference run: no checkpointing at all.
+    let output = fig6()
+        .args(["--scale", "quick", "--json"])
+        .arg(&plain_report)
+        .output()
+        .expect("fig6 binary runs");
+    assert!(output.status.success(), "{}", stderr_of(&output));
+
+    // Checkpointed, uninterrupted: the journal must not leak into the
+    // report — durability is free on the happy path.
+    let output = fig6()
+        .args(["--scale", "quick", "--checkpoint"])
+        .arg(&journal)
+        .args(["--json"])
+        .arg(&full_report)
+        .output()
+        .expect("fig6 binary runs");
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let reference = canonical_report(&plain_report);
+    assert_eq!(
+        canonical_report(&full_report),
+        reference,
+        "a clean checkpointed run must match an uncheckpointed one"
+    );
+
+    // Crash after one completed cell, then resume at a different jobs
+    // setting: still byte-identical.
+    truncate_journal(&journal);
+    let output = fig6()
+        .args([
+            "--scale",
+            "quick",
+            "--jobs",
+            "4",
+            "--resume",
+            "--checkpoint",
+        ])
+        .arg(&journal)
+        .args(["--json"])
+        .arg(&resumed_report)
+        .output()
+        .expect("fig6 binary runs");
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let stderr = stderr_of(&output);
+    assert!(
+        stderr.contains("resuming from") && stderr.contains("1 completed cell(s) restored"),
+        "stderr: {stderr}"
+    );
+    assert_eq!(
+        canonical_report(&resumed_report),
+        reference,
+        "an interrupted-then-resumed run must be byte-identical to an uninterrupted one"
+    );
+}
+
+#[test]
+fn a_damaged_journal_refuses_resume_with_a_clear_error() {
+    let journal = tmp_path("fig6-damaged.jsonl");
+    let output = fig6()
+        .args(["--scale", "quick", "--checkpoint"])
+        .arg(&journal)
+        .output()
+        .expect("fig6 binary runs");
+    assert!(output.status.success(), "{}", stderr_of(&output));
+
+    // Flip one hex digit of the last record's integrity hash.
+    let text = std::fs::read_to_string(&journal).expect("journal exists");
+    let marker = "\"hash\":\"";
+    let start = text.rfind(marker).expect("records carry a hash") + marker.len();
+    let mut bytes = text.into_bytes();
+    bytes[start] = if bytes[start] == b'0' { b'1' } else { b'0' };
+    std::fs::write(&journal, bytes).expect("journal is writable");
+
+    let output = fig6()
+        .args(["--scale", "quick", "--resume", "--checkpoint"])
+        .arg(&journal)
+        .output()
+        .expect("fig6 binary runs");
+    assert!(
+        !output.status.success(),
+        "a damaged journal must refuse resume"
+    );
+    let stderr = stderr_of(&output);
+    assert!(stderr.contains("resume refused"), "stderr: {stderr}");
+}
+
+#[test]
+fn resume_without_a_journal_path_is_a_hard_error() {
+    let output = fig6()
+        .args(["--scale", "quick", "--resume"])
+        .output()
+        .expect("fig6 binary runs");
+    assert!(!output.status.success());
+    let stderr = stderr_of(&output);
+    assert!(
+        stderr.contains("--resume requires a checkpoint journal path"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn resuming_under_a_different_fault_seed_is_refused() {
+    let journal = tmp_path("fig6-seeded.jsonl");
+    let output = fig6()
+        .args(["--scale", "quick", "--checkpoint"])
+        .arg(&journal)
+        .output()
+        .expect("fig6 binary runs");
+    assert!(output.status.success(), "{}", stderr_of(&output));
+
+    let output = fig6()
+        .env("PENELOPE_FAULTS", "5")
+        .args(["--scale", "quick", "--resume", "--checkpoint"])
+        .arg(&journal)
+        .output()
+        .expect("fig6 binary runs");
+    assert!(
+        !output.status.success(),
+        "a fault-free journal must not resume into a faulted run"
+    );
+    let stderr = stderr_of(&output);
+    assert!(
+        stderr.contains("resume refused") && stderr.contains("fault seed"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn supervisor_and_fault_env_knobs_degrade_into_report_warnings() {
+    let path = tmp_path("fig6-bad-env.json");
+    let output = fig6()
+        .env("PENELOPE_FAULTS", "banana")
+        .env("PENELOPE_RETRIES", "-2")
+        .env("PENELOPE_CELL_BUDGET", "0")
+        .args(["--scale", "quick", "--json"])
+        .arg(&path)
+        .output()
+        .expect("fig6 binary runs");
+    assert!(
+        output.status.success(),
+        "env degradation must not fail the run: {}",
+        stderr_of(&output)
+    );
+    let report = read_report(&path);
+    let warnings: Vec<&str> = report
+        .get("warnings")
+        .and_then(Json::as_array)
+        .expect("report carries a warnings array")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    // Each warning names the knob and the accepted format, matching the
+    // wording a strict flag error would use.
+    assert!(
+        warnings
+            .iter()
+            .any(|w| w.contains("PENELOPE_FAULTS") && w.contains("decimal u64 seed")),
+        "{warnings:?}"
+    );
+    assert!(
+        warnings
+            .iter()
+            .any(|w| w.contains("PENELOPE_RETRIES") && w.contains("non-negative integer")),
+        "{warnings:?}"
+    );
+    assert!(
+        warnings
+            .iter()
+            .any(|w| w.contains("PENELOPE_CELL_BUDGET") && w.contains("positive integer")),
+        "{warnings:?}"
+    );
+}

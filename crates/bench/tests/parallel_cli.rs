@@ -19,7 +19,10 @@ fn fig6() -> Command {
     cmd.env_remove("PENELOPE_SCALE")
         .env_remove("PENELOPE_JOBS")
         .env_remove("PENELOPE_METRICS")
-        .env_remove("PENELOPE_FAULTS");
+        .env_remove("PENELOPE_FAULTS")
+        .env_remove("PENELOPE_CHECKPOINT")
+        .env_remove("PENELOPE_RETRIES")
+        .env_remove("PENELOPE_CELL_BUDGET");
     cmd
 }
 

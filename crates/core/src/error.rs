@@ -38,6 +38,27 @@ pub enum Error {
         /// The first few violation descriptions (bounded).
         sample: Vec<String>,
     },
+    /// A sweep cell that kept failing (panicking, erroring or blowing its
+    /// cycle budget) after the supervisor exhausted its retries. The sweep
+    /// continues without the cell; the bench CLI turns this into a partial
+    /// report with an "incomplete" exit status.
+    Quarantined {
+        /// The sweep the cell belongs to.
+        sweep: String,
+        /// The cell's index within the sweep.
+        cell: usize,
+        /// Executions attempted before giving up (1 + retries).
+        attempts: u32,
+        /// The final attempt's panic or error message.
+        message: String,
+    },
+    /// The checkpoint journal could not be written, read or trusted
+    /// (corrupt record, mismatched header). Resume refuses rather than
+    /// merging doubtful state.
+    Journal {
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -55,6 +76,16 @@ impl std::fmt::Display for Error {
                 }
                 Ok(())
             }
+            Error::Quarantined {
+                sweep,
+                cell,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "quarantined: {sweep} cell {cell} failed after {attempts} attempt(s): {message}"
+            ),
+            Error::Journal { message } => write!(f, "checkpoint journal: {message}"),
         }
     }
 }
@@ -102,6 +133,13 @@ impl Error {
             message: message.into(),
         }
     }
+
+    /// Shorthand for a [`Error::Journal`] with a formatted message.
+    pub fn journal(message: impl Into<String>) -> Self {
+        Error::Journal {
+            message: message.into(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +168,20 @@ mod tests {
         };
         let msg = inv.to_string();
         assert!(msg.contains('3') && msg.contains("duty out of range"));
+        let q = Error::Quarantined {
+            sweep: "fig6".into(),
+            cell: 4,
+            attempts: 2,
+            message: "worker panicked: boom".into(),
+        };
+        let msg = q.to_string();
+        assert!(
+            msg.contains("fig6") && msg.contains("cell 4") && msg.contains("boom"),
+            "{msg}"
+        );
+        assert!(Error::journal("resume refused: truncated record")
+            .to_string()
+            .starts_with("checkpoint journal:"));
     }
 
     #[test]

@@ -31,7 +31,7 @@ use nbti_model::duty::Duty;
 use nbti_model::guardband::GuardbandModel;
 use nbti_model::metric::{BlockCost, ProcessorAggregator};
 use nbti_model::rd::RdModel;
-use penelope_telemetry::{recorder, EventSource};
+use penelope_telemetry::{recorder, EventSource, Json};
 use tracegen::error::TraceError;
 use tracegen::fault::faulted;
 use tracegen::trace::Workload;
@@ -45,6 +45,7 @@ use crate::cache_aware::SchemeKind;
 use crate::error::Error;
 use crate::fault::{FaultHooks, FaultInjector, FaultPlan, RinvAccess};
 use crate::invert_mode::{full_guardband_baseline, InvertMode};
+use crate::journal::CellPayload;
 use crate::obs::{self, with_recording};
 use crate::par;
 use crate::processor::{build, PenelopeConfig};
@@ -210,7 +211,28 @@ pub fn motivation(scale: Scale) -> Result<Motivation, Error> {
         sched_worst_bias: f64,
         util: (f64, f64),
     }
-    let mut cells = par::try_cells(2, |cell| {
+    impl CellPayload for MotCell {
+        fn to_payload(&self) -> Json {
+            Json::Array(vec![
+                self.int_bias_min.to_payload(),
+                self.int_bias_max.to_payload(),
+                self.sched_worst_bias.to_payload(),
+                self.util.to_payload(),
+            ])
+        }
+        fn from_payload(json: &Json) -> Result<Self, String> {
+            match json.as_array() {
+                Some([min, max, worst, util]) => Ok(MotCell {
+                    int_bias_min: f64::from_payload(min)?,
+                    int_bias_max: f64::from_payload(max)?,
+                    sched_worst_bias: f64::from_payload(worst)?,
+                    util: <(f64, f64)>::from_payload(util)?,
+                }),
+                _ => Err("motivation cell must be a 4-element array".into()),
+            }
+        }
+    }
+    let mut cells = par::try_cells_named("motivation", 2, |cell| {
         if cell.index == 0 {
             let (mut pipe, uniform_result) = recorder::phase("motivation: uniform", || {
                 run_workload(PipelineConfig::default(), scale, &mut NoHooks)
@@ -284,6 +306,16 @@ pub struct Fig5Row {
     pub guardband: f64,
 }
 
+impl CellPayload for Fig5Row {
+    fn to_payload(&self) -> Json {
+        (self.label.clone(), self.guardband).to_payload()
+    }
+    fn from_payload(json: &Json) -> Result<Self, String> {
+        let (label, guardband) = <(String, f64)>::from_payload(json)?;
+        Ok(Fig5Row { label, guardband })
+    }
+}
+
 /// Figure 5: adder guardband for real inputs only and for the three
 /// utilization scenarios healed by the best vector pair.
 pub fn fig5(scale: Scale) -> Result<Vec<Fig5Row>, Error> {
@@ -297,7 +329,7 @@ pub fn fig5(scale: Scale) -> Result<Vec<Fig5Row>, Error> {
     // One engine cell per bar: the guardband searches are pure CPU over
     // the same read-only input sample.
     let scenarios = [None, Some(0.30), Some(0.21), Some(0.11)];
-    par::try_cells(scenarios.len(), |cell| {
+    par::try_cells_named("fig5", scenarios.len(), |cell| {
         Ok(match scenarios[cell.index] {
             None => Fig5Row {
                 label: "real inputs".into(),
@@ -375,10 +407,35 @@ pub fn fig6(scale: Scale) -> Result<Fig6, Error> {
         int_port_rate: f64,
         fp_port_rate: f64,
     }
+    impl CellPayload for Fig6Cell {
+        fn to_payload(&self) -> Json {
+            Json::Array(vec![
+                self.int_bias.to_payload(),
+                self.fp_bias.to_payload(),
+                self.int_free.to_payload(),
+                self.fp_free.to_payload(),
+                self.int_port_rate.to_payload(),
+                self.fp_port_rate.to_payload(),
+            ])
+        }
+        fn from_payload(json: &Json) -> Result<Self, String> {
+            match json.as_array() {
+                Some([ib, fb, ifree, ffree, ip, fp]) => Ok(Fig6Cell {
+                    int_bias: Vec::from_payload(ib)?,
+                    fp_bias: Vec::from_payload(fb)?,
+                    int_free: f64::from_payload(ifree)?,
+                    fp_free: f64::from_payload(ffree)?,
+                    int_port_rate: f64::from_payload(ip)?,
+                    fp_port_rate: f64::from_payload(fp)?,
+                }),
+                _ => Err("fig6 cell must be a 6-element array".into()),
+            }
+        }
+    }
     let to_fracs =
         |biases: Vec<Duty>| -> Vec<f64> { biases.into_iter().map(|d| d.fraction()).collect() };
 
-    let mut cells = par::try_cells(2, |cell| {
+    let mut cells = par::try_cells_named("fig6", 2, |cell| {
         if cell.index == 0 {
             let (mut base, _) = recorder::phase("fig6: baseline", || {
                 run_workload(PipelineConfig::default(), scale, &mut NoHooks)
@@ -477,6 +534,29 @@ pub fn fig8(scale: Scale) -> Result<Fig8, Error> {
         data_occupancy: f64,
         policy: Option<SchedulerPolicy>,
     }
+    impl CellPayload for Fig8Stage {
+        fn to_payload(&self) -> Json {
+            Json::Array(vec![
+                self.bits.to_payload(),
+                self.worst.to_payload(),
+                self.occupancy.to_payload(),
+                self.data_occupancy.to_payload(),
+                self.policy.to_payload(),
+            ])
+        }
+        fn from_payload(json: &Json) -> Result<Self, String> {
+            match json.as_array() {
+                Some([bits, worst, occ, data, policy]) => Ok(Fig8Stage {
+                    bits: Vec::from_payload(bits)?,
+                    worst: f64::from_payload(worst)?,
+                    occupancy: f64::from_payload(occ)?,
+                    data_occupancy: f64::from_payload(data)?,
+                    policy: Option::from_payload(policy)?,
+                }),
+                _ => Err("fig8 stage must be a 5-element array".into()),
+            }
+        }
+    }
     fn field_bits(sched: &uarch::scheduler::Scheduler) -> Vec<(Field, Vec<f64>)> {
         Field::ALL
             .iter()
@@ -493,7 +573,7 @@ pub fn fig8(scale: Scale) -> Result<Fig8, Error> {
             .collect()
     }
 
-    let mut base = par::try_cells(1, |_| {
+    let mut base = par::try_cells_named("fig8:baseline", 1, |_| {
         let (mut pipe, _) = recorder::phase("fig8: baseline", || {
             run_workload(PipelineConfig::default(), scale, &mut NoHooks)
         })?;
@@ -517,7 +597,7 @@ pub fn fig8(scale: Scale) -> Result<Fig8, Error> {
         .policy
         .take()
         .ok_or_else(|| Error::config("fig8 baseline produced no scheduler policy"))?;
-    let prot = par::try_cells(1, |_| {
+    let prot = par::try_cells_named("fig8:protected", 1, |_| {
         let mut hooks = SchedulerHooks {
             balancer: SchedulerBalancer::new(policy.clone(), scale.time_scale.max(64)),
         };
@@ -570,6 +650,28 @@ pub struct Table3Row {
     pub line_fixed: f64,
     /// Performance loss of `LineDynamic60%`.
     pub line_dynamic: f64,
+}
+
+impl CellPayload for Table3Row {
+    fn to_payload(&self) -> Json {
+        Json::Array(vec![
+            self.label.to_payload(),
+            self.set_fixed.to_payload(),
+            self.line_fixed.to_payload(),
+            self.line_dynamic.to_payload(),
+        ])
+    }
+    fn from_payload(json: &Json) -> Result<Self, String> {
+        match json.as_array() {
+            Some([label, sf, lf, ld]) => Ok(Table3Row {
+                label: String::from_payload(label)?,
+                set_fixed: f64::from_payload(sf)?,
+                line_fixed: f64::from_payload(lf)?,
+                line_dynamic: f64::from_payload(ld)?,
+            }),
+            _ => Err("table3 row must be a 4-element array".into()),
+        }
+    }
 }
 
 /// Table 3: average performance loss of the three schemes across DL0 and
@@ -637,7 +739,7 @@ pub fn table3(scale: Scale) -> Result<Table3, Error> {
         grid.push(Geometry::Dtlb { entries });
     }
 
-    let rows = par::try_cells(grid.len(), |cell| match grid[cell.index] {
+    let rows = par::try_cells_named("table3", grid.len(), |cell| match grid[cell.index] {
         Geometry::Dl0 { ways, kb } => {
             let base_config = PipelineConfig {
                 dl0: CacheConfig::dl0(kb, ways),
@@ -794,7 +896,33 @@ pub fn efficiency_summary(scale: Scale) -> Result<Vec<EfficiencyRow>, Error> {
         Scheduler(f64),
         Dl0 { base: f64, line_fixed: f64 },
     }
-    let pieces = par::try_cells(4, |cell| match cell.index {
+    impl CellPayload for Piece {
+        fn to_payload(&self) -> Json {
+            let (tag, value) = match self {
+                Piece::Adder(cost) => ("adder", cost.to_payload()),
+                Piece::Regfile(worst) => ("regfile", worst.to_payload()),
+                Piece::Scheduler(worst) => ("scheduler", worst.to_payload()),
+                Piece::Dl0 { base, line_fixed } => ("dl0", (*base, *line_fixed).to_payload()),
+            };
+            Json::Array(vec![Json::Str(tag.into()), value])
+        }
+        fn from_payload(json: &Json) -> Result<Self, String> {
+            match json.as_array() {
+                Some([tag, value]) => match tag.as_str() {
+                    Some("adder") => Ok(Piece::Adder(BlockCost::from_payload(value)?)),
+                    Some("regfile") => Ok(Piece::Regfile(f64::from_payload(value)?)),
+                    Some("scheduler") => Ok(Piece::Scheduler(f64::from_payload(value)?)),
+                    Some("dl0") => {
+                        let (base, line_fixed) = <(f64, f64)>::from_payload(value)?;
+                        Ok(Piece::Dl0 { base, line_fixed })
+                    }
+                    other => Err(format!("unknown efficiency piece tag {other:?}")),
+                },
+                _ => Err("efficiency piece must be a [tag, value] pair".into()),
+            }
+        }
+    }
+    let pieces = par::try_cells_named("efficiency", 4, |cell| match cell.index {
         0 => {
             // Adder: measured utilization → guardband.
             let adder = LadnerFischerAdder::new(32);
@@ -1035,11 +1163,45 @@ pub fn table4(scale: Scale) -> Result<Table4, Error> {
         dl0_frac: f64,
         dtlb_frac: f64,
     }
+    impl CellPayload for BaseStage {
+        fn to_payload(&self) -> Json {
+            (self.cpi, self.policy.clone()).to_payload()
+        }
+        fn from_payload(json: &Json) -> Result<Self, String> {
+            let (cpi, policy) = <(f64, Option<SchedulerPolicy>)>::from_payload(json)?;
+            Ok(BaseStage { cpi, policy })
+        }
+    }
+    impl CellPayload for PenStage {
+        fn to_payload(&self) -> Json {
+            Json::Array(vec![
+                self.cpi.to_payload(),
+                self.adder_gb.to_payload(),
+                self.rf_worst.to_payload(),
+                self.sched_worst.to_payload(),
+                self.dl0_frac.to_payload(),
+                self.dtlb_frac.to_payload(),
+            ])
+        }
+        fn from_payload(json: &Json) -> Result<Self, String> {
+            match json.as_array() {
+                Some([cpi, gb, rf, sched, dl0, dtlb]) => Ok(PenStage {
+                    cpi: f64::from_payload(cpi)?,
+                    adder_gb: f64::from_payload(gb)?,
+                    rf_worst: f64::from_payload(rf)?,
+                    sched_worst: Duty::from_payload(sched)?,
+                    dl0_frac: f64::from_payload(dl0)?,
+                    dtlb_frac: f64::from_payload(dtlb)?,
+                }),
+                _ => Err("table4 penelope stage must be a 6-element array".into()),
+            }
+        }
+    }
 
     // Baseline CPI; the run doubles as the profiling pass for the
     // scheduler's K values (§4.5).
     recorder::manifest_entry("scale", obs::scale_json(&scale));
-    let mut base = par::try_cells(1, |_| {
+    let mut base = par::try_cells_named("table4:baseline", 1, |_| {
         let (mut base_pipe, base_run) = recorder::phase("table4: baseline", || {
             run_workload(PipelineConfig::default(), scale, &mut NoHooks)
         })?;
@@ -1066,7 +1228,7 @@ pub fn table4(scale: Scale) -> Result<Table4, Error> {
         ..PenelopeConfig::default()
     };
     recorder::manifest_entry("config", obs::config_json(&config));
-    let pen = par::try_cells(1, |_| {
+    let pen = par::try_cells_named("table4:penelope", 1, |_| {
         let (mut pipe, mut hooks) = build(&config)?;
         let total = recorder::phase("table4: penelope", || {
             with_recording(&mut hooks, |mut h| {
@@ -1235,10 +1397,11 @@ pub fn table3_tail(scale: Scale) -> Result<Vec<TailRow>, Error> {
     ];
     // Cell 0 is the shared baseline (seed 31); the scheme cells reuse
     // seed 32 like the serial loop did.
-    let mut per_cell = par::try_cells(1 + schemes.len(), |cell| match cell.index {
-        0 => per_trace(SchemeKind::Baseline, 31),
-        i => per_trace(schemes[i - 1], 32),
-    })?;
+    let mut per_cell =
+        par::try_cells_named("table3_tail", 1 + schemes.len(), |cell| match cell.index {
+            0 => per_trace(SchemeKind::Baseline, 31),
+            i => per_trace(schemes[i - 1], 32),
+        })?;
     let baseline = per_cell.remove(0);
     let mut rows = Vec::new();
     for (scheme, cpis) in schemes.into_iter().zip(per_cell) {
@@ -1290,7 +1453,7 @@ pub fn btb_extension(scale: Scale) -> Result<Vec<BtbRow>, Error> {
     ];
     // One engine cell per scheme; cell 0 is the unprotected baseline the
     // losses are relative to.
-    let cells = par::try_cells(schemes.len(), |cell| {
+    let cells = par::try_cells_named("btb", schemes.len(), |cell| {
         let scheme = schemes[cell.index];
         let config = PenelopeConfig {
             dl0_scheme: SchemeKind::Baseline,
@@ -1371,7 +1534,28 @@ pub fn vmin_extension(scale: Scale) -> Result<Vec<VminRow>, Error> {
         sched: Duty,
         dl0_frac: f64,
     }
-    let mut cells = par::try_cells(2, |cell| {
+    impl CellPayload for VminCell {
+        fn to_payload(&self) -> Json {
+            Json::Array(vec![
+                self.int.to_payload(),
+                self.fp.to_payload(),
+                self.sched.to_payload(),
+                self.dl0_frac.to_payload(),
+            ])
+        }
+        fn from_payload(json: &Json) -> Result<Self, String> {
+            match json.as_array() {
+                Some([int, fp, sched, dl0]) => Ok(VminCell {
+                    int: Duty::from_payload(int)?,
+                    fp: Duty::from_payload(fp)?,
+                    sched: Duty::from_payload(sched)?,
+                    dl0_frac: f64::from_payload(dl0)?,
+                }),
+                _ => Err("vmin cell must be a 4-element array".into()),
+            }
+        }
+    }
+    let mut cells = par::try_cells_named("vmin", 2, |cell| {
         if cell.index == 0 {
             let (mut base, _) = recorder::phase("vmin: baseline", || {
                 run_workload(PipelineConfig::default(), scale, &mut NoHooks)
@@ -1464,7 +1648,9 @@ pub fn ablation(scale: Scale) -> Result<Vec<AblationRow>, Error> {
     // flush more often. Cell 0 is the unprotected baseline (seed 21); the
     // rotation cells reuse seed 22 like the serial loop did.
     let rotations = [5_000u64, 20_000, 100_000];
-    let cpis = par::try_cells(1 + rotations.len(), |cell| match cell.index {
+    let cpis = par::try_cells_named("ablation:rotation", 1 + rotations.len(), |cell| match cell
+        .index
+    {
         0 => scheme_cpi(
             PipelineConfig::default(),
             SchemeKind::Baseline,
@@ -1496,7 +1682,7 @@ pub fn ablation(scale: Scale) -> Result<Vec<AblationRow>, Error> {
     // the paper's claim that sampling every "thousands or millions of
     // cycles" suffices.
     let periods = [64u64, 1_024, 16_384];
-    let duties = par::try_cells(periods.len(), |cell| {
+    let duties = par::try_cells_named("ablation:isv", periods.len(), |cell| {
         let mut hooks = RegfileIsvHooks::new(periods[cell.index]);
         let (mut pipe, _) = run_workload(PipelineConfig::default(), scale, &mut hooks)?;
         let now = pipe.now();

@@ -43,7 +43,11 @@
 //!   executing experiment grids cell by cell with per-worker telemetry
 //!   recorders and a deterministic, cell-index-ordered merge, so
 //!   `--jobs N` runs reproduce `--jobs 1` byte for byte outside
-//!   wall-clock fields.
+//!   wall-clock fields. Cells run under a supervisor (panic capture,
+//!   deterministic retry, cycle-budget watchdog, quarantine);
+//! - [`journal`]: the crash-safe checkpoint journal the engine persists
+//!   completed cells into, so interrupted sweeps resume instead of
+//!   restarting ([`journal::CheckpointContext`], [`journal::CellPayload`]).
 //!
 //! # Quickstart
 //!
@@ -82,6 +86,7 @@ pub mod error;
 pub mod experiments;
 pub mod fault;
 pub mod invert_mode;
+pub mod journal;
 pub mod l2_study;
 pub mod obs;
 pub mod par;

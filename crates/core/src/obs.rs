@@ -107,6 +107,20 @@ pub fn with_recording<T>(
     }
 }
 
+/// Extracts the human-readable message from a caught panic payload.
+/// Panics raised with `panic!("...")` or `panic!("{x}")` carry a `&str` or
+/// `String`; anything else gets a stable placeholder so supervisors can
+/// always report *something*.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 /// Encodes a [`Scale`] for the run manifest.
 pub fn scale_json(scale: &Scale) -> Json {
     let mut obj = Json::object();
@@ -193,6 +207,20 @@ mod tests {
         assert!(
             !collector.output.series.is_empty(),
             "sampling must have run"
+        );
+    }
+
+    #[test]
+    fn panic_messages_are_extracted_from_both_payload_shapes() {
+        let caught = std::panic::catch_unwind(|| panic!("static str"));
+        assert_eq!(panic_message(caught.unwrap_err().as_ref()), "static str");
+        let cell = 3;
+        let caught = std::panic::catch_unwind(|| panic!("cell {cell} died"));
+        assert_eq!(panic_message(caught.unwrap_err().as_ref()), "cell 3 died");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(17u32));
+        assert_eq!(
+            panic_message(caught.unwrap_err().as_ref()),
+            "non-string panic payload"
         );
     }
 

@@ -1,5 +1,6 @@
 //! The parallel sweep engine: a hand-rolled scoped-thread worker pool with
-//! a sharded work queue and a deterministic telemetry merge.
+//! a sharded work queue, supervised cell execution and a deterministic
+//! telemetry merge.
 //!
 //! Every paper figure and table is a grid of independent, seed-
 //! deterministic runs — technique × K% × structure × scale. Each grid
@@ -21,35 +22,54 @@
 //!    records can interleave with another cell's stream.
 //! 2. **The merge is ordered by cell index, not completion.** After the
 //!    pool drains, per-cell [`recorder::Snapshot`]s are absorbed into the
-//!    installing thread's recorder in index order, and results are
-//!    returned in index order. Whatever the worker scheduling did, the
-//!    merged phases, metrics, series and result rows come out identical —
-//!    `--jobs 1` and `--jobs N` reports differ only in wall-clock fields.
+//!    installing thread's recorder in index order — followed by that
+//!    cell's supervisor notes — and results are returned in index order.
+//!    Whatever the worker scheduling did, the merged phases, metrics,
+//!    series, warnings and result rows come out identical — `--jobs 1`
+//!    and `--jobs N` reports differ only in wall-clock fields.
 //!
 //! The serial path (`jobs == 1`, or a single cell) runs the same
-//! `record_cell` → `absorb_snapshot` pipeline inline on the calling
-//! thread, so both modes produce byte-identical simulated-quantity
-//! streams by construction (the merge sequence is the same, down to
-//! float-summation grouping).
+//! supervise → absorb pipeline inline on the calling thread, so both
+//! modes produce byte-identical simulated-quantity streams by
+//! construction (the merge sequence is the same, down to float-summation
+//! grouping).
 //!
-//! # Errors and panics
+//! # Supervision
 //!
-//! Cell errors are values: the engine returns every cell's
-//! `Result` and [`try_cells`] surfaces the lowest-indexed error, so a
-//! failing sweep reports the same error no matter how many workers ran.
-//! A panicking cell propagates once all workers have stopped (scoped
-//! threads re-raise on join); the per-cell recorder guard in
-//! `record_cell` uninstalls the dead cell's collector first, so a caught
-//! panic (the bench supervisor catches them) never leaves a poisoned or
-//! stale recorder installed.
+//! Cells run under a supervisor ([`SupervisorPolicy`]): panics are caught
+//! (the per-cell recorder guard uninstalls the dead cell's collector
+//! first, so nothing stale leaks), typed errors and panics are retried up
+//! to `retries` times with a bounded, *seeded* backoff — cooperative
+//! yields, no wall-clock in the decision path, so retry behavior is
+//! reproducible — and a cell whose telemetry reports more simulated
+//! cycles than `cycle_budget` is treated as runaway. A cell that exhausts
+//! its retries is **quarantined**: its slot carries
+//! [`Error::Quarantined`], a structured `quarantined: …` entry lands in
+//! the report warnings, and the rest of the grid completes normally, so
+//! a persistently faulty cell degrades the sweep to a partial report
+//! instead of aborting it.
+//!
+//! # Checkpointing
+//!
+//! When the bench CLI arms a [`CheckpointContext`] (`--checkpoint`), the
+//! named entry points ([`run_cells_named`] / [`try_cells_named`]) persist
+//! every completed cell — payload plus exact telemetry snapshot — to the
+//! journal, and on `--resume` restore completed cells instead of
+//! re-executing them. Restored snapshots are absorbed through the same
+//! index-ordered merge, so an interrupted-then-resumed sweep reproduces
+//! the uninterrupted report byte for byte outside wall-clock fields.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
-use penelope_telemetry::recorder::{self, Snapshot};
+use penelope_telemetry::recorder::{self, Snapshot, WorkerHandle};
+use penelope_telemetry::Json;
 
 use crate::error::Error;
+use crate::journal::{CellPayload, CheckpointContext};
+use crate::obs::panic_message;
 
 /// Process-wide worker count for engine invocations that don't pass one
 /// explicitly. 0 means "unset": fall back to the machine's available
@@ -76,12 +96,101 @@ pub fn available_parallelism() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// How the supervisor treats failing or runaway cells. Process-wide, like
+/// the worker count: the bench CLI arms it from `PENELOPE_RETRIES` /
+/// `PENELOPE_CELL_BUDGET` before dispatching a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Re-executions granted after a failed attempt (so a cell runs at
+    /// most `1 + retries` times). Retries cover panics and typed errors —
+    /// transient faults recover, persistent ones quarantine.
+    pub retries: u32,
+    /// Seed for the deterministic retry backoff (bounded cooperative
+    /// yields — no wall-clock enters the decision path).
+    pub backoff_seed: u64,
+    /// Simulated-cycle watchdog: a cell whose snapshot reports more total
+    /// cycles than this is quarantined immediately (re-running a
+    /// deterministic overrun would overrun again). `None` disables it.
+    pub cycle_budget: Option<u64>,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            retries: 1,
+            backoff_seed: 0,
+            cycle_budget: None,
+        }
+    }
+}
+
+static SUPERVISOR: Mutex<SupervisorPolicy> = Mutex::new(SupervisorPolicy {
+    retries: 1,
+    backoff_seed: 0,
+    cycle_budget: None,
+});
+
+/// Sets the process-wide supervisor policy.
+pub fn set_supervisor(policy: SupervisorPolicy) {
+    *SUPERVISOR.lock().unwrap_or_else(|p| p.into_inner()) = policy;
+}
+
+/// The current process-wide supervisor policy.
+pub fn supervisor() -> SupervisorPolicy {
+    *SUPERVISOR.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+static CHECKPOINT: Mutex<Option<CheckpointContext>> = Mutex::new(None);
+
+/// Arms (or with `None`, disarms) checkpointing for subsequent named
+/// sweeps. The bench CLI owns this: it builds the context from
+/// `--checkpoint` / `--resume` and clears it after the run.
+pub fn set_checkpoint(context: Option<CheckpointContext>) {
+    *CHECKPOINT.lock().unwrap_or_else(|p| p.into_inner()) = context;
+}
+
+fn checkpoint() -> Option<CheckpointContext> {
+    CHECKPOINT.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
 /// One independent unit of an experiment grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Cell {
     /// Position in the grid, in the driver's serial iteration order. The
     /// engine merges results and telemetry in this order.
     pub index: usize,
+    /// Which supervised execution this is: 0 for the first attempt,
+    /// incremented on each retry. Deterministic cell bodies ignore it;
+    /// fault-injection harnesses use it to model transient failures.
+    pub attempt: u32,
+}
+
+/// How a named sweep's results cross into the checkpoint journal:
+/// monomorphized encode/decode hooks from the payload type's
+/// [`CellPayload`] impl. (A plain struct of `fn` pointers rather than a
+/// bound on the engine internals, so the unnamed entry points need no
+/// codec at all.)
+struct PayloadCodec<T> {
+    encode: fn(&T) -> Json,
+    decode: fn(&Json) -> Result<T, String>,
+}
+
+// Manual impls: a derive would demand `T: Clone`/`T: Copy`, which the fn
+// pointers don't need.
+impl<T> Clone for PayloadCodec<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for PayloadCodec<T> {}
+
+impl<T: CellPayload> PayloadCodec<T> {
+    fn of() -> Self {
+        PayloadCodec {
+            encode: T::to_payload,
+            decode: T::from_payload,
+        }
+    }
 }
 
 /// Executes `cells` grid cells with the process-wide [`jobs`] worker
@@ -101,7 +210,8 @@ where
 ///
 /// # Errors
 ///
-/// The error of the lowest-indexed failing cell.
+/// The error of the lowest-indexed failing cell ([`Error::Quarantined`]
+/// when the supervisor exhausted its retries on it).
 pub fn try_cells<T, F>(cells: usize, body: F) -> Result<Vec<T>, Error>
 where
     T: Send,
@@ -115,74 +225,154 @@ where
 /// merges per-cell telemetry snapshots and results in cell-index order.
 ///
 /// The closure must be `Sync` (shared by every worker) and is handed each
-/// cell exactly once. Telemetry recorded inside a cell — phases,
-/// `record_run` totals, manifest entries, warnings, instrumented-run
-/// output — lands in the cell's private recorder and is reassembled into
-/// the calling thread's recorder deterministically; with no recorder
-/// installed the cells run with zero telemetry bookkeeping.
+/// cell exactly once per attempt. Telemetry recorded inside a cell —
+/// phases, `record_run` totals, manifest entries, warnings,
+/// instrumented-run output — lands in the cell's private recorder and is
+/// reassembled into the calling thread's recorder deterministically; with
+/// no recorder installed the cells run with zero telemetry bookkeeping.
 pub fn run_cells_with_jobs<T, F>(jobs: usize, cells: usize, body: F) -> Vec<Result<T, Error>>
+where
+    T: Send,
+    F: Fn(Cell) -> Result<T, Error> + Sync,
+{
+    run_supervised(None, None, supervisor(), jobs, cells, body)
+}
+
+/// Like [`run_cells`], for a *named* sweep: when the bench CLI has armed a
+/// checkpoint journal, each completed cell's payload and telemetry
+/// snapshot are persisted under `(name, index)`, and cells already present
+/// in a resumed journal are restored instead of re-executed.
+///
+/// Sweep names are the durability namespace: every distinct grid a binary
+/// dispatches (including sub-sweeps of composite drivers) must use a
+/// distinct name.
+pub fn run_cells_named<T, F>(name: &str, cells: usize, body: F) -> Vec<Result<T, Error>>
+where
+    T: CellPayload + Send,
+    F: Fn(Cell) -> Result<T, Error> + Sync,
+{
+    run_supervised(
+        Some(name),
+        Some(PayloadCodec::of()),
+        supervisor(),
+        jobs(),
+        cells,
+        body,
+    )
+}
+
+/// Like [`try_cells`], for a named (checkpointable) sweep. See
+/// [`run_cells_named`].
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing cell ([`Error::Quarantined`]
+/// when the supervisor exhausted its retries on it).
+pub fn try_cells_named<T, F>(name: &str, cells: usize, body: F) -> Result<Vec<T>, Error>
+where
+    T: CellPayload + Send,
+    F: Fn(Cell) -> Result<T, Error> + Sync,
+{
+    run_cells_named(name, cells, body).into_iter().collect()
+}
+
+/// What one supervised cell leaves behind: the result (quarantine-wrapped
+/// on exhaustion), the telemetry snapshot to absorb, and the supervisor's
+/// notes, which the merge turns into report warnings in cell-index order.
+struct CellOutcome<T> {
+    result: Result<T, Error>,
+    snapshot: Option<Snapshot>,
+    notes: Vec<String>,
+}
+
+fn run_supervised<T, F>(
+    name: Option<&str>,
+    codec: Option<PayloadCodec<T>>,
+    policy: SupervisorPolicy,
+    jobs: usize,
+    cells: usize,
+    body: F,
+) -> Vec<Result<T, Error>>
 where
     T: Send,
     F: Fn(Cell) -> Result<T, Error> + Sync,
 {
     let handle = recorder::worker_handle();
     let workers = jobs.clamp(1, cells.max(1));
+    // Checkpointing only engages for named sweeps; unnamed ones have no
+    // stable identity to key journal records by.
+    let context = if name.is_some() { checkpoint() } else { None };
 
-    if workers <= 1 {
-        // Inline path: same record/absorb pipeline, no threads.
-        let mut results = Vec::with_capacity(cells);
-        for index in 0..cells {
-            let (result, snapshot) = handle.record_cell(|| body(Cell { index }));
-            if let Some(snapshot) = snapshot {
-                recorder::absorb_snapshot(snapshot);
+    let execute = |index: usize| -> CellOutcome<T> {
+        if let (Some(name), Some(codec), Some(ctx)) = (name, codec, context.as_ref()) {
+            if let Some(restored) = ctx.restored(name, index) {
+                let result = (codec.decode)(&restored.payload).map_err(|e| {
+                    Error::journal(format!(
+                        "restored {name} cell {index} has an undecodable payload: {e}"
+                    ))
+                });
+                return CellOutcome {
+                    result,
+                    snapshot: restored.snapshot,
+                    notes: Vec::new(),
+                };
             }
-            results.push(result);
         }
-        return results;
-    }
-
-    // What a worker deposits for one finished cell: the cell's result
-    // plus its private telemetry snapshot (None when no recorder is
-    // installed).
-    type CellOutput<T> = (Result<T, Error>, Option<Snapshot>);
-
-    // Sharded work queue: workers race on one atomic cursor, so a slow
-    // cell never blocks the rest of the grid behind it.
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<CellOutput<T>>>> = (0..cells).map(|_| Mutex::new(None)).collect();
-
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                if index >= cells {
-                    break;
-                }
-                let (result, snapshot) = handle.record_cell(|| body(Cell { index }));
-                match slots[index].lock() {
-                    Ok(mut slot) => *slot = Some((result, snapshot)),
-                    // A sibling panicked while storing (it never holds the
-                    // lock across cell work, so this is vestigial); the
-                    // scope will re-raise that panic after joining.
-                    Err(poisoned) => *poisoned.into_inner() = Some((result, snapshot)),
-                }
-            });
+        let outcome = supervise(&handle, &policy, name.unwrap_or("sweep"), index, &body);
+        if let (Some(name), Some(codec), Some(ctx), Ok(value)) =
+            (name, codec, context.as_ref(), &outcome.result)
+        {
+            ctx.append(
+                name,
+                index,
+                (codec.encode)(value),
+                outcome.snapshot.as_ref(),
+            );
         }
-    });
+        outcome
+    };
 
-    // Deterministic merge: cell-index order, not completion order.
+    let outcomes: Vec<Option<CellOutcome<T>>> = if workers <= 1 {
+        // Inline path: same supervise/merge pipeline, no threads.
+        (0..cells).map(|index| Some(execute(index))).collect()
+    } else {
+        // Sharded work queue: workers race on one atomic cursor, so a
+        // slow cell never blocks the rest of the grid behind it.
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CellOutcome<T>>>> =
+            (0..cells).map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= cells {
+                        break;
+                    }
+                    let outcome = execute(index);
+                    *slots[index].lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap_or_else(|p| p.into_inner()))
+            .collect()
+    };
+
+    // Deterministic merge: cell-index order, not completion order. Each
+    // cell's snapshot lands before its supervisor notes, so the warnings
+    // array reads in grid order at any worker count.
     let mut results = Vec::with_capacity(cells);
-    for (index, slot) in slots.into_iter().enumerate() {
-        let stored = match slot.into_inner() {
-            Ok(stored) => stored,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        match stored {
-            Some((result, snapshot)) => {
-                if let Some(snapshot) = snapshot {
+    for (index, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Some(outcome) => {
+                if let Some(snapshot) = outcome.snapshot {
                     recorder::absorb_snapshot(snapshot);
                 }
-                results.push(result);
+                for note in outcome.notes {
+                    recorder::warning(note);
+                }
+                results.push(outcome.result);
             }
             // Unreachable after a clean scope join; keep the sweep total
             // rather than panicking inside the engine.
@@ -191,11 +381,124 @@ where
             )))),
         }
     }
+    if let Some(ctx) = &context {
+        if let Some(fault) = ctx.take_fault() {
+            recorder::warning(fault);
+        }
+    }
     results
 }
 
-// The result slots hold `(Result<T, Error>, Option<Snapshot>)` shared
-// across the scope's workers; both halves must stay `Send` for any cell
+/// Runs one cell under the supervisor: catch panics, retry failures with
+/// deterministic backoff, watch the cycle budget, quarantine on
+/// exhaustion.
+fn supervise<T, F>(
+    handle: &WorkerHandle,
+    policy: &SupervisorPolicy,
+    sweep: &str,
+    index: usize,
+    body: &F,
+) -> CellOutcome<T>
+where
+    F: Fn(Cell) -> Result<T, Error> + Sync,
+{
+    let mut notes = Vec::new();
+    let mut attempt: u32 = 0;
+    loop {
+        let attempts = attempt + 1;
+        // AssertUnwindSafe: on unwind the cell's half-built state is
+        // discarded (record_cell already uninstalled its collector), and
+        // the shared `body` is a pure Fn over plain-data inputs.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            handle.record_cell(|| body(Cell { index, attempt }))
+        }));
+        let (failure, snapshot) = match caught {
+            Ok((Ok(value), snapshot)) => {
+                if let (Some(budget), Some(cycles)) = (
+                    policy.cycle_budget,
+                    snapshot.as_ref().map(|s| s.total_cycles),
+                ) {
+                    if cycles > budget {
+                        // A deterministic cell that overran once overruns
+                        // every time; retrying would just burn the budget
+                        // again.
+                        let message = format!("exceeded cycle budget ({cycles} > {budget} cycles)");
+                        notes.push(format!(
+                            "quarantined: {sweep} cell {index} failed after {attempts} attempt(s): {message}"
+                        ));
+                        return CellOutcome {
+                            result: Err(Error::Quarantined {
+                                sweep: sweep.to_string(),
+                                cell: index,
+                                attempts,
+                                message,
+                            }),
+                            snapshot,
+                            notes,
+                        };
+                    }
+                }
+                if attempt > 0 {
+                    notes.push(format!(
+                        "{sweep} cell {index}: recovered on attempt {attempts}"
+                    ));
+                }
+                return CellOutcome {
+                    result: Ok(value),
+                    snapshot,
+                    notes,
+                };
+            }
+            Ok((Err(error), snapshot)) => (error.to_string(), snapshot),
+            Err(payload) => (
+                format!("worker panicked: {}", panic_message(payload.as_ref())),
+                None,
+            ),
+        };
+        if attempt >= policy.retries {
+            notes.push(format!(
+                "quarantined: {sweep} cell {index} failed after {attempts} attempt(s): {failure}"
+            ));
+            return CellOutcome {
+                result: Err(Error::Quarantined {
+                    sweep: sweep.to_string(),
+                    cell: index,
+                    attempts,
+                    message: failure,
+                }),
+                snapshot,
+                notes,
+            };
+        }
+        notes.push(format!(
+            "{sweep} cell {index}: attempt {attempts} failed ({failure}); retrying"
+        ));
+        backoff(policy.backoff_seed, sweep, index, attempt);
+        attempt += 1;
+    }
+}
+
+/// Bounded, seeded retry backoff: up to 255 cooperative yields, derived
+/// from (seed, sweep, cell, attempt) through a splitmix/xorshift scramble.
+/// No clock is read, so the retry schedule is a pure function of the run
+/// configuration.
+fn backoff(seed: u64, sweep: &str, index: usize, attempt: u32) {
+    let mut x = seed
+        ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ u64::from(attempt).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    for byte in sweep.bytes() {
+        x = (x ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    for _ in 0..(x % 256) {
+        thread::yield_now();
+    }
+}
+
+// The result slots hold a `CellOutcome<T>` shared across the scope's
+// workers; the error and snapshot halves must stay `Send` for any cell
 // payload to be. Pinned here so a non-`Send` member added to either type
 // fails in this file rather than at every driver's `try_cells` call.
 const _: () = {
@@ -219,7 +522,7 @@ mod tests {
     }
 
     #[test]
-    fn try_cells_surfaces_the_lowest_indexed_error() {
+    fn try_cells_quarantines_the_lowest_indexed_persistent_error() {
         let out: Result<Vec<usize>, Error> = try_cells(8, |cell| {
             if cell.index % 3 == 2 {
                 Err(Error::config(format!("cell {} failed", cell.index)))
@@ -228,9 +531,40 @@ mod tests {
             }
         });
         match out {
-            Err(Error::Config { message }) => assert_eq!(message, "cell 2 failed"),
-            other => panic!("expected the index-2 error, got {other:?}"),
+            Err(Error::Quarantined {
+                sweep,
+                cell,
+                attempts,
+                message,
+            }) => {
+                assert_eq!((sweep.as_str(), cell), ("sweep", 2));
+                assert_eq!(attempts, 2, "default policy grants one retry");
+                assert!(message.contains("cell 2 failed"), "{message}");
+            }
+            other => panic!("expected the index-2 quarantine, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_and_recover() {
+        recorder::install(Settings::default());
+        let results = run_cells_with_jobs(2, 4, |cell| {
+            if cell.index == 2 && cell.attempt == 0 {
+                Err(Error::config("transient glitch"))
+            } else {
+                Ok(cell.index)
+            }
+        });
+        assert!(results.iter().all(Result::is_ok), "the retry must recover");
+        let collector = recorder::finish().expect("installed");
+        assert_eq!(
+            collector.warnings,
+            vec![
+                "sweep cell 2: attempt 1 failed (configuration: transient glitch); retrying"
+                    .to_string(),
+                "sweep cell 2: recovered on attempt 2".to_string(),
+            ]
+        );
     }
 
     #[test]
@@ -278,25 +612,75 @@ mod tests {
     }
 
     #[test]
-    fn worker_panic_propagates_without_leaving_a_recorder() {
+    fn panicking_cells_are_quarantined_not_propagated() {
         recorder::install(Settings::default());
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_cells_with_jobs(2, 4, |cell| {
-                if cell.index == 1 {
-                    panic!("cell 1 exploded");
-                }
-                Ok(cell.index)
-            })
-        }));
-        assert!(caught.is_err(), "worker panics re-raise at the join");
-        // The calling thread's recorder survives and no worker left a
-        // stale cell collector installed anywhere.
+        let results = run_cells_with_jobs(2, 4, |cell| {
+            if cell.index == 1 {
+                panic!("cell 1 exploded");
+            }
+            Ok(cell.index)
+        });
+        assert_eq!(results.len(), 4, "the rest of the grid still completes");
+        assert!(results[0].is_ok() && results[2].is_ok() && results[3].is_ok());
+        match &results[1] {
+            Err(Error::Quarantined {
+                sweep,
+                cell,
+                attempts,
+                message,
+            }) => {
+                assert_eq!((sweep.as_str(), *cell, *attempts), ("sweep", 1, 2));
+                assert!(message.contains("cell 1 exploded"), "{message}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // The calling thread's recorder survives, no worker left a stale
+        // cell collector installed, and the quarantine is on the record.
         assert!(recorder::active(), "parent recorder still installed");
         let collector = recorder::finish().expect("parent recorder intact");
         assert!(
             collector.phases.is_empty(),
-            "no partial phases leaked from the panicked sweep"
+            "no partial phases leaked from the panicked cells"
         );
+        assert_eq!(
+            collector.warnings,
+            vec![
+                "sweep cell 1: attempt 1 failed (worker panicked: cell 1 exploded); retrying"
+                    .to_string(),
+                "quarantined: sweep cell 1 failed after 2 attempt(s): worker panicked: cell 1 exploded"
+                    .to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn the_cycle_budget_quarantines_runaway_cells() {
+        recorder::install(Settings::default());
+        let policy = SupervisorPolicy {
+            cycle_budget: Some(150),
+            ..SupervisorPolicy::default()
+        };
+        let results = run_supervised(None, None::<PayloadCodec<u64>>, policy, 1, 3, |cell| {
+            recorder::record_run(100 * (cell.index as u64 + 1), 10);
+            Ok(cell.index as u64)
+        });
+        let collector = recorder::finish().expect("installed");
+        assert!(results[0].is_ok(), "100 cycles is within budget");
+        for overrun in [1, 2] {
+            match &results[overrun] {
+                Err(Error::Quarantined {
+                    attempts, message, ..
+                }) => {
+                    assert_eq!(*attempts, 1, "budget overruns are not retried");
+                    assert!(message.contains("cycle budget"), "{message}");
+                }
+                other => panic!("expected a budget quarantine, got {other:?}"),
+            }
+        }
+        // The overrunning cells' telemetry is still merged — the partial
+        // report shows what they did before quarantine.
+        assert_eq!(collector.total_cycles, 100 + 200 + 300);
+        assert_eq!(collector.warnings.len(), 2);
     }
 
     #[test]
@@ -312,5 +696,19 @@ mod tests {
         set_jobs(3);
         assert_eq!(jobs(), 3);
         set_jobs(0);
+    }
+
+    #[test]
+    fn supervisor_policy_round_trips_through_the_process_slot() {
+        let before = supervisor();
+        // Keep retries/budget at their defaults so concurrently running
+        // sweeps in this test binary never observe a behavior change.
+        let tweaked = SupervisorPolicy {
+            backoff_seed: 0xfeed,
+            ..before
+        };
+        set_supervisor(tweaked);
+        assert_eq!(supervisor(), tweaked);
+        set_supervisor(before);
     }
 }

@@ -61,7 +61,7 @@ impl IsvGate {
 }
 
 /// Per-bit technique assignment for every scheduler field.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerPolicy {
     bits: [Vec<Technique>; 18],
 }
@@ -164,6 +164,89 @@ impl SchedulerPolicy {
         self.bits[field.index()]
             .iter()
             .any(|t| !matches!(t, Technique::None))
+    }
+
+    /// Encodes the policy for the sweep engine's checkpoint journal: one
+    /// array per field in [`Field::ALL`] order, one entry per bit —
+    /// `"all1"`, `"all0"`, `"isv"`, `"none"`, or `["all1k", k]` /
+    /// `["all0k", k]`.
+    pub fn to_json(&self) -> penelope_telemetry::Json {
+        use penelope_telemetry::Json;
+        Json::Array(
+            self.bits
+                .iter()
+                .map(|field_bits| {
+                    Json::Array(
+                        field_bits
+                            .iter()
+                            .map(|t| match t {
+                                Technique::All1 => Json::Str("all1".into()),
+                                Technique::All0 => Json::Str("all0".into()),
+                                Technique::Isv => Json::Str("isv".into()),
+                                Technique::None => Json::Str("none".into()),
+                                Technique::All1K(k) => {
+                                    Json::Array(vec![Json::Str("all1k".into()), Json::Float(*k)])
+                                }
+                                Technique::All0K(k) => {
+                                    Json::Array(vec![Json::Str("all0k".into()), Json::Float(*k)])
+                                }
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Decodes a [`SchedulerPolicy::to_json`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field or technique.
+    pub fn from_json(json: &penelope_telemetry::Json) -> Result<Self, String> {
+        use penelope_telemetry::Json;
+        let fields = json
+            .as_array()
+            .ok_or("scheduler policy must be an array of per-field arrays")?;
+        if fields.len() != Field::ALL.len() {
+            return Err(format!(
+                "scheduler policy has {} fields, expected {}",
+                fields.len(),
+                Field::ALL.len()
+            ));
+        }
+        let mut bits: [Vec<Technique>; 18] = std::array::from_fn(|_| Vec::new());
+        for (i, field_bits) in fields.iter().enumerate() {
+            let field_bits = field_bits
+                .as_array()
+                .ok_or_else(|| format!("policy field {i} must be an array"))?;
+            bits[i] = field_bits
+                .iter()
+                .map(|t| match t {
+                    Json::Str(name) => match name.as_str() {
+                        "all1" => Ok(Technique::All1),
+                        "all0" => Ok(Technique::All0),
+                        "isv" => Ok(Technique::Isv),
+                        "none" => Ok(Technique::None),
+                        other => Err(format!("unknown technique {other:?}")),
+                    },
+                    Json::Array(pair) if pair.len() == 2 => {
+                        let k = pair[1].as_f64().ok_or("technique K must be a number")?;
+                        match pair[0].as_str() {
+                            Some("all1k") => Ok(Technique::All1K(k)),
+                            Some("all0k") => Ok(Technique::All0K(k)),
+                            _ => Err("K-technique tag must be \"all1k\" or \"all0k\"".into()),
+                        }
+                    }
+                    other => Err(format!(
+                        "technique must be a string or [tag, k] pair, got {}",
+                        other.type_name()
+                    )),
+                })
+                .collect::<Result<Vec<_>, String>>()
+                .map_err(|e| format!("policy field {i}: {e}"))?;
+        }
+        Ok(SchedulerPolicy { bits })
     }
 }
 
@@ -406,6 +489,25 @@ mod tests {
     use tracegen::suite::Suite;
     use tracegen::trace::TraceSpec;
     use uarch::pipeline::{NoHooks, Pipeline, PipelineConfig};
+
+    #[test]
+    fn policy_json_roundtrip_is_exact() {
+        let policy = SchedulerPolicy::paper_default();
+        let encoded = policy.to_json().encode();
+        let parsed = penelope_telemetry::json::parse(&encoded).expect("parses");
+        let restored = SchedulerPolicy::from_json(&parsed).expect("decodes");
+        assert_eq!(restored, policy);
+        for (broken, why) in [
+            ("[]", "wrong field count"),
+            (r#"[["bogus"]]"#, "unknown technique"),
+        ] {
+            let parsed = penelope_telemetry::json::parse(broken).expect("parses");
+            assert!(
+                SchedulerPolicy::from_json(&parsed).is_err(),
+                "expected decode error: {why}"
+            );
+        }
+    }
 
     #[test]
     fn paper_policy_classification() {

@@ -21,7 +21,12 @@
 //!   [`recorder::Snapshot`]s back for a deterministic reassembly;
 //! - [`report`]: run-report assembly ([`build_report`]), schema
 //!   validation ([`validate_report`]) and the deterministic JSONL export
-//!   ([`series_jsonl`]) pinned by the determinism tests.
+//!   ([`series_jsonl`]) pinned by the determinism tests;
+//! - [`snapshot`]: the exact-state [`Snapshot`] codec
+//!   ([`encode_snapshot`] / [`decode_snapshot`]) behind the sweep
+//!   engine's crash-safe checkpoint journal — unlike the report encoder
+//!   it round-trips physical state (ring layout, mean accumulators,
+//!   registration order) so a resumed run merges byte-identically.
 //!
 //! "Zero-cost-when-disabled" is structural: when no recorder is
 //! installed, [`TelemetryHooks`] is never constructed and the pipeline
@@ -36,6 +41,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod report;
 pub mod series;
+pub mod snapshot;
 
 pub use hooks::{EventSource, TelemetryHooks, TelemetryOutput};
 pub use json::Json;
@@ -43,3 +49,4 @@ pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, Registry};
 pub use recorder::{Collector, Phase, Settings, Snapshot, WorkerHandle};
 pub use report::{build_report, series_jsonl, validate_report, SCHEMA_VERSION};
 pub use series::RingSeries;
+pub use snapshot::{decode_snapshot, encode_snapshot};

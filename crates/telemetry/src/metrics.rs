@@ -6,7 +6,27 @@
 //! before the pipeline starts, so the cost of the name lookup it performs
 //! is irrelevant.
 
+use std::sync::Mutex;
+
 use crate::json::Json;
+
+/// Names interned by [`intern`]. Metric and series names are `&'static
+/// str` so the hot path never hashes or allocates; decoding a checkpoint
+/// reintroduces names from parsed strings, which are interned here. The
+/// leak is bounded by the number of distinct metric names ever decoded.
+static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// Returns a `'static` copy of `name`, reusing an earlier interning when
+/// the same name was seen before.
+pub(crate) fn intern(name: &str) -> &'static str {
+    let mut table = INTERNED.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(&s) = table.iter().find(|&&s| s == name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
 
 /// Id of a registered counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +148,76 @@ impl Histogram {
         obj.set("nan_count", Json::UInt(self.nan_count));
         obj.set("mean", Json::Float(self.mean()));
         obj
+    }
+
+    /// Exact-state encoding for the checkpoint journal. Unlike the report
+    /// encoding above it carries `finite` and `sum` (the private mean
+    /// accumulators), so a decoded histogram merges and reports exactly
+    /// like the one that was checkpointed.
+    pub(crate) fn checkpoint_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set(
+            "bounds",
+            Json::Array(self.bounds.iter().map(|&b| Json::Float(b)).collect()),
+        );
+        obj.set(
+            "counts",
+            Json::Array(self.counts.iter().map(|&c| Json::UInt(c)).collect()),
+        );
+        obj.set("total", Json::UInt(self.total));
+        obj.set("nan_count", Json::UInt(self.nan_count));
+        obj.set("finite", Json::UInt(self.finite));
+        obj.set("sum", Json::Float(self.sum));
+        obj
+    }
+
+    /// Decodes a [`Histogram::checkpoint_json`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub(crate) fn from_checkpoint_json(json: &Json) -> Result<Histogram, String> {
+        let bounds = json
+            .get("bounds")
+            .and_then(Json::as_array)
+            .ok_or("histogram missing bounds array")?
+            .iter()
+            .map(|b| b.as_f64().ok_or("histogram bound must be a number"))
+            .collect::<Result<Vec<f64>, _>>()?;
+        let counts = json
+            .get("counts")
+            .and_then(Json::as_array)
+            .ok_or("histogram missing counts array")?
+            .iter()
+            .map(|c| {
+                c.as_u64()
+                    .ok_or("histogram count must be an unsigned integer")
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "histogram has {} counts for {} bounds (expected bounds + 1)",
+                counts.len(),
+                bounds.len()
+            ));
+        }
+        let uint = |key: &str| -> Result<u64, String> {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram missing unsigned field {key:?}"))
+        };
+        let sum = json
+            .get("sum")
+            .and_then(Json::as_f64)
+            .ok_or("histogram missing numeric field \"sum\"")?;
+        Ok(Histogram {
+            bounds,
+            counts,
+            nan_count: uint("nan_count")?,
+            total: uint("total")?,
+            finite: uint("finite")?,
+            sum,
+        })
     }
 }
 
@@ -264,6 +354,90 @@ impl Registry {
         obj.set("gauges", gauges);
         obj.set("histograms", histograms);
         obj
+    }
+
+    /// Exact-state encoding for the checkpoint journal. Names are kept in
+    /// registration order (unlike the sorted [`Registry::to_json`]) so a
+    /// decoded registry registers — and therefore re-encodes — exactly
+    /// like the original, and histograms carry their mean accumulators.
+    pub(crate) fn checkpoint_json(&self) -> Json {
+        let pair = |name: &str, value: Json| Json::Array(vec![Json::Str(name.to_string()), value]);
+        let counters = self
+            .counter_names
+            .iter()
+            .zip(&self.counters)
+            .map(|(&n, &v)| pair(n, Json::UInt(v)))
+            .collect();
+        let gauges = self
+            .gauge_names
+            .iter()
+            .zip(&self.gauges)
+            .map(|(&n, &v)| pair(n, Json::Float(v)))
+            .collect();
+        let histograms = self
+            .histogram_names
+            .iter()
+            .zip(&self.histograms)
+            .map(|(&n, h)| pair(n, h.checkpoint_json()))
+            .collect();
+        let mut obj = Json::object();
+        obj.set("counters", Json::Array(counters));
+        obj.set("gauges", Json::Array(gauges));
+        obj.set("histograms", Json::Array(histograms));
+        obj
+    }
+
+    /// Decodes a [`Registry::checkpoint_json`] encoding, interning the
+    /// decoded names.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub(crate) fn from_checkpoint_json(json: &Json) -> Result<Registry, String> {
+        fn pairs<'a>(json: &'a Json, key: &str) -> Result<Vec<(&'a str, &'a Json)>, String> {
+            json.get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("registry missing {key:?} array"))?
+                .iter()
+                .map(|entry| {
+                    let entry =
+                        entry
+                            .as_array()
+                            .filter(|pair| pair.len() == 2)
+                            .ok_or_else(|| {
+                                format!("registry {key} entry must be a [name, value] pair")
+                            })?;
+                    let name = entry[0]
+                        .as_str()
+                        .ok_or_else(|| format!("registry {key} name must be a string"))?;
+                    Ok((name, &entry[1]))
+                })
+                .collect()
+        }
+        let mut registry = Registry::new();
+        for (name, value) in pairs(json, "counters")? {
+            let id = registry.counter(intern(name));
+            registry.counters[id.0] = value
+                .as_u64()
+                .ok_or_else(|| format!("counter {name:?} must be an unsigned integer"))?;
+        }
+        for (name, value) in pairs(json, "gauges")? {
+            let id = registry.gauge(intern(name));
+            // Non-finite floats encode as null; a NaN gauge round-trips.
+            registry.gauges[id.0] = match value {
+                Json::Null => f64::NAN,
+                other => other
+                    .as_f64()
+                    .ok_or_else(|| format!("gauge {name:?} must be a number"))?,
+            };
+        }
+        for (name, value) in pairs(json, "histograms")? {
+            let decoded = Histogram::from_checkpoint_json(value)
+                .map_err(|e| format!("histogram {name:?}: {e}"))?;
+            let id = registry.histogram(intern(name), decoded.bounds());
+            registry.histograms[id.0] = decoded;
+        }
+        Ok(registry)
     }
 }
 
@@ -406,6 +580,71 @@ mod tests {
         b.observe(hb, 6.0);
         a.merge(&b);
         assert_eq!(a.histogram_value(ha).total(), 3, "no observations lost");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_exact() {
+        let mut r = Registry::new();
+        let z = r.counter("zeta");
+        let a = r.counter("alpha"); // registration order ≠ sorted order
+        r.inc(z, 3);
+        r.inc(a, 9);
+        let g = r.gauge("occupancy");
+        r.set(g, 0.625);
+        let h = r.histogram("duty", &[0.5, 1.0]);
+        r.observe(h, 0.25);
+        r.observe(h, 0.75);
+        r.observe(h, f64::NAN);
+        r.observe(h, f64::INFINITY);
+
+        let encoded = r.checkpoint_json().encode();
+        let parsed = crate::json::parse(&encoded).expect("checkpoint encoding parses");
+        let restored = Registry::from_checkpoint_json(&parsed).expect("decodes");
+        assert_eq!(restored, r, "restored registry must be state-identical");
+        // The mean accumulators survived (they are absent from to_json).
+        let hid = HistogramId(0);
+        assert_eq!(
+            restored.histogram_value(hid).mean(),
+            r.histogram_value(hid).mean()
+        );
+        // Re-encoding the report form is byte-identical too.
+        assert_eq!(restored.to_json().encode(), r.to_json().encode());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_a_nan_gauge() {
+        let mut r = Registry::new();
+        let g = r.gauge("last");
+        r.set(g, f64::NAN);
+        let parsed = crate::json::parse(&r.checkpoint_json().encode()).expect("parses");
+        let mut restored = Registry::from_checkpoint_json(&parsed).expect("decodes");
+        let g = restored.gauge("last");
+        assert!(restored.gauge_value(g).is_nan());
+    }
+
+    #[test]
+    fn checkpoint_decode_rejects_malformed_registries() {
+        for (broken, why) in [
+            ("{}", "missing arrays"),
+            (
+                r#"{"counters":[["c",-1]],"gauges":[],"histograms":[]}"#,
+                "negative counter",
+            ),
+            (
+                r#"{"counters":[["c"]],"gauges":[],"histograms":[]}"#,
+                "non-pair entry",
+            ),
+            (
+                r#"{"counters":[],"gauges":[],"histograms":[["h",{"bounds":[1],"counts":[0],"total":0,"nan_count":0,"finite":0,"sum":0}]]}"#,
+                "counts must be bounds + 1",
+            ),
+        ] {
+            let parsed = crate::json::parse(broken).expect("test input parses");
+            assert!(
+                Registry::from_checkpoint_json(&parsed).is_err(),
+                "expected a decode error for: {why}"
+            );
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl Default for Settings {
 }
 
 /// One completed phase of an experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Phase {
     /// Phase name (e.g. the driver or scheme being run).
     pub name: String,
@@ -91,7 +91,7 @@ pub struct Collector {
 /// snapshot carries no run-level wall clock: the parent recorder keeps its
 /// own, so merging snapshots in a deterministic order yields the same
 /// simulated-quantity stream regardless of worker scheduling.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     /// Manifest entries recorded inside the cell (replace-by-key on merge).
     pub manifest: Vec<(String, Json)>,

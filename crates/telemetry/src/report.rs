@@ -180,6 +180,26 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
     expect_type(report, "metrics", "object")?;
     expect_type(report, "series", "object")?;
 
+    // The bench CLI stamps `manifest.status`; when present it must be one
+    // of the three run outcomes ("incomplete" marks a partial report with
+    // quarantined cells).
+    if let Some(status) = report.get("manifest").and_then(|m| m.get("status")) {
+        match status.as_str() {
+            Some("ok" | "error" | "incomplete") => {}
+            Some(other) => {
+                return Err(format!(
+                    "manifest.status must be \"ok\", \"error\" or \"incomplete\", got {other:?}"
+                ));
+            }
+            None => {
+                return Err(format!(
+                    "manifest.status must be a string, got {}",
+                    status.type_name()
+                ));
+            }
+        }
+    }
+
     let totals = report.get("totals").ok_or("missing key: totals")?;
     for key in [
         "cycles",
@@ -359,6 +379,26 @@ mod tests {
         report.set("warnings", Json::Array(vec![Json::UInt(3)]));
         let err = validate_report(&report).expect_err("non-string warning");
         assert!(err.contains("warnings[0]"), "{err}");
+    }
+
+    #[test]
+    fn validation_checks_the_status_tristate() {
+        let mut report = build_report(&sample_collector());
+        for status in ["ok", "error", "incomplete"] {
+            if let Some(manifest) = report.get("manifest").cloned() {
+                let mut manifest = manifest;
+                manifest.set("status", Json::from(status));
+                report.set("manifest", manifest);
+            }
+            validate_report(&report).expect("known status validates");
+        }
+        if let Some(manifest) = report.get("manifest").cloned() {
+            let mut manifest = manifest;
+            manifest.set("status", Json::from("crashed"));
+            report.set("manifest", manifest);
+        }
+        let err = validate_report(&report).expect_err("unknown status");
+        assert!(err.contains("incomplete"), "{err}");
     }
 
     #[test]

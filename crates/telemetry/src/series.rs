@@ -55,6 +55,41 @@ impl RingSeries {
         self.pushed
     }
 
+    /// The maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rebuilds a series from checkpointed state: `samples` are the
+    /// retained points oldest-first (at most `capacity` of them) and
+    /// `pushed` the lifetime push count. The reconstruction is exact —
+    /// including the physical ring layout — so a restored series compares
+    /// equal to the one that was checkpointed and evicts in the same
+    /// order under further pushes.
+    pub fn restore(capacity: usize, pushed: u64, samples: Vec<(u64, f64)>) -> RingSeries {
+        let capacity = capacity.max(1);
+        let mut data = samples;
+        data.truncate(capacity);
+        // A ring that has wrapped keeps its write cursor at
+        // `pushed % capacity`; rotating the oldest-first samples right by
+        // that amount reproduces the physical layout byte for byte.
+        let head = if data.len() < capacity {
+            0
+        } else {
+            (pushed % capacity as u64) as usize
+        };
+        if head > 0 {
+            data.rotate_right(head);
+        }
+        let pushed = pushed.max(data.len() as u64);
+        RingSeries {
+            capacity,
+            data,
+            head,
+            pushed,
+        }
+    }
+
     /// Retained samples, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
         let (tail, head) = self.data.split_at(self.head);
@@ -114,6 +149,30 @@ mod tests {
         let mut s = RingSeries::new(0);
         s.push(1, 1.0);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn restore_reproduces_the_exact_ring_state() {
+        // Unwrapped, wrapped-once and wrapped-many rings all restore to a
+        // state that is `==` the original (same physical layout, so later
+        // pushes evict identically).
+        for pushes in [2u64, 3, 5, 17] {
+            let mut original = RingSeries::new(3);
+            for i in 0..pushes {
+                original.push(i * 10, i as f64 / 2.0);
+            }
+            let restored = RingSeries::restore(
+                original.capacity(),
+                original.total_pushed(),
+                original.iter().collect(),
+            );
+            assert_eq!(restored, original, "after {pushes} pushes");
+            let mut a = original.clone();
+            let mut b = restored;
+            a.push(999, 9.9);
+            b.push(999, 9.9);
+            assert_eq!(a, b, "restored ring must evict like the original");
+        }
     }
 
     #[test]

@@ -167,8 +167,10 @@ fn merged_telemetry_is_invariant_under_seeded_completion_shuffles() {
 
 #[test]
 fn cell_errors_are_deterministic_at_any_jobs() {
-    // The lowest-indexed error wins no matter which worker saw its cell
-    // first — a failing sweep reports the same thing serial or parallel.
+    // The lowest-indexed quarantine wins no matter which worker saw its
+    // cell first — a failing sweep reports the same thing serial or
+    // parallel. Persistent errors now surface as supervised quarantines
+    // carrying the retry count.
     for jobs in [1, 2, 8] {
         let result: Result<Vec<()>, Error> = par::try_cells(10, |cell| {
             if cell.index >= 4 {
@@ -178,10 +180,21 @@ fn cell_errors_are_deterministic_at_any_jobs() {
             }
         });
         match result {
-            Err(Error::Config { message }) => {
-                assert_eq!(message, "cell 4 rejected", "jobs={jobs}");
+            Err(Error::Quarantined {
+                sweep,
+                cell,
+                attempts,
+                message,
+            }) => {
+                assert_eq!(sweep, "sweep", "jobs={jobs}");
+                assert_eq!(cell, 4, "jobs={jobs}");
+                assert_eq!(attempts, 2, "jobs={jobs}");
+                assert!(
+                    message.contains("cell 4 rejected"),
+                    "jobs={jobs}: {message}"
+                );
             }
-            other => panic!("expected the index-4 error at jobs={jobs}, got {other:?}"),
+            other => panic!("expected the index-4 quarantine at jobs={jobs}, got {other:?}"),
         }
     }
 }
