@@ -58,6 +58,21 @@ fn bench_pipeline(c: &mut Criterion) {
             }))
         })
     });
+    // Same contract for the tracing layer: with no recorder installed a
+    // `span!` site is one thread-local is-some check, and a dynamic-name
+    // site must not even format its arguments.
+    group.bench_function("spans_disabled", |b| {
+        let _ = recorder::finish();
+        b.iter(|| {
+            let _run = penelope_telemetry::span!("bench: run {}", UOPS);
+            let config = PenelopeConfig::default();
+            let (mut pipe, mut hooks) = build(&config).expect("valid config");
+            black_box(with_recording(&mut hooks, |mut h| {
+                let _inner = penelope_telemetry::span!("bench: pipeline");
+                pipe.run(spec.generate(UOPS), &mut h)
+            }))
+        })
+    });
     // And the price when it is on, at the default sampling period.
     group.bench_function("telemetry_sampling", |b| {
         b.iter(|| {

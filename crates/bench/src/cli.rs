@@ -21,6 +21,15 @@
 //! - `--resume` — restore completed cells from the `--checkpoint` journal
 //!   instead of re-executing them; refuses corrupt or mismatched journals
 //!   with a typed error;
+//! - `--stream <path|->` — emit live JSONL introspection events
+//!   (run/heartbeat/cell/retry/quarantine/journal-append) to a file or
+//!   stdout while the run executes (`penelope_telemetry::span`); with
+//!   `-` the human-readable output moves to stderr so stdout stays pure
+//!   JSONL;
+//! - `--trace <path>` — write a `chrome://tracing` span timeline of the
+//!   finished run (implies the recorder, like `--json`);
+//! - `--progress` — live cells-done/total progress line on stderr;
+//!   auto-disabled when stderr is not a terminal so CI logs stay clean;
 //! - `-h` / `--help` — print usage and exit successfully.
 //!
 //! When a report path is active the recorder is installed before the
@@ -34,6 +43,7 @@
 //! partial results and the structured `quarantined: …` warnings are
 //! preserved instead of aborting the whole reproduction.
 
+use std::io::IsTerminal;
 use std::panic::{catch_unwind, UnwindSafe};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,7 +56,7 @@ use penelope::obs::{panic_message, scale_json};
 use penelope::par;
 use penelope::report::render_efficiency;
 use penelope_telemetry::recorder::{self, Settings};
-use penelope_telemetry::{build_report, validate_report, Json};
+use penelope_telemetry::{build_report, span, validate_report, Json};
 
 /// Parses a scale name, case-insensitively and ignoring surrounding
 /// whitespace. The empty string means "standard".
@@ -255,6 +265,9 @@ struct Args {
     json: Option<PathBuf>,
     checkpoint: Option<PathBuf>,
     resume: bool,
+    stream: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    progress: bool,
     help: bool,
 }
 
@@ -285,6 +298,14 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
                 }
                 parsed.resume = true;
             }
+            "--stream" => parsed.stream = Some(PathBuf::from(value("--stream")?)),
+            "--trace" => parsed.trace = Some(PathBuf::from(value("--trace")?)),
+            "--progress" => {
+                if inline.is_some() {
+                    return Err("--progress does not take a value".to_string());
+                }
+                parsed.progress = true;
+            }
             "-h" | "--help" => parsed.help = true,
             other => {
                 return Err(format!("unknown argument {other:?} (try --help)"));
@@ -297,7 +318,8 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
 fn usage(slug: &str) {
     println!(
         "USAGE: {slug} [--scale <quick|standard|thorough>] [--jobs <N>] [--json <path>]\n\
-         \x20               [--checkpoint <path>] [--resume]\n\
+         \x20               [--checkpoint <path>] [--resume] [--stream <path|->]\n\
+         \x20               [--trace <path>] [--progress]\n\
          \n\
          Options:\n\
          \x20 --scale <name>      experiment size (default: PENELOPE_SCALE or standard)\n\
@@ -310,6 +332,13 @@ fn usage(slug: &str) {
          \x20 --resume            restore completed cells from the checkpoint journal\n\
          \x20                     instead of re-running them (requires a checkpoint path;\n\
          \x20                     corrupt or mismatched journals are refused)\n\
+         \x20 --stream <path|->   emit live JSONL introspection events (heartbeats,\n\
+         \x20                     cell completions, retries, quarantines) to a file,\n\
+         \x20                     or to stdout when the path is '-' (the human-readable\n\
+         \x20                     output then moves to stderr)\n\
+         \x20 --trace <path>      write a chrome://tracing span timeline of the run\n\
+         \x20 --progress          live cells-done/total line on stderr (auto-disabled\n\
+         \x20                     when stderr is not a terminal)\n\
          \x20 -h, --help          print this help\n\
          \n\
          Environment:\n\
@@ -325,17 +354,51 @@ fn usage(slug: &str) {
     );
 }
 
-/// The report path after merging `--json` with `PENELOPE_METRICS`.
-fn report_path(flag: Option<PathBuf>) -> Option<PathBuf> {
-    flag.or_else(|| {
-        let raw = std::env::var("PENELOPE_METRICS").ok()?;
-        let trimmed = raw.trim();
-        if trimmed.is_empty() {
-            None
-        } else {
-            Some(PathBuf::from(trimmed))
-        }
-    })
+/// Parses a run-report path: any non-empty file path (a value with a
+/// trailing separator names a directory and is rejected).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the rejected value.
+pub fn parse_report_path(value: &str) -> Result<PathBuf, String> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Err(format!(
+            "invalid report path {value:?} (expected a file path)"
+        ));
+    }
+    if trimmed.ends_with('/') {
+        return Err(format!(
+            "invalid report path {value:?} (a directory, expected a file path)"
+        ));
+    }
+    Ok(PathBuf::from(trimmed))
+}
+
+/// The report path after merging `--json` with `PENELOPE_METRICS`, plus a
+/// warning to surface once the recorder is up. The flag wins unparsed (a
+/// bad `--json` is impossible: any non-empty argument is a path). An
+/// unset or empty `PENELOPE_METRICS` silently disables the report; a
+/// malformed value warns — on stderr and in any later report — and
+/// disables it, matching the `PENELOPE_RETRIES` / `PENELOPE_CELL_BUDGET`
+/// treatment.
+fn report_path(flag: Option<PathBuf>) -> (Option<PathBuf>, Option<String>) {
+    if let Some(path) = flag {
+        return (Some(path), None);
+    }
+    let Ok(raw) = std::env::var("PENELOPE_METRICS") else {
+        return (None, None);
+    };
+    if raw.trim().is_empty() {
+        return (None, None);
+    }
+    match parse_report_path(&raw) {
+        Ok(path) => (Some(path), None),
+        Err(warning) => (
+            None,
+            Some(format!("PENELOPE_METRICS: {warning}; run report disabled")),
+        ),
+    }
 }
 
 /// The checkpoint journal path after merging `--checkpoint` with
@@ -419,19 +482,25 @@ pub fn run_main(
         usage(slug);
         return ExitCode::SUCCESS;
     }
-    let report = report_path(args.json);
+    let (report, metrics_warning) = report_path(args.json);
+    let recording = report.is_some() || args.trace.is_some();
 
     // Install the recorder before resolving the environment so that a
     // malformed PENELOPE_SCALE / PENELOPE_JOBS / PENELOPE_FAULTS fallback
     // is recorded in the report's `warnings` array, not just on stderr.
-    if report.is_some() {
+    // `--trace` implies the recorder too: the chrome trace is rendered
+    // from the same collector.
+    if recording {
         recorder::install(Settings::default());
         recorder::manifest_entry("binary", Json::from(slug));
         recorder::manifest_entry("artifact", Json::from(what));
         recorder::manifest_entry("paper_ref", Json::from(paper_ref));
     }
+    if let Some(warning) = metrics_warning {
+        degraded(warning);
+    }
     let scale = args.scale.unwrap_or_else(scale_from_env);
-    if report.is_some() {
+    if recording {
         recorder::manifest_entry("scale_name", Json::from(scale_name(scale)));
     }
     // The jobs count steers wall-clock only — it is deliberately kept out
@@ -446,7 +515,26 @@ pub fn run_main(
     // and budgets only matter when cells fail, and then the warnings
     // array carries the structured record.
     par::set_supervisor(supervisor_from_env());
-    header(what, paper_ref, scale);
+    // Progress is a terminal affordance: when stderr is a pipe (CI logs,
+    // redirects) the flag silently stands down so logs stay clean.
+    if args.progress && std::io::stderr().is_terminal() {
+        par::set_progress(true);
+    }
+    // With the event stream on stdout, the human-readable output moves to
+    // stderr so stdout stays pure, machine-parseable JSONL.
+    let stream_to_stdout = args
+        .stream
+        .as_ref()
+        .is_some_and(|path| path.as_os_str() == "-");
+    if stream_to_stdout {
+        eprintln!("=== Penelope reproduction: {what} ({paper_ref}) ===");
+        eprintln!(
+            "scale: {} traces/suite x {} uops, time/{}\n",
+            scale.traces_per_suite, scale.uops_per_trace, scale.time_scale
+        );
+    } else {
+        header(what, paper_ref, scale);
+    }
 
     // The fault plan resolves before the journal header is stamped: a
     // checkpointed faulted run must refuse to resume into a fault-free
@@ -491,13 +579,51 @@ pub fn run_main(
         }
     }
 
+    // Arm the live event stream last, so its run-start event carries the
+    // fully resolved configuration. `-` streams to stdout for piping into
+    // `jq`-style consumers; a file that cannot be created degrades the
+    // run (warning on stderr and in the report) instead of failing it.
+    let mut streaming = false;
+    if let Some(path) = &args.stream {
+        let writer: Option<Box<dyn std::io::Write + Send>> = if path.as_os_str() == "-" {
+            Some(Box::new(std::io::stdout()))
+        } else {
+            match std::fs::File::create(path) {
+                Ok(file) => Some(Box::new(file)),
+                Err(err) => {
+                    degraded(format!(
+                        "cannot open event stream {}: {err}; streaming disabled",
+                        path.display()
+                    ));
+                    None
+                }
+            }
+        };
+        if let Some(writer) = writer {
+            span::set_stream(Some(writer));
+            span::stream_event(
+                "run-start",
+                &[
+                    ("binary", Json::from(slug)),
+                    ("artifact", Json::from(what)),
+                    ("scale", Json::from(scale_name(scale))),
+                ],
+            );
+            streaming = true;
+        }
+    }
+
     let outcome = if let Some(plan) = plan {
         recorder::manifest_entry("fault_seed", Json::from(plan.seed));
         run_faulted(what, scale, &plan)
     } else {
         match catch_unwind(move || experiment(scale)) {
             Ok(Ok(rendered)) => {
-                print!("{rendered}");
+                if stream_to_stdout {
+                    eprint!("{rendered}");
+                } else {
+                    print!("{rendered}");
+                }
                 Outcome::Pass
             }
             Ok(Err(err @ Error::Quarantined { .. })) => {
@@ -526,34 +652,66 @@ pub fn run_main(
         }
     };
     par::set_checkpoint(None);
+    par::set_progress(false);
+    if streaming {
+        span::stream_event("run-end", &[("status", Json::from(outcome.status()))]);
+        if let Some(fault) = span::take_stream_fault() {
+            degraded(fault);
+        }
+        span::set_stream(None);
+    }
 
     let exit = outcome.exit();
-    match report {
-        Some(path) => match write_report(slug, &path, outcome.status()) {
+    if recording {
+        match write_outputs(
+            slug,
+            report.as_deref(),
+            args.trace.as_deref(),
+            outcome.status(),
+        ) {
             Ok(()) => exit,
             Err(message) => {
                 eprintln!("{slug}: {message}");
                 ExitCode::FAILURE
             }
-        },
-        None => exit,
+        }
+    } else {
+        exit
     }
 }
 
 /// Detaches the recorder, stamps the run status ("ok", "incomplete" or
-/// "error"), validates the report and writes it (newline-terminated) to
-/// `path`.
-fn write_report(slug: &str, path: &std::path::Path, status: &str) -> Result<(), String> {
+/// "error"), and writes whichever outputs were requested: the validated
+/// JSON run report (`--json`) and/or the chrome://tracing span timeline
+/// (`--trace`), both newline-terminated.
+fn write_outputs(
+    slug: &str,
+    report: Option<&std::path::Path>,
+    trace: Option<&std::path::Path>,
+    status: &str,
+) -> Result<(), String> {
+    if report.is_none() && trace.is_none() {
+        return Ok(());
+    }
     recorder::manifest_entry("status", Json::from(status));
     let collector = recorder::finish()
-        .ok_or("internal error: recorder vanished before the report was written")?;
-    let report = build_report(&collector);
-    validate_report(&report).map_err(|err| format!("built an invalid report: {err}"))?;
-    let mut encoded = report.encode();
-    encoded.push('\n');
-    std::fs::write(path, encoded)
-        .map_err(|err| format!("cannot write report to {}: {err}", path.display()))?;
-    eprintln!("{slug}: run report written to {}", path.display());
+        .ok_or("internal error: recorder vanished before the outputs were written")?;
+    if let Some(path) = report {
+        let report = build_report(&collector);
+        validate_report(&report).map_err(|err| format!("built an invalid report: {err}"))?;
+        let mut encoded = report.encode();
+        encoded.push('\n');
+        std::fs::write(path, encoded)
+            .map_err(|err| format!("cannot write report to {}: {err}", path.display()))?;
+        eprintln!("{slug}: run report written to {}", path.display());
+    }
+    if let Some(path) = trace {
+        let mut encoded = penelope_telemetry::chrome_trace(&collector).encode();
+        encoded.push('\n');
+        std::fs::write(path, encoded)
+            .map_err(|err| format!("cannot write chrome trace to {}: {err}", path.display()))?;
+        eprintln!("{slug}: chrome trace written to {}", path.display());
+    }
     Ok(())
 }
 
@@ -755,9 +913,16 @@ mod tests {
     #[test]
     fn report_writing_needs_an_installed_recorder() {
         let _ = recorder::finish();
-        let err =
-            write_report("test", std::path::Path::new("/nonexistent/x.json"), "ok").unwrap_err();
+        let err = write_outputs(
+            "test",
+            Some(std::path::Path::new("/nonexistent/x.json")),
+            None,
+            "ok",
+        )
+        .unwrap_err();
         assert!(err.contains("recorder"), "{err}");
+        // With nothing requested there is nothing to do, recorder or not.
+        write_outputs("test", None, None, "ok").unwrap();
     }
 
     #[test]
@@ -765,10 +930,11 @@ mod tests {
         let dir = std::env::temp_dir().join("penelope-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("report.json");
+        let trace_path = dir.join("trace.json");
         recorder::install(Settings::default());
         recorder::manifest_entry("binary", Json::from("test"));
         recorder::record_run(1_000, 400);
-        write_report("test", &path, "error").unwrap();
+        write_outputs("test", Some(&path), Some(&trace_path), "error").unwrap();
         let raw = std::fs::read_to_string(&path).unwrap();
         let report = penelope_telemetry::json::parse(&raw).unwrap();
         validate_report(&report).unwrap();
@@ -779,6 +945,84 @@ mod tests {
                 .and_then(Json::as_str),
             Some("error")
         );
+        // The chrome trace is a JSON array whose first event is the
+        // process-name metadata record.
+        let raw = std::fs::read_to_string(&trace_path).unwrap();
+        let trace = penelope_telemetry::json::parse(&raw).unwrap();
+        let events = trace.as_array().expect("chrome trace is an array");
+        assert_eq!(
+            events[0].get("ph").and_then(Json::as_str),
+            Some("M"),
+            "{:?}",
+            events[0]
+        );
         std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&trace_path).unwrap();
+    }
+
+    #[test]
+    fn report_paths_parse_strictly() {
+        assert_eq!(parse_report_path("out.json"), Ok(PathBuf::from("out.json")));
+        assert_eq!(
+            parse_report_path(" reports/run.json "),
+            Ok(PathBuf::from("reports/run.json"))
+        );
+        assert!(parse_report_path("   ")
+            .unwrap_err()
+            .contains("expected a file path"));
+        assert!(parse_report_path("reports/")
+            .unwrap_err()
+            .contains("a directory"));
+    }
+
+    #[test]
+    fn unparseable_metrics_env_warns_and_disables_the_report() {
+        // Only this test touches PENELOPE_METRICS, so the process-global
+        // environment is not contended.
+        std::env::set_var("PENELOPE_METRICS", "reports/");
+        let (path, warning) = report_path(None);
+        assert_eq!(path, None, "a directory path disables the report");
+        let warning = warning.expect("malformed values warn");
+        assert!(warning.contains("PENELOPE_METRICS"), "{warning}");
+        assert!(warning.contains("run report disabled"), "{warning}");
+
+        // Empty is the documented way to disable the report: no warning.
+        std::env::set_var("PENELOPE_METRICS", "  ");
+        assert_eq!(report_path(None), (None, None));
+
+        // The flag wins over the environment, unparsed.
+        let (path, warning) = report_path(Some(PathBuf::from("out.json")));
+        assert_eq!(path, Some(PathBuf::from("out.json")));
+        assert_eq!(warning, None);
+        std::env::remove_var("PENELOPE_METRICS");
+        assert_eq!(report_path(None), (None, None));
+    }
+
+    #[test]
+    fn observability_flags_parse_both_styles() {
+        let parsed = parse_args(strings(&[
+            "--stream",
+            "-",
+            "--trace",
+            "t.json",
+            "--progress",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.stream, Some(PathBuf::from("-")));
+        assert_eq!(parsed.trace, Some(PathBuf::from("t.json")));
+        assert!(parsed.progress);
+        let parsed = parse_args(strings(&["--stream=events.jsonl", "--trace=out/t.json"])).unwrap();
+        assert_eq!(parsed.stream, Some(PathBuf::from("events.jsonl")));
+        assert_eq!(parsed.trace, Some(PathBuf::from("out/t.json")));
+        assert!(!parsed.progress);
+        assert!(parse_args(strings(&["--progress=yes"]))
+            .unwrap_err()
+            .contains("does not take a value"));
+        assert!(parse_args(strings(&["--stream"]))
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse_args(strings(&["--trace"]))
+            .unwrap_err()
+            .contains("requires a value"));
     }
 }

@@ -165,6 +165,7 @@ pub fn run_workload_faulted<H: Hooks + RinvAccess + EventSource>(
 /// Figure 1: normalized interface-trap density under alternating
 /// stress/relax phases. Returns `(time, nit)` samples.
 pub fn fig1() -> Result<Vec<(f64, f64)>, Error> {
+    let _span = penelope_telemetry::span!("driver: fig1");
     let model = RdModel::symmetric(0.004)?;
     Ok(model.simulate_alternating(100.0, 100.0, 6, 24)?)
 }
@@ -191,6 +192,7 @@ pub struct Motivation {
 
 /// Measures the §1.1 motivation statistics on the baseline processor.
 pub fn motivation(scale: Scale) -> Result<Motivation, Error> {
+    let _span = penelope_telemetry::span!("driver: motivation");
     // Carry-in bias straight from the uop stream.
     let mut adds = 0u64;
     let mut carries = 0u64;
@@ -291,6 +293,7 @@ pub fn motivation(scale: Scale) -> Result<Motivation, Error> {
 
 /// Figure 4: all 28 idle-vector pairs on the 32-bit Ladner-Fischer adder.
 pub fn fig4() -> Result<Vec<PairStress>, Error> {
+    let _span = penelope_telemetry::span!("driver: fig4");
     let adder = LadnerFischerAdder::new(32);
     Ok(evaluate_all_pairs(&adder))
 }
@@ -319,6 +322,7 @@ impl CellPayload for Fig5Row {
 /// Figure 5: adder guardband for real inputs only and for the three
 /// utilization scenarios healed by the best vector pair.
 pub fn fig5(scale: Scale) -> Result<Vec<Fig5Row>, Error> {
+    let _span = penelope_telemetry::span!("driver: fig5");
     let adder = LadnerFischerAdder::new(32);
     let protection = AdderProtection::select(&adder);
     let model = GuardbandModel::paper_calibrated();
@@ -399,6 +403,7 @@ impl Fig6 {
 /// Runs Figure 6: baseline and ISV register files over the workload. The
 /// two configurations are independent engine cells.
 pub fn fig6(scale: Scale) -> Result<Fig6, Error> {
+    let _span = penelope_telemetry::span!("driver: fig6");
     struct Fig6Cell {
         int_bias: Vec<f64>,
         fp_bias: Vec<f64>,
@@ -527,6 +532,7 @@ pub struct Fig8 {
 /// thread is spawned for a one-cell grid) so its telemetry follows the
 /// same snapshot path as the wide sweeps.
 pub fn fig8(scale: Scale) -> Result<Fig8, Error> {
+    let _span = penelope_telemetry::span!("driver: fig8");
     struct Fig8Stage {
         bits: Vec<(Field, Vec<f64>)>,
         worst: f64,
@@ -722,6 +728,7 @@ fn scheme_cpi(
 /// same seeds (1–4 for DL0 rows, 5–8 for DTLB rows) the serial sweep
 /// used, so the rows are identical at any `--jobs` setting.
 pub fn table3(scale: Scale) -> Result<Table3, Error> {
+    let _span = penelope_telemetry::span!("driver: table3");
     let rotation = (10_000_000 / scale.time_scale).max(2_000);
 
     #[derive(Clone, Copy)]
@@ -872,6 +879,7 @@ impl EfficiencyRow {
 /// The §4.2–4.6 efficiency comparison: the two conventional designs and
 /// the four Penelope case studies, with measured inputs where available.
 pub fn efficiency_summary(scale: Scale) -> Result<Vec<EfficiencyRow>, Error> {
+    let _span = penelope_telemetry::span!("driver: efficiency_summary");
     let model = GuardbandModel::paper_calibrated();
     let mut rows = vec![
         EfficiencyRow::new(
@@ -1021,6 +1029,7 @@ pub fn efficiency_summary_faulted(
     scale: Scale,
     plan: &FaultPlan,
 ) -> Result<Vec<EfficiencyRow>, Error> {
+    let _span = penelope_telemetry::span!("driver: efficiency_summary_faulted");
     use crate::checked::{CheckedHooks, Policy};
 
     let mut injector = FaultInjector::new(plan);
@@ -1149,6 +1158,7 @@ pub struct Table4 {
 /// policy, so the two stages are sequential single-cell engine runs (a
 /// one-cell grid executes inline).
 pub fn table4(scale: Scale) -> Result<Table4, Error> {
+    let _span = penelope_telemetry::span!("driver: table4");
     let model = GuardbandModel::paper_calibrated();
 
     struct BaseStage {
@@ -1360,6 +1370,7 @@ pub struct TailRow {
 
 /// Measures the per-program loss distribution on the 16KB 8-way DL0.
 pub fn table3_tail(scale: Scale) -> Result<Vec<TailRow>, Error> {
+    let _span = penelope_telemetry::span!("driver: table3_tail");
     let base_config = PipelineConfig {
         dl0: CacheConfig::dl0(16, 8),
         ..PipelineConfig::default()
@@ -1440,6 +1451,7 @@ pub struct BtbRow {
 /// paper names the branch predictor as cache-like but evaluates only the
 /// DL0 and DTLB).
 pub fn btb_extension(scale: Scale) -> Result<Vec<BtbRow>, Error> {
+    let _span = penelope_telemetry::span!("driver: btb_extension");
     let rotation = (10_000_000 / scale.time_scale).max(2_000);
     let schemes = [
         SchemeKind::Baseline,
@@ -1523,6 +1535,7 @@ pub struct VminRow {
 /// Extension: Vmin and storage-energy impact for the storage structures,
 /// from measured biases.
 pub fn vmin_extension(scale: Scale) -> Result<Vec<VminRow>, Error> {
+    let _span = penelope_telemetry::span!("driver: vmin_extension");
     use nbti_model::guardband::VminModel;
     let vmin = VminModel::paper_calibrated();
 
@@ -1642,6 +1655,7 @@ pub struct AblationRow {
 /// Extension: ablations over the design parameters DESIGN.md calls out —
 /// the SetFixed rotation period and the ISV sampling period.
 pub fn ablation(scale: Scale) -> Result<Vec<AblationRow>, Error> {
+    let _span = penelope_telemetry::span!("driver: ablation");
     let mut rows = Vec::new();
 
     // SetFixed rotation period: shorter rotations heal more evenly but

@@ -46,7 +46,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use penelope_telemetry::recorder::Snapshot;
-use penelope_telemetry::{decode_snapshot, encode_snapshot, Json, SCHEMA_VERSION};
+use penelope_telemetry::{decode_snapshot, encode_snapshot, span, Json, SCHEMA_VERSION};
 
 use crate::error::Error;
 use crate::sched_aware::SchedulerPolicy;
@@ -357,16 +357,36 @@ impl CheckpointContext {
     /// Persists one freshly completed cell. Never fails the sweep: an I/O
     /// error mutes the writer and is reported once via [`Self::take_fault`].
     pub fn append(&self, sweep: &str, cell: usize, payload: Json, snapshot: Option<&Snapshot>) {
+        let started = std::time::Instant::now();
         let mut body = Json::object();
         body.set("sweep", Json::Str(sweep.to_string()));
         body.set("cell", Json::UInt(cell as u64));
         body.set("payload", payload);
         body.set("snapshot", snapshot.map_or(Json::Null, encode_snapshot));
         let line = seal(body);
+        let bytes = line.len();
         self.writer
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .append(line);
+        // Journal writes are the sweep's only hot-path I/O; stream their
+        // timeline (encode + rewrite + rename, lock wait included) so a
+        // slow disk is observable live instead of showing up only as
+        // missing throughput.
+        if span::stream_active() {
+            span::stream_event(
+                "journal-append",
+                &[
+                    ("sweep", Json::from(sweep)),
+                    ("cell", Json::UInt(cell as u64)),
+                    ("bytes", Json::UInt(bytes as u64)),
+                    (
+                        "append_wall_seconds",
+                        Json::Float(started.elapsed().as_secs_f64()),
+                    ),
+                ],
+            );
+        }
     }
 
     /// The first write failure, surfaced exactly once (the engine turns it

@@ -89,6 +89,7 @@ pub fn with_recording<T>(
 
     match recorder::settings() {
         Some(settings) => {
+            let _span = penelope_telemetry::span!("obs.with_recording");
             let mut telemetry = TelemetryHooks::new(
                 &mut *hooks,
                 settings.sample_period,

@@ -60,12 +60,13 @@
 //! the uninterrupted report byte for byte outside wall-clock fields.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+use std::time::Instant;
 
 use penelope_telemetry::recorder::{self, Snapshot, WorkerHandle};
-use penelope_telemetry::Json;
+use penelope_telemetry::{span, Json};
 
 use crate::error::Error;
 use crate::journal::{CellPayload, CheckpointContext};
@@ -94,6 +95,21 @@ pub fn jobs() -> usize {
 /// The machine's available parallelism (1 when undeterminable).
 pub fn available_parallelism() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Whether sweeps print a live cells-done/total progress line on stderr.
+/// Cosmetic only — progress output never enters reports or the event
+/// stream. The bench CLI arms it from `--progress` (and only when stderr
+/// is a terminal, so CI logs stay clean).
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Arms (or disarms) the stderr progress line for subsequent sweeps.
+pub fn set_progress(enabled: bool) {
+    PROGRESS.store(enabled, Ordering::Relaxed);
+}
+
+fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
 }
 
 /// How the supervisor treats failing or runaway cells. Process-wide, like
@@ -277,12 +293,15 @@ where
 }
 
 /// What one supervised cell leaves behind: the result (quarantine-wrapped
-/// on exhaustion), the telemetry snapshot to absorb, and the supervisor's
-/// notes, which the merge turns into report warnings in cell-index order.
+/// on exhaustion), the telemetry snapshot to absorb, the supervisor's
+/// notes — which the merge turns into report warnings in cell-index order
+/// — and how many executions it took (introspection only; 0 for a cell
+/// restored from the journal).
 struct CellOutcome<T> {
     result: Result<T, Error>,
     snapshot: Option<Snapshot>,
     notes: Vec<String>,
+    attempts: u32,
 }
 
 fn run_supervised<T, F>(
@@ -297,13 +316,74 @@ where
     T: Send,
     F: Fn(Cell) -> Result<T, Error> + Sync,
 {
+    let sweep_name = name.unwrap_or("sweep");
     let handle = recorder::worker_handle();
+    // The sweep span opens on the installing thread before any cell runs
+    // and closes after the merge (guard drop at function exit), so every
+    // merged cell span is adopted under it — at any jobs setting the tree
+    // comes out identical, because both the open and the merge happen
+    // here, never on a worker.
+    let _sweep_span = span!("sweep: {}", sweep_name);
     let workers = jobs.clamp(1, cells.max(1));
     // Checkpointing only engages for named sweeps; unnamed ones have no
     // stable identity to key journal records by.
     let context = if name.is_some() { checkpoint() } else { None };
 
-    let execute = |index: usize| -> CellOutcome<T> {
+    // Introspection state: completion counters for the stderr progress
+    // line and the live event stream. Wall-clock domain only — nothing
+    // here feeds the recorder.
+    let done = AtomicUsize::new(0);
+    let quarantined = AtomicUsize::new(0);
+    let progress = progress_enabled() && cells > 0;
+    let note_done = |index: usize, status: &str, attempts: u32, cell_wall_seconds: f64| {
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let bad = if status == "quarantined" {
+            quarantined.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            quarantined.load(Ordering::Relaxed)
+        };
+        if span::stream_active() {
+            span::stream_event(
+                "cell-complete",
+                &[
+                    ("sweep", Json::from(sweep_name)),
+                    ("cell", Json::UInt(index as u64)),
+                    ("status", Json::from(status)),
+                    ("attempts", Json::UInt(u64::from(attempts))),
+                    ("cell_wall_seconds", Json::Float(cell_wall_seconds)),
+                ],
+            );
+        }
+        if progress {
+            eprint!("\r{sweep_name}: {finished}/{cells} cells ({bad} quarantined)");
+        }
+    };
+
+    let execute = |index: usize, worker: usize, queue_wait_seconds: f64| -> CellOutcome<T> {
+        if span::stream_active() {
+            span::stream_event(
+                "heartbeat",
+                &[
+                    ("sweep", Json::from(sweep_name)),
+                    ("done", Json::UInt(done.load(Ordering::Relaxed) as u64)),
+                    ("total", Json::UInt(cells as u64)),
+                    (
+                        "quarantined",
+                        Json::UInt(quarantined.load(Ordering::Relaxed) as u64),
+                    ),
+                ],
+            );
+            span::stream_event(
+                "cell-start",
+                &[
+                    ("sweep", Json::from(sweep_name)),
+                    ("cell", Json::UInt(index as u64)),
+                    ("worker", Json::UInt(worker as u64)),
+                    ("queue_wait_seconds", Json::Float(queue_wait_seconds)),
+                ],
+            );
+        }
+        let started = Instant::now();
         if let (Some(name), Some(codec), Some(ctx)) = (name, codec, context.as_ref()) {
             if let Some(restored) = ctx.restored(name, index) {
                 let result = (codec.decode)(&restored.payload).map_err(|e| {
@@ -311,14 +391,16 @@ where
                         "restored {name} cell {index} has an undecodable payload: {e}"
                     ))
                 });
+                note_done(index, "restored", 0, started.elapsed().as_secs_f64());
                 return CellOutcome {
                     result,
                     snapshot: restored.snapshot,
                     notes: Vec::new(),
+                    attempts: 0,
                 };
             }
         }
-        let outcome = supervise(&handle, &policy, name.unwrap_or("sweep"), index, &body);
+        let outcome = supervise(&handle, &policy, sweep_name, index, &body);
         if let (Some(name), Some(codec), Some(ctx), Ok(value)) =
             (name, codec, context.as_ref(), &outcome.result)
         {
@@ -329,12 +411,25 @@ where
                 outcome.snapshot.as_ref(),
             );
         }
+        let status = match &outcome.result {
+            Ok(_) => "ok",
+            Err(Error::Quarantined { .. }) => "quarantined",
+            Err(_) => "error",
+        };
+        note_done(
+            index,
+            status,
+            outcome.attempts,
+            started.elapsed().as_secs_f64(),
+        );
         outcome
     };
 
     let outcomes: Vec<Option<CellOutcome<T>>> = if workers <= 1 {
         // Inline path: same supervise/merge pipeline, no threads.
-        (0..cells).map(|index| Some(execute(index))).collect()
+        (0..cells)
+            .map(|index| Some(execute(index, 0, 0.0)))
+            .collect()
     } else {
         // Sharded work queue: workers race on one atomic cursor, so a
         // slow cell never blocks the rest of the grid behind it.
@@ -342,14 +437,25 @@ where
         let slots: Vec<Mutex<Option<CellOutcome<T>>>> =
             (0..cells).map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= cells {
-                        break;
+            let cursor = &cursor;
+            let slots = &slots;
+            let execute = &execute;
+            for worker in 0..workers {
+                // Per-worker idle tracking: the gap between finishing one
+                // cell and acquiring the next is queue wait, streamed per
+                // cell so a stalled pool is visible live.
+                scope.spawn(move || {
+                    let mut idle_since = Instant::now();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= cells {
+                            break;
+                        }
+                        let queue_wait = idle_since.elapsed().as_secs_f64();
+                        let outcome = execute(index, worker, queue_wait);
+                        *slots[index].lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
+                        idle_since = Instant::now();
                     }
-                    let outcome = execute(index);
-                    *slots[index].lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
                 });
             }
         });
@@ -358,6 +464,11 @@ where
             .map(|slot| slot.into_inner().unwrap_or_else(|p| p.into_inner()))
             .collect()
     };
+    if progress {
+        // Terminate the carriage-returned progress line before anything
+        // else writes to stderr.
+        eprintln!();
+    }
 
     // Deterministic merge: cell-index order, not completion order. Each
     // cell's snapshot lands before its supervisor notes, so the warnings
@@ -408,9 +519,16 @@ where
         let attempts = attempt + 1;
         // AssertUnwindSafe: on unwind the cell's half-built state is
         // discarded (record_cell already uninstalled its collector), and
-        // the shared `body` is a pure Fn over plain-data inputs.
+        // the shared `body` is a pure Fn over plain-data inputs. The cell
+        // span lives inside the cell's private recorder, so it rides the
+        // snapshot through the index-ordered merge — and a failed
+        // attempt's span dies with its discarded snapshot, keeping the
+        // merged tree identical however many retries it took.
         let caught = catch_unwind(AssertUnwindSafe(|| {
-            handle.record_cell(|| body(Cell { index, attempt }))
+            handle.record_cell(|| {
+                let _cell_span = span!("{} cell {}", sweep, index);
+                body(Cell { index, attempt })
+            })
         }));
         let (failure, snapshot) = match caught {
             Ok((Ok(value), snapshot)) => {
@@ -426,6 +544,7 @@ where
                         notes.push(format!(
                             "quarantined: {sweep} cell {index} failed after {attempts} attempt(s): {message}"
                         ));
+                        stream_quarantine(sweep, index, attempts, &message);
                         return CellOutcome {
                             result: Err(Error::Quarantined {
                                 sweep: sweep.to_string(),
@@ -435,6 +554,7 @@ where
                             }),
                             snapshot,
                             notes,
+                            attempts,
                         };
                     }
                 }
@@ -447,6 +567,7 @@ where
                     result: Ok(value),
                     snapshot,
                     notes,
+                    attempts,
                 };
             }
             Ok((Err(error), snapshot)) => (error.to_string(), snapshot),
@@ -459,6 +580,7 @@ where
             notes.push(format!(
                 "quarantined: {sweep} cell {index} failed after {attempts} attempt(s): {failure}"
             ));
+            stream_quarantine(sweep, index, attempts, &failure);
             return CellOutcome {
                 result: Err(Error::Quarantined {
                     sweep: sweep.to_string(),
@@ -468,21 +590,52 @@ where
                 }),
                 snapshot,
                 notes,
+                attempts,
             };
         }
         notes.push(format!(
             "{sweep} cell {index}: attempt {attempts} failed ({failure}); retrying"
         ));
-        backoff(policy.backoff_seed, sweep, index, attempt);
+        let backoff_yields = backoff(policy.backoff_seed, sweep, index, attempt);
+        if span::stream_active() {
+            span::stream_event(
+                "retry",
+                &[
+                    ("sweep", Json::from(sweep)),
+                    ("cell", Json::UInt(index as u64)),
+                    ("attempt", Json::UInt(u64::from(attempts))),
+                    ("failure", Json::from(failure.as_str())),
+                    ("backoff_yields", Json::UInt(backoff_yields)),
+                ],
+            );
+        }
         attempt += 1;
+    }
+}
+
+/// Emits a live `quarantine` event (no-op when the stream is disarmed).
+/// The deterministic record of the same fact is the `quarantined: …`
+/// supervisor note that the merge turns into a report warning.
+fn stream_quarantine(sweep: &str, cell: usize, attempts: u32, message: &str) {
+    if span::stream_active() {
+        span::stream_event(
+            "quarantine",
+            &[
+                ("sweep", Json::from(sweep)),
+                ("cell", Json::UInt(cell as u64)),
+                ("attempts", Json::UInt(u64::from(attempts))),
+                ("message", Json::from(message)),
+            ],
+        );
     }
 }
 
 /// Bounded, seeded retry backoff: up to 255 cooperative yields, derived
 /// from (seed, sweep, cell, attempt) through a splitmix/xorshift scramble.
 /// No clock is read, so the retry schedule is a pure function of the run
-/// configuration.
-fn backoff(seed: u64, sweep: &str, index: usize, attempt: u32) {
+/// configuration. Returns the yield count taken, for the `retry` stream
+/// event.
+fn backoff(seed: u64, sweep: &str, index: usize, attempt: u32) -> u64 {
     let mut x = seed
         ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
         ^ u64::from(attempt).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -492,9 +645,11 @@ fn backoff(seed: u64, sweep: &str, index: usize, attempt: u32) {
     x ^= x << 13;
     x ^= x >> 7;
     x ^= x << 17;
-    for _ in 0..(x % 256) {
+    let yields = x % 256;
+    for _ in 0..yields {
         thread::yield_now();
     }
+    yields
 }
 
 // The result slots hold a `CellOutcome<T>` shared across the scope's

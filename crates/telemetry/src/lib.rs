@@ -26,7 +26,13 @@
 //!   ([`encode_snapshot`] / [`decode_snapshot`]) behind the sweep
 //!   engine's crash-safe checkpoint journal — unlike the report encoder
 //!   it round-trips physical state (ring layout, mean accumulators,
-//!   registration order) so a resumed run merges byte-identically.
+//!   registration order) so a resumed run merges byte-identically;
+//! - [`span`]: hierarchical tracing spans ([`span!`] RAII guards) with
+//!   deterministic cycle-domain durations and segregated wall-clock
+//!   durations, plus the profiling sinks — a Chrome-trace exporter
+//!   ([`chrome_trace`]) and the live JSONL event stream
+//!   ([`span::set_stream`] / [`span::stream_event`]) behind the bench
+//!   CLI's `--stream` flag.
 //!
 //! "Zero-cost-when-disabled" is structural: when no recorder is
 //! installed, [`TelemetryHooks`] is never constructed and the pipeline
@@ -42,6 +48,7 @@ pub mod recorder;
 pub mod report;
 pub mod series;
 pub mod snapshot;
+pub mod span;
 
 pub use hooks::{EventSource, TelemetryHooks, TelemetryOutput};
 pub use json::Json;
@@ -50,3 +57,4 @@ pub use recorder::{Collector, Phase, Settings, Snapshot, WorkerHandle};
 pub use report::{build_report, series_jsonl, validate_report, SCHEMA_VERSION};
 pub use series::RingSeries;
 pub use snapshot::{decode_snapshot, encode_snapshot};
+pub use span::{chrome_trace, SpanGuard, SpanRecord, STREAM_SCHEMA_VERSION};

@@ -31,6 +31,8 @@ use std::time::Instant;
 
 use crate::hooks::TelemetryOutput;
 use crate::json::Json;
+use crate::metrics::intern;
+use crate::span::SpanRecord;
 
 /// How a run should be sampled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +82,8 @@ pub struct Collector {
     pub total_uops: u64,
     /// Wall-clock seconds since [`install`].
     pub wall_seconds: f64,
+    /// Completed tracing spans, in open order (parents precede children).
+    pub spans: Vec<SpanRecord>,
     /// Merged structure telemetry from every instrumented run.
     pub output: TelemetryOutput,
 }
@@ -103,22 +107,42 @@ pub struct Snapshot {
     pub total_cycles: u64,
     /// Uops credited inside the cell.
     pub total_uops: u64,
+    /// Spans opened inside the cell (parent indices are cell-local; the
+    /// merge rebases them and attaches roots under the absorbing thread's
+    /// open span). Wall starts are measured against the *shared* run
+    /// epoch, so merged spans stay on one timeline.
+    pub spans: Vec<SpanRecord>,
     /// Structure telemetry collected inside the cell.
     pub output: TelemetryOutput,
+}
+
+/// A span opened but not yet closed: its record index plus the baselines
+/// its durations are measured from.
+struct OpenSpan {
+    index: usize,
+    started: Instant,
+    base_cycles: u64,
+    base_uops: u64,
 }
 
 struct ActiveCollector {
     collector: Collector,
     started: Instant,
+    /// The wall-clock origin spans measure their start offsets from.
+    /// Equal to `started` on the installing thread; inherited from the
+    /// parent recorder inside worker cells so all spans share a timeline.
+    epoch: Instant,
     /// Cycle/uop totals at the start of the currently open phase.
     phase_base: Option<(String, Instant, u64, u64)>,
+    /// Currently open spans, outermost first.
+    open_spans: Vec<OpenSpan>,
 }
 
 thread_local! {
     static ACTIVE: RefCell<Option<ActiveCollector>> = const { RefCell::new(None) };
 }
 
-fn fresh(settings: Settings) -> ActiveCollector {
+fn fresh(settings: Settings, epoch: Instant) -> ActiveCollector {
     ActiveCollector {
         collector: Collector {
             settings,
@@ -128,18 +152,28 @@ fn fresh(settings: Settings) -> ActiveCollector {
             total_cycles: 0,
             total_uops: 0,
             wall_seconds: 0.0,
+            spans: Vec::new(),
             output: TelemetryOutput::default(),
         },
         started: Instant::now(),
+        epoch,
         phase_base: None,
+        open_spans: Vec::new(),
     }
 }
 
 /// Installs a collector on this thread, replacing (and discarding) any
 /// previous one.
 pub fn install(settings: Settings) {
+    install_with_epoch(settings, Instant::now());
+}
+
+/// [`install`] with an explicit span epoch — used by
+/// [`WorkerHandle::record_cell`] to keep worker-cell span timelines
+/// aligned with the installing thread's.
+fn install_with_epoch(settings: Settings, epoch: Instant) {
     ACTIVE.with(|slot| {
-        *slot.borrow_mut() = Some(fresh(settings));
+        *slot.borrow_mut() = Some(fresh(settings, epoch));
     });
 }
 
@@ -154,12 +188,14 @@ pub fn active() -> bool {
     ACTIVE.with(|slot| slot.borrow().is_some())
 }
 
-/// Detaches the collector, stamping the total wall time. A phase still
-/// open (e.g. because its body unwound past the facade) is closed rather
-/// than dropped. Returns `None` when telemetry was never installed.
+/// Detaches the collector, stamping the total wall time. A phase or span
+/// still open (e.g. because its body unwound past the facade) is closed
+/// rather than dropped. Returns `None` when telemetry was never
+/// installed.
 pub fn finish() -> Option<Collector> {
     ACTIVE.with(|slot| {
         slot.borrow_mut().take().map(|mut active| {
+            close_spans_down_to(&mut active, 0);
             close_open_phase(&mut active);
             let mut collector = active.collector;
             collector.wall_seconds = active.started.elapsed().as_secs_f64();
@@ -214,8 +250,12 @@ pub fn absorb(output: &TelemetryOutput) {
 
 /// Merges a worker-produced [`Snapshot`] into this thread's recorder:
 /// manifest entries replace by key, phases and warnings append in the
-/// snapshot's order, totals add and structure telemetry merges. No-op when
-/// disabled (the snapshot is dropped, matching the facade's contract).
+/// snapshot's order, totals add and structure telemetry merges. The
+/// cell's span tree appends with parent indices rebased, its roots
+/// adopted by whatever span this thread has open (the sweep span) — so
+/// absorbing snapshots in cell-index order rebuilds the same tree a
+/// serial run would have produced. No-op when disabled (the snapshot is
+/// dropped, matching the facade's contract).
 pub fn absorb_snapshot(snapshot: Snapshot) {
     ACTIVE.with(|slot| {
         if let Some(active) = slot.borrow_mut().as_mut() {
@@ -230,16 +270,78 @@ pub fn absorb_snapshot(snapshot: Snapshot) {
             active.collector.warnings.extend(snapshot.warnings);
             active.collector.total_cycles += snapshot.total_cycles;
             active.collector.total_uops += snapshot.total_uops;
+            let base = active.collector.spans.len();
+            let adoptive = active.open_spans.last().map(|open| open.index);
+            for span in snapshot.spans {
+                let parent = span.parent.map(|p| p + base).or(adoptive);
+                active.collector.spans.push(SpanRecord { parent, ..span });
+            }
             active.collector.output.merge(&snapshot.output);
         }
     });
 }
 
+/// Opens a span on this thread's recorder, parented under the innermost
+/// open span. Returns the span's record index (the close token), or
+/// `None` when telemetry is disabled. Called via [`crate::span::enter`];
+/// not part of the public API.
+pub(crate) fn open_span(name: &'static str) -> Option<usize> {
+    ACTIVE.with(|slot| {
+        slot.borrow_mut().as_mut().map(|active| {
+            let index = active.collector.spans.len();
+            active.collector.spans.push(SpanRecord {
+                name,
+                parent: active.open_spans.last().map(|open| open.index),
+                cycles: 0,
+                uops: 0,
+                wall_start_seconds: active.epoch.elapsed().as_secs_f64(),
+                wall_seconds: 0.0,
+            });
+            active.open_spans.push(OpenSpan {
+                index,
+                started: Instant::now(),
+                base_cycles: active.collector.total_cycles,
+                base_uops: active.collector.total_uops,
+            });
+            index
+        })
+    })
+}
+
+/// Closes the span with the given token, along with any child span still
+/// open inside it (a guard dropped out of order closes its abandoned
+/// children rather than corrupt the open stack). A token from a recorder
+/// that is no longer installed is ignored.
+pub(crate) fn close_span(index: usize) {
+    ACTIVE.with(|slot| {
+        if let Some(active) = slot.borrow_mut().as_mut() {
+            if let Some(position) = active.open_spans.iter().position(|o| o.index == index) {
+                close_spans_down_to(active, position);
+            }
+        }
+    });
+}
+
+/// Pops and finalizes open spans until only `keep` remain.
+fn close_spans_down_to(active: &mut ActiveCollector, keep: usize) {
+    while active.open_spans.len() > keep {
+        if let Some(open) = active.open_spans.pop() {
+            let record = &mut active.collector.spans[open.index];
+            record.cycles = active.collector.total_cycles - open.base_cycles;
+            record.uops = active.collector.total_uops - open.base_uops;
+            record.wall_seconds = open.started.elapsed().as_secs_f64();
+        }
+    }
+}
+
 /// Runs `body` as a named phase, recording its wall time and the cycles /
 /// uops credited while it ran. Phases do not nest: opening a phase inside
-/// a phase closes the outer one at the inner one's start. When telemetry
-/// is disabled the closure runs with no bookkeeping at all. Panic-safe: a
-/// body that unwinds still closes its phase on the way out.
+/// a phase closes the outer one at the inner one's start. Each phase also
+/// opens a same-named tracing span for its duration, and spans *do* nest
+/// — so the flat phase stream stays as-is while the span tree records the
+/// true call structure. When telemetry is disabled the closure runs with
+/// no bookkeeping at all. Panic-safe: a body that unwinds still closes
+/// its phase (and span) on the way out.
 pub fn phase<R>(name: &str, body: impl FnOnce() -> R) -> R {
     // Open outside the closure so a body that touches the recorder again
     // never re-enters a held RefCell borrow.
@@ -257,13 +359,22 @@ pub fn phase<R>(name: &str, body: impl FnOnce() -> R) -> R {
         ));
         true
     });
+    let span_token = if opened {
+        open_span(intern(name))
+    } else {
+        None
+    };
     // Close in a drop guard so the phase is flushed even if `body` unwinds
     // (the panic supervisor upstream may still write a report).
     struct CloseGuard {
         opened: bool,
+        span_token: Option<usize>,
     }
     impl Drop for CloseGuard {
         fn drop(&mut self) {
+            if let Some(token) = self.span_token.take() {
+                close_span(token);
+            }
             if self.opened {
                 ACTIVE.with(|slot| {
                     if let Some(active) = slot.borrow_mut().as_mut() {
@@ -273,7 +384,7 @@ pub fn phase<R>(name: &str, body: impl FnOnce() -> R) -> R {
             }
         }
     }
-    let _guard = CloseGuard { opened };
+    let _guard = CloseGuard { opened, span_token };
     body()
 }
 
@@ -296,14 +407,24 @@ fn close_open_phase(active: &mut ActiveCollector) {
 #[derive(Debug, Clone)]
 pub struct WorkerHandle {
     settings: Option<Settings>,
+    /// The parent recorder's span epoch, shared with every cell recorder
+    /// so worker-side span timelines line up with the installing
+    /// thread's.
+    epoch: Instant,
 }
 
 /// Captures whether (and how) a recorder is installed on this thread, for
 /// handing to worker threads.
 pub fn worker_handle() -> WorkerHandle {
-    WorkerHandle {
-        settings: settings(),
-    }
+    ACTIVE.with(|slot| {
+        let slot = slot.borrow();
+        WorkerHandle {
+            settings: slot.as_ref().map(|active| active.collector.settings),
+            epoch: slot
+                .as_ref()
+                .map_or_else(Instant::now, |active| active.epoch),
+        }
+    })
 }
 
 /// Removes whatever is installed on this thread when dropped, reinstating
@@ -341,7 +462,7 @@ impl WorkerHandle {
             return (body(), None);
         };
         let saved = ACTIVE.with(|slot| slot.borrow_mut().take());
-        install(settings);
+        install_with_epoch(settings, self.epoch);
         let guard = RestoreGuard { saved };
         let result = body();
         let cell = finish();
@@ -360,6 +481,7 @@ impl Collector {
             warnings: self.warnings,
             total_cycles: self.total_cycles,
             total_uops: self.total_uops,
+            spans: self.spans,
             output: self.output,
         }
     }

@@ -12,6 +12,8 @@
 //!   "warnings":  [ "unparseable PENELOPE_SCALE ...", ... ],
 //!   "phases":    [ { "name", "wall_seconds", "cycles", "uops",
 //!                    "cycles_per_sec" }, ... ],
+//!   "spans":     [ { "name", "parent", "cycles", "uops",
+//!                    "wall_seconds" }, ... ],
 //!   "totals":    { "cycles", "uops", "wall_seconds",
 //!                  "cycles_per_sec", "uops_per_sec" },
 //!   "metrics":   { "counters": {...}, "gauges": {...},
@@ -24,9 +26,14 @@
 //! knobs) so a run that limped through on defaults is distinguishable from
 //! a clean one even though both exit zero.
 //!
-//! Wall-clock numbers live only under `phases`/`totals`; the
-//! [`series_jsonl`] export used by the determinism test contains purely
-//! simulated quantities, so two same-seed runs produce identical bytes.
+//! Wall-clock numbers live only in `wall_seconds` / `*_per_sec` keys
+//! (under `phases`, `spans` and `totals`); the [`series_jsonl`] export
+//! used by the determinism test contains purely simulated quantities, so
+//! two same-seed runs produce identical bytes. Span entries deliberately
+//! omit `wall_start_seconds` — a span's position on the host timeline
+//! belongs to the Chrome-trace export, not the report, so the established
+//! wall-strip rule (drop exactly those three keys) keeps canonicalized
+//! reports byte-identical across jobs settings.
 
 use crate::json::Json;
 use crate::recorder::Collector;
@@ -78,6 +85,21 @@ pub fn build_report(collector: &Collector) -> Json {
         phases.push(p);
     }
     report.set("phases", Json::Array(phases));
+
+    let mut spans = Vec::new();
+    for span in &collector.spans {
+        let mut s = Json::object();
+        s.set("name", Json::from(span.name));
+        s.set(
+            "parent",
+            span.parent.map_or(Json::Null, |p| Json::UInt(p as u64)),
+        );
+        s.set("cycles", Json::UInt(span.cycles));
+        s.set("uops", Json::UInt(span.uops));
+        s.set("wall_seconds", Json::Float(span.wall_seconds));
+        spans.push(s);
+    }
+    report.set("spans", Json::Array(spans));
 
     let mut totals = Json::object();
     totals.set("cycles", Json::UInt(collector.total_cycles));
@@ -232,6 +254,37 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
         }
     }
 
+    // `spans` arrived with the tracing layer; older reports omit it. When
+    // present each entry is a tree node whose parent is null or the index
+    // of an earlier span.
+    if let Some(spans) = report.get("spans") {
+        let spans = spans
+            .as_array()
+            .ok_or_else(|| format!("spans must be an array, got {}", spans.type_name()))?;
+        for (i, span) in spans.iter().enumerate() {
+            if span.get("name").and_then(Json::as_str).is_none() {
+                return Err(format!("spans[{i}].name must be a string"));
+            }
+            match span.get("parent") {
+                Some(Json::Null) => {}
+                Some(parent) => {
+                    let parent = parent
+                        .as_u64()
+                        .ok_or_else(|| format!("spans[{i}].parent must be null or an index"))?;
+                    if parent as usize >= i {
+                        return Err(format!("spans[{i}].parent {parent} must precede the span"));
+                    }
+                }
+                None => return Err(format!("spans[{i}] missing key: parent")),
+            }
+            for key in ["cycles", "uops"] {
+                if span.get(key).and_then(Json::as_u64).is_none() {
+                    return Err(format!("spans[{i}].{key} must be an unsigned integer"));
+                }
+            }
+        }
+    }
+
     let metrics = report.get("metrics").ok_or("missing key: metrics")?;
     for key in ["counters", "gauges", "histograms"] {
         let value = metrics
@@ -308,6 +361,24 @@ mod tests {
             total_cycles: 1_000,
             total_uops: 400,
             wall_seconds: 0.6,
+            spans: vec![
+                crate::span::SpanRecord {
+                    name: "driver: fig6",
+                    parent: None,
+                    cycles: 1_000,
+                    uops: 400,
+                    wall_start_seconds: 0.0,
+                    wall_seconds: 0.5,
+                },
+                crate::span::SpanRecord {
+                    name: "main",
+                    parent: Some(0),
+                    cycles: 1_000,
+                    uops: 400,
+                    wall_start_seconds: 0.1,
+                    wall_seconds: 0.4,
+                },
+            ],
             output: crate::hooks::TelemetryOutput::default(),
         };
         let id = collector.output.registry.counter("uops");
@@ -399,6 +470,42 @@ mod tests {
         }
         let err = validate_report(&report).expect_err("unknown status");
         assert!(err.contains("incomplete"), "{err}");
+    }
+
+    #[test]
+    fn report_spans_carry_tree_shape_but_no_wall_start() {
+        let report = build_report(&sample_collector());
+        let spans = report
+            .get("spans")
+            .and_then(Json::as_array)
+            .expect("spans array present");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].get("parent"), Some(&Json::Null));
+        assert_eq!(spans[1].get("parent").and_then(Json::as_u64), Some(0));
+        // Wall data in a report span is confined to `wall_seconds`, the
+        // key the determinism tests already strip.
+        assert!(spans[1].get("wall_seconds").is_some());
+        assert!(
+            spans[1].get("wall_start_seconds").is_none(),
+            "timeline positions belong to the Chrome trace, not the report"
+        );
+
+        // Reports without spans (older schema) still validate...
+        let mut report = build_report(&sample_collector());
+        if let Json::Object(fields) = &mut report {
+            fields.retain(|(key, _)| key != "spans");
+        }
+        validate_report(&report).expect("spans are optional");
+        // ...but malformed span entries are rejected.
+        let mut report = build_report(&sample_collector());
+        let mut forward = Json::object();
+        forward.set("name", Json::from("bad"));
+        forward.set("parent", Json::UInt(7)); // forward reference
+        forward.set("cycles", Json::UInt(0));
+        forward.set("uops", Json::UInt(0));
+        report.set("spans", Json::Array(vec![forward]));
+        let err = validate_report(&report).expect_err("forward parent");
+        assert!(err.contains("must precede"), "{err}");
     }
 
     #[test]

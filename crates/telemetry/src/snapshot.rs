@@ -15,12 +15,20 @@
 //! maps `null` series values back to NaN so a NaN sample survives the
 //! trip. Finite floats use the shortest-round-trip formatter, which
 //! re-parses to the exact same value.
+//!
+//! Spans round-trip in full — including `wall_start_seconds`, which the
+//! report encoder deliberately drops — because a restored cell must merge
+//! byte-identically into both the golden report *and* the Chrome-trace
+//! export. Journal lines sealed before the tracing layer simply omit the
+//! `spans` key; decode treats that as an empty tree, so old checkpoint
+//! journals keep restoring.
 
 use crate::hooks::TelemetryOutput;
 use crate::json::Json;
 use crate::metrics::{intern, Registry};
 use crate::recorder::{Phase, Snapshot};
 use crate::series::RingSeries;
+use crate::span::SpanRecord;
 
 /// Encodes a snapshot into a self-contained JSON object.
 pub fn encode_snapshot(snapshot: &Snapshot) -> Json {
@@ -45,6 +53,23 @@ pub fn encode_snapshot(snapshot: &Snapshot) -> Json {
         .warnings
         .iter()
         .map(|w| Json::Str(w.clone()))
+        .collect();
+    let spans = snapshot
+        .spans
+        .iter()
+        .map(|s| {
+            let mut obj = Json::object();
+            obj.set("name", Json::from(s.name));
+            obj.set(
+                "parent",
+                s.parent.map_or(Json::Null, |p| Json::UInt(p as u64)),
+            );
+            obj.set("cycles", Json::UInt(s.cycles));
+            obj.set("uops", Json::UInt(s.uops));
+            obj.set("wall_start_seconds", Json::Float(s.wall_start_seconds));
+            obj.set("wall_seconds", Json::Float(s.wall_seconds));
+            obj
+        })
         .collect();
     let series = snapshot
         .output
@@ -74,6 +99,7 @@ pub fn encode_snapshot(snapshot: &Snapshot) -> Json {
     obj.set("warnings", Json::Array(warnings));
     obj.set("total_cycles", Json::UInt(snapshot.total_cycles));
     obj.set("total_uops", Json::UInt(snapshot.total_uops));
+    obj.set("spans", Json::Array(spans));
     obj.set("output", output);
     obj
 }
@@ -126,6 +152,18 @@ pub fn decode_snapshot(json: &Json) -> Result<Snapshot, String> {
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("snapshot missing unsigned field {key:?}"))
     };
+    // Snapshots sealed before the tracing layer carry no spans; treat a
+    // missing key as an empty tree so old journals keep restoring.
+    let spans = match json.get("spans") {
+        None => Vec::new(),
+        Some(spans) => spans
+            .as_array()
+            .ok_or("snapshot spans must be an array")?
+            .iter()
+            .enumerate()
+            .map(|(i, s)| decode_span(i, s))
+            .collect::<Result<Vec<_>, String>>()?,
+    };
     let output = json.get("output").ok_or("snapshot missing output object")?;
     let registry = Registry::from_checkpoint_json(
         output
@@ -145,7 +183,43 @@ pub fn decode_snapshot(json: &Json) -> Result<Snapshot, String> {
         warnings,
         total_cycles: total("total_cycles")?,
         total_uops: total("total_uops")?,
+        spans,
         output: TelemetryOutput { registry, series },
+    })
+}
+
+fn decode_span(index: usize, json: &Json) -> Result<SpanRecord, String> {
+    let name = json
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("spans[{index}] missing string field \"name\""))?;
+    let parent = match json.get("parent") {
+        Some(Json::Null) => None,
+        Some(parent) => Some(
+            parent
+                .as_u64()
+                .ok_or_else(|| format!("spans[{index}].parent must be null or unsigned"))?
+                as usize,
+        ),
+        None => return Err(format!("spans[{index}] missing field \"parent\"")),
+    };
+    let uint = |key: &str| -> Result<u64, String> {
+        json.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("spans[{index}] missing unsigned field {key:?}"))
+    };
+    let float = |key: &str| -> Result<f64, String> {
+        json.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("spans[{index}] missing numeric field {key:?}"))
+    };
+    Ok(SpanRecord {
+        name: intern(name),
+        parent,
+        cycles: uint("cycles")?,
+        uops: uint("uops")?,
+        wall_start_seconds: float("wall_start_seconds")?,
+        wall_seconds: float("wall_seconds")?,
     })
 }
 
@@ -258,6 +332,10 @@ mod tests {
     #[test]
     fn roundtrip_is_exact_for_a_real_run() {
         let snapshot = sample_snapshot();
+        assert!(
+            !snapshot.spans.is_empty(),
+            "the sample's phase should have produced a span"
+        );
         let encoded = encode_snapshot(&snapshot).encode();
         let parsed = crate::json::parse(&encoded).expect("snapshot encoding parses");
         let restored = decode_snapshot(&parsed).expect("snapshot decodes");
@@ -265,6 +343,15 @@ mod tests {
         // And the re-encoding is byte-stable (the journal integrity hash
         // depends on this).
         assert_eq!(encode_snapshot(&restored).encode(), encoded);
+    }
+
+    #[test]
+    fn pre_tracing_snapshots_without_spans_still_decode() {
+        // A journal line sealed by an older build: no "spans" key at all.
+        let legacy = r#"{"manifest":[],"phases":[],"warnings":[],"total_cycles":5,"total_uops":2,"output":{"metrics":{"counters":[],"gauges":[],"histograms":[]},"series":[]}}"#;
+        let parsed = crate::json::parse(legacy).expect("parses");
+        let restored = decode_snapshot(&parsed).expect("legacy snapshot decodes");
+        assert!(restored.spans.is_empty(), "missing spans decode as empty");
     }
 
     #[test]
@@ -306,6 +393,10 @@ mod tests {
             (
                 r#"{"manifest":[],"phases":[],"warnings":[],"total_cycles":0,"total_uops":0,"output":{"metrics":{"counters":[],"gauges":[],"histograms":[]},"series":[["s",{"capacity":2,"points":[]}]]}}"#,
                 "series missing pushed",
+            ),
+            (
+                r#"{"manifest":[],"phases":[],"warnings":[],"total_cycles":0,"total_uops":0,"spans":[{"name":"x"}],"output":{"metrics":{"counters":[],"gauges":[],"histograms":[]},"series":[]}}"#,
+                "span missing fields",
             ),
         ] {
             let parsed = crate::json::parse(broken).expect("test input parses");

@@ -90,14 +90,20 @@ fn measured_rows_stay_within_paper_neighborhood() {
 
 // --- Run-report byte-identity pins -------------------------------------
 //
-// The fig6/table3 JSON run reports are pinned by hash: the constants below
-// were captured from the scalar per-bit residency loop *before* the
-// word-parallel SWAR kernel replaced it, so any accounting drift the kernel
-// (or a later change) introduces — a zero-count off by one, a float summed
-// in a different order, a series sampled at a different cycle — flips the
-// hash. Only wall-clock fields (`wall_seconds`, `cycles_per_sec`,
-// `uops_per_sec`) are stripped before hashing; everything else must be
-// byte-identical, at `--jobs 1` and `--jobs 4` alike.
+// The fig6/table3 JSON run reports are pinned by hash: any accounting
+// drift — a zero-count off by one, a float summed in a different order, a
+// series sampled at a different cycle — flips the hash. Only wall-clock
+// fields (`wall_seconds`, `cycles_per_sec`, `uops_per_sec`) are stripped
+// before hashing; everything else must be byte-identical, at `--jobs 1`
+// and `--jobs 4` alike.
+//
+// Two generations of pins coexist on purpose. The PRE_TRACING constants
+// were captured from the scalar per-bit residency loop before the
+// word-parallel SWAR kernel replaced it, and predate the tracing layer;
+// they are asserted against the report with its `spans` key dropped,
+// proving the span machinery only *added* a key and perturbed no existing
+// accounting. The full-report constants pin the current schema including
+// the cycle-domain span tree.
 
 static JOBS_LOCK: Mutex<()> = Mutex::new(());
 
@@ -107,8 +113,10 @@ fn jobs_lock() -> MutexGuard<'static, ()> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-const FIG6_REPORT_FNV1A: u64 = 0x8e66_90d8_63a2_c3c1;
-const TABLE3_REPORT_FNV1A: u64 = 0xd27c_cdd1_79e7_4a55;
+const FIG6_REPORT_FNV1A: u64 = 0xe85f_91cf_3266_1cd1;
+const TABLE3_REPORT_FNV1A: u64 = 0x8d45_eff3_f2ab_9f57;
+const PRE_TRACING_FIG6_REPORT_FNV1A: u64 = 0x8e66_90d8_63a2_c3c1;
+const PRE_TRACING_TABLE3_REPORT_FNV1A: u64 = 0xd27c_cdd1_79e7_4a55;
 
 /// FNV-1a 64-bit, the same hash everywhere so pins are easy to regenerate
 /// (print `canonical_report_hash(...)` and paste).
@@ -145,9 +153,18 @@ fn strip_wall_clock(json: &mut Json) {
     }
 }
 
+/// Drops the top-level `spans` key so the rest of the report can be
+/// compared against the pre-tracing pins.
+fn strip_spans(json: &mut Json) {
+    if let Json::Object(fields) = json {
+        fields.retain(|(key, _)| key != "spans");
+    }
+}
+
 /// Runs `driver` under a fresh recorder at the given jobs setting and
-/// hashes the canonicalized report encoding.
-fn canonical_report_hash<T>(jobs: usize, driver: impl Fn() -> Result<T, Error>) -> u64 {
+/// hashes the canonicalized report encoding, with and without the span
+/// tree.
+fn canonical_report_hashes<T>(jobs: usize, driver: impl Fn() -> Result<T, Error>) -> (u64, u64) {
     par::set_jobs(jobs);
     recorder::install(Settings {
         sample_period: 256,
@@ -158,30 +175,45 @@ fn canonical_report_hash<T>(jobs: usize, driver: impl Fn() -> Result<T, Error>) 
     par::set_jobs(0);
     let mut report = build_report(&collector);
     strip_wall_clock(&mut report);
-    fnv1a(report.encode().as_bytes())
+    let full = fnv1a(report.encode().as_bytes());
+    strip_spans(&mut report);
+    let sans_spans = fnv1a(report.encode().as_bytes());
+    (full, sans_spans)
 }
 
 #[test]
-fn fig6_report_matches_the_pre_kernel_golden_hash() {
+fn fig6_report_matches_the_golden_hashes() {
     let _guard = jobs_lock();
     for jobs in [1, 4] {
-        let hash = canonical_report_hash(jobs, || experiments::fig6(Scale::quick()));
+        let (hash, sans_spans) =
+            canonical_report_hashes(jobs, || experiments::fig6(Scale::quick()));
+        assert_eq!(
+            sans_spans, PRE_TRACING_FIG6_REPORT_FNV1A,
+            "fig6 report (spans dropped) drifted from the pre-tracing golden at jobs={jobs}: \
+             got {sans_spans:#018x}, pinned {PRE_TRACING_FIG6_REPORT_FNV1A:#018x}"
+        );
         assert_eq!(
             hash, FIG6_REPORT_FNV1A,
-            "fig6 report drifted from the scalar-kernel golden at jobs={jobs}: \
+            "fig6 report drifted from the golden at jobs={jobs}: \
              got {hash:#018x}, pinned {FIG6_REPORT_FNV1A:#018x}"
         );
     }
 }
 
 #[test]
-fn table3_report_matches_the_pre_kernel_golden_hash() {
+fn table3_report_matches_the_golden_hashes() {
     let _guard = jobs_lock();
     for jobs in [1, 4] {
-        let hash = canonical_report_hash(jobs, || experiments::table3(Scale::quick()));
+        let (hash, sans_spans) =
+            canonical_report_hashes(jobs, || experiments::table3(Scale::quick()));
+        assert_eq!(
+            sans_spans, PRE_TRACING_TABLE3_REPORT_FNV1A,
+            "table3 report (spans dropped) drifted from the pre-tracing golden at jobs={jobs}: \
+             got {sans_spans:#018x}, pinned {PRE_TRACING_TABLE3_REPORT_FNV1A:#018x}"
+        );
         assert_eq!(
             hash, TABLE3_REPORT_FNV1A,
-            "table3 report drifted from the scalar-kernel golden at jobs={jobs}: \
+            "table3 report drifted from the golden at jobs={jobs}: \
              got {hash:#018x}, pinned {TABLE3_REPORT_FNV1A:#018x}"
         );
     }
