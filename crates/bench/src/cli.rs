@@ -30,6 +30,12 @@
 //!   finished run (implies the recorder, like `--json`);
 //! - `--progress` — live cells-done/total progress line on stderr;
 //!   auto-disabled when stderr is not a terminal so CI logs stay clean;
+//! - `--repeat <N>` — run the experiment N times and report the best
+//!   (minimum) wall time; timing reruns execute with telemetry suspended
+//!   so the report's simulated totals stay single-run, and only the
+//!   non-golden `wall_seconds` / `*_per_sec` fields are affected.
+//!   Incompatible with `--checkpoint` / `--resume` / `--stream`, which
+//!   assume a single execution;
 //! - `-h` / `--help` — print usage and exit successfully.
 //!
 //! When a report path is active the recorder is installed before the
@@ -44,7 +50,7 @@
 //! preserved instead of aborting the whole reproduction.
 
 use std::io::IsTerminal;
-use std::panic::{catch_unwind, UnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe, UnwindSafe};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -268,6 +274,7 @@ struct Args {
     stream: Option<PathBuf>,
     trace: Option<PathBuf>,
     progress: bool,
+    repeat: Option<u32>,
     help: bool,
 }
 
@@ -306,6 +313,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
                 }
                 parsed.progress = true;
             }
+            "--repeat" => parsed.repeat = Some(parse_repeat(&value("--repeat")?)?),
             "-h" | "--help" => parsed.help = true,
             other => {
                 return Err(format!("unknown argument {other:?} (try --help)"));
@@ -319,7 +327,7 @@ fn usage(slug: &str) {
     println!(
         "USAGE: {slug} [--scale <quick|standard|thorough>] [--jobs <N>] [--json <path>]\n\
          \x20               [--checkpoint <path>] [--resume] [--stream <path|->]\n\
-         \x20               [--trace <path>] [--progress]\n\
+         \x20               [--trace <path>] [--progress] [--repeat <N>]\n\
          \n\
          Options:\n\
          \x20 --scale <name>      experiment size (default: PENELOPE_SCALE or standard)\n\
@@ -339,6 +347,10 @@ fn usage(slug: &str) {
          \x20 --trace <path>      write a chrome://tracing span timeline of the run\n\
          \x20 --progress          live cells-done/total line on stderr (auto-disabled\n\
          \x20                     when stderr is not a terminal)\n\
+         \x20 --repeat <N>        run the experiment N times and report the best wall\n\
+         \x20                     time (timing reruns record no telemetry; only the\n\
+         \x20                     non-golden wall_seconds/*_per_sec fields change);\n\
+         \x20                     incompatible with --checkpoint/--resume/--stream\n\
          \x20 -h, --help          print this help\n\
          \n\
          Environment:\n\
@@ -352,6 +364,21 @@ fn usage(slug: &str) {
          \x20 PENELOPE_CELL_BUDGET quarantine any sweep cell whose telemetry exceeds\n\
          \x20                      this many simulated cycles"
     );
+}
+
+/// Parses a best-of-N repeat count: a positive integer (1 means a single
+/// run, the default).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the rejected value.
+pub fn parse_repeat(value: &str) -> Result<u32, String> {
+    match value.trim().parse::<u32>() {
+        Ok(0) | Err(_) => Err(format!(
+            "invalid repeat count {value:?} (expected a positive integer)"
+        )),
+        Ok(repeat) => Ok(repeat),
+    }
 }
 
 /// Parses a run-report path: any non-empty file path (a value with a
@@ -465,11 +492,15 @@ impl Outcome {
 /// `--jobs <N>` (or `PENELOPE_JOBS=<N>`) sets the worker count for the
 /// parallel sweep engine before the experiment starts; results and
 /// reports are byte-identical at any setting outside wall-clock fields.
+///
+/// `--repeat <N>` re-runs the (deterministic) experiment N − 1 extra
+/// times for timing and reports the best wall time; the closure is `Fn`
+/// so it can be invoked repeatedly.
 pub fn run_main(
     slug: &str,
     what: &str,
     paper_ref: &str,
-    experiment: impl FnOnce(Scale) -> Result<String, Error> + UnwindSafe,
+    experiment: impl Fn(Scale) -> Result<String, Error> + UnwindSafe,
 ) -> ExitCode {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(args) => args,
@@ -541,6 +572,15 @@ pub fn run_main(
     // one (and vice versa).
     let plan = fault_plan_from_env();
     let checkpoint = checkpoint_path(args.checkpoint);
+    let repeat = args.repeat.unwrap_or(1);
+    if repeat > 1 && (checkpoint.is_some() || args.resume || args.stream.is_some()) {
+        eprintln!(
+            "{slug}: --repeat cannot be combined with --checkpoint, --resume \
+             or --stream (timing reruns assume a single recorded execution)"
+        );
+        let _ = recorder::finish();
+        return ExitCode::FAILURE;
+    }
     if args.resume && checkpoint.is_none() {
         eprintln!(
             "{slug}: --resume requires a checkpoint journal path \
@@ -617,7 +657,33 @@ pub fn run_main(
         recorder::manifest_entry("fault_seed", Json::from(plan.seed));
         run_faulted(what, scale, &plan)
     } else {
-        match catch_unwind(move || experiment(scale)) {
+        // The closures are stateless wrappers over free experiment
+        // functions, so re-entering one after a caught panic is safe; a
+        // panicking run fails the process anyway.
+        let started = std::time::Instant::now();
+        let first = catch_unwind(AssertUnwindSafe(|| experiment(scale)));
+        let mut best_wall = started.elapsed().as_secs_f64();
+        if repeat > 1 && matches!(first, Ok(Ok(_))) {
+            // Timing reruns: telemetry is suspended so the report's
+            // simulated totals stay single-run; the determinism contract
+            // makes every rerun identical, so only the wall clock (best
+            // of N, a non-golden field) is kept.
+            let suspended = recorder::suspend();
+            for _ in 1..repeat {
+                let rerun_started = std::time::Instant::now();
+                let rerun = catch_unwind(AssertUnwindSafe(|| experiment(scale)));
+                let wall = rerun_started.elapsed().as_secs_f64();
+                if matches!(rerun, Ok(Ok(_))) {
+                    best_wall = best_wall.min(wall);
+                }
+            }
+            if let Some(suspended) = suspended {
+                recorder::resume(suspended);
+            }
+            recorder::override_wall_seconds(best_wall);
+            eprintln!("{slug}: best of {repeat} runs: {best_wall:.3}s");
+        }
+        match first {
             Ok(Ok(rendered)) => {
                 if stream_to_stdout {
                     eprint!("{rendered}");
@@ -888,6 +954,27 @@ mod tests {
             let err = parse_cell_budget(bad).unwrap_err();
             assert!(err.contains("positive integer"), "{bad:?}: {err}");
         }
+    }
+
+    #[test]
+    fn repeat_counts_parse_strictly() {
+        assert_eq!(parse_repeat("1"), Ok(1));
+        assert_eq!(parse_repeat(" 5 "), Ok(5));
+        for bad in ["0", "-2", "many", "1.5", ""] {
+            let err = parse_repeat(bad).unwrap_err();
+            assert!(err.contains("positive integer"), "{bad:?}: {err}");
+        }
+        let parsed = parse_args(strings(&["--repeat", "3"])).unwrap();
+        assert_eq!(parsed.repeat, Some(3));
+        let parsed = parse_args(strings(&["--repeat=7"])).unwrap();
+        assert_eq!(parsed.repeat, Some(7));
+        assert!(parse_args(strings(&[])).unwrap().repeat.is_none());
+        assert!(parse_args(strings(&["--repeat"]))
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse_args(strings(&["--repeat", "0"]))
+            .unwrap_err()
+            .contains("positive integer"));
     }
 
     #[test]

@@ -355,7 +355,9 @@ where
             );
         }
         if progress {
-            eprint!("\r{sweep_name}: {finished}/{cells} cells ({bad} quarantined)");
+            // `\x1b[K` clears to end-of-line so a shrinking redraw (fewer
+            // digits, shorter status) leaves no stale tail behind.
+            eprint!("\r{sweep_name}: {finished}/{cells} cells ({bad} quarantined)\x1b[K");
         }
     };
 
@@ -465,9 +467,21 @@ where
             .collect()
     };
     if progress {
-        // Terminate the carriage-returned progress line before anything
-        // else writes to stderr.
-        eprintln!();
+        // Replace the live carriage-returned line with a final summary —
+        // the transient line erases itself instead of lingering half-drawn
+        // above whatever stderr prints next.
+        let bad = quarantined.load(Ordering::Relaxed);
+        if bad > 0 {
+            eprintln!(
+                "\r\x1b[K{sweep_name}: {} cells done, {bad} quarantined",
+                done.load(Ordering::Relaxed)
+            );
+        } else {
+            eprintln!(
+                "\r\x1b[K{sweep_name}: {} cells done",
+                done.load(Ordering::Relaxed)
+            );
+        }
     }
 
     // Deterministic merge: cell-index order, not completion order. Each

@@ -250,10 +250,55 @@ impl SchedulerPolicy {
     }
 }
 
+/// Precomputed write plan for one field, derived from the policy once at
+/// construction. The release path runs once per retired uop, so the per-bit
+/// technique match is folded ahead of time: `ALL1`/`ALL0` bits collapse into
+/// a constant mask, and only the bits that need per-release work (stateful
+/// K-counters, ISV image reads) remain in `dynamic`, in ascending bit order
+/// so the `KCounter::tick` sequence is unchanged.
+#[derive(Debug, Clone)]
+struct FieldPlan {
+    /// Mirrors [`SchedulerPolicy::protects`].
+    protected: bool,
+    /// Whether any bit is ISV (the field honors a timestamp gate).
+    gated: bool,
+    /// The `ALL1` bits, pre-assembled.
+    constant: u128,
+    /// `(bit, technique)` for K-counter and ISV bits only.
+    dynamic: Vec<(u8, Technique)>,
+}
+
+impl FieldPlan {
+    fn build(bits: &[Technique]) -> Self {
+        let mut plan = FieldPlan {
+            protected: false,
+            gated: false,
+            constant: 0,
+            dynamic: Vec::new(),
+        };
+        for (bit, t) in bits.iter().enumerate() {
+            match t {
+                Technique::None => continue,
+                Technique::All1 => plan.constant |= 1 << bit,
+                Technique::All0 => {}
+                Technique::Isv => {
+                    plan.gated = true;
+                    plan.dynamic.push((bit as u8, *t));
+                }
+                Technique::All1K(_) | Technique::All0K(_) => plan.dynamic.push((bit as u8, *t)),
+            }
+            plan.protected = true;
+        }
+        plan
+    }
+}
+
 /// The balancing mechanism: slot-release rewrites driven by a policy.
 #[derive(Debug, Clone)]
 pub struct SchedulerBalancer {
     policy: SchedulerPolicy,
+    /// Per-field write plans precomputed from the policy.
+    plans: [FieldPlan; 18],
     /// K-counters, one per (field, bit) that needs one.
     counters: [Vec<KCounter>; 18],
     /// RINV images for the ISV fields.
@@ -285,8 +330,10 @@ impl SchedulerBalancer {
                 })
                 .collect()
         });
+        let plans: [FieldPlan; 18] = std::array::from_fn(|i| FieldPlan::build(&policy.bits[i]));
         SchedulerBalancer {
             policy,
+            plans,
             counters,
             rinv_src1: Rinv::new(32, sample_period),
             rinv_src2: Rinv::new(32, sample_period),
@@ -344,9 +391,7 @@ impl SchedulerBalancer {
             // ISV-protected fields honor their timestamp gate: writing
             // inverted samples into every released slot forever would swing
             // the bias past 50% the other way.
-            let gated = self.policy.bits[field.index()]
-                .iter()
-                .any(|t| matches!(t, Technique::Isv));
+            let gated = self.plans[field.index()].gated;
             if gated {
                 let gate = if field == Field::Immediate {
                     &self.gate_imm
@@ -373,16 +418,15 @@ impl SchedulerBalancer {
 
     fn field_value(&mut self, field: Field) -> Option<u128> {
         let idx = field.index();
-        if !self.policy.protects(field) {
+        let plan = &self.plans[idx];
+        if !plan.protected {
             return None;
         }
-        let mut value = 0u128;
-        #[allow(clippy::needless_range_loop)] // bit indexes three arrays
-        for bit in 0..field.width() {
-            let t = self.policy.bits[idx][bit];
+        let mut value = plan.constant;
+        for di in 0..self.plans[idx].dynamic.len() {
+            let (bit, t) = self.plans[idx].dynamic[di];
+            let bit = bit as usize;
             let one = match t {
-                Technique::All1 => true,
-                Technique::All0 => false,
                 Technique::All1K(_) => self.counters[idx][bit].tick(),
                 Technique::All0K(_) => !self.counters[idx][bit].tick(),
                 Technique::Isv => {
@@ -396,7 +440,8 @@ impl SchedulerBalancer {
                     };
                     (rinv.value() >> bit) & 1 == 1
                 }
-                Technique::None => continue,
+                // ALL1 bits live in `constant`; ALL0/None bits are absent.
+                Technique::All1 | Technique::All0 | Technique::None => unreachable!(),
             };
             if one {
                 value |= 1 << bit;

@@ -99,19 +99,27 @@ impl BitResidency {
         }
         self.total_time += duration;
         let zeros = !value & self.mask;
-        // Cost model: the per-bit lane path costs ~width additions; the
-        // carry-save path costs ~2 word ops per set bit of `duration`
-        // (ripple chains average under two planes). Narrow structures and
-        // dense durations go straight to the lanes — which is also the
-        // only valid path for a single event too large for the planes
-        // (~4 billion cycles). Lane adds and plane adds produce the same
-        // integers, so the choice is invisible to every reader.
-        let lane_is_cheaper = (self.zero_time.len() as u32) < 2 * duration.count_ones();
+        if zeros == 0 {
+            // All-ones value: no zero-time accrues anywhere. Balancing
+            // schemes hold most protected fields at all-ones, so this is
+            // the common case on the release path.
+            return;
+        }
+        // Cost model: the lane path costs one addition per *set* bit of the
+        // zero-mask (iterated sparsely below); the carry-save path costs
+        // ~2 word ops per set bit of `duration` (ripple chains average
+        // under two planes). Sparse zero-masks and dense durations go
+        // straight to the lanes — which is also the only valid path for a
+        // single event too large for the planes (~4 billion cycles). Lane
+        // adds and plane adds produce the same integers, so the choice is
+        // invisible to every reader.
+        let lane_is_cheaper = zeros.count_ones() < 2 * duration.count_ones();
         if lane_is_cheaper || duration > PLANE_CAPACITY {
-            for (i, zt) in self.zero_time.iter_mut().enumerate() {
-                if (zeros >> i) & 1 == 1 {
-                    *zt += duration;
-                }
+            let mut z = zeros;
+            while z != 0 {
+                let i = z.trailing_zeros() as usize;
+                z &= z - 1;
+                self.zero_time[i] += duration;
             }
             return;
         }
@@ -136,6 +144,98 @@ impl BitResidency {
                 plane += 1;
             }
         }
+    }
+
+    /// Records a closed-form span: `value` held for the `duration` cycles
+    /// of an idle/stall region the simulator skipped over in one step.
+    ///
+    /// This is the bulk-advance entry point of the event-driven core; it is
+    /// exactly [`BitResidency::record`] (the kernel has always been
+    /// span-based — one event of `n` cycles costs O(popcount(n)), not
+    /// O(n)), named explicitly so span-application sites read as such.
+    pub fn record_span(&mut self, value: u128, duration: u64) {
+        self.record(value, duration);
+    }
+
+    /// Charges `duration` zero-cycles to every bit set in `zeros`, without
+    /// touching `total_time`.
+    ///
+    /// This is the carrier half of the *grouped charge* protocol: several
+    /// fields whose values changed at the same instant concatenate their
+    /// zero-masks into one word and pay a single plane-add here instead of
+    /// one `record` each. The owner later moves the accumulated counts into
+    /// the real per-field accumulators with
+    /// [`drain_zero_counts`](Self::drain_zero_counts) /
+    /// [`credit_zero_cycles`](Self::credit_zero_cycles) and accounts
+    /// `total_time` separately via
+    /// [`credit_total_time`](Self::credit_total_time) — the resulting
+    /// integers are identical to per-field `record` calls.
+    pub(crate) fn record_zeros(&mut self, zeros: u128, duration: u64) {
+        if duration == 0 || zeros == 0 {
+            return;
+        }
+        debug_assert_eq!(zeros & !self.mask, 0, "zeros outside the word");
+        let lane_is_cheaper = zeros.count_ones() < 2 * duration.count_ones();
+        if lane_is_cheaper || duration > PLANE_CAPACITY {
+            let mut z = zeros;
+            while z != 0 {
+                let i = z.trailing_zeros() as usize;
+                z &= z - 1;
+                self.zero_time[i] += duration;
+            }
+            return;
+        }
+        if duration > PLANE_CAPACITY - self.pending {
+            self.flush_planes();
+        }
+        self.pending += duration;
+        let mut weight = duration;
+        while weight != 0 {
+            let bit = weight.trailing_zeros() as usize;
+            weight &= weight - 1;
+            let mut carry = zeros;
+            let mut plane = bit;
+            while carry != 0 {
+                debug_assert!(plane < PLANES, "carry escaped the planes");
+                let overflow = self.planes[plane] & carry;
+                self.planes[plane] ^= carry;
+                carry = overflow;
+                plane += 1;
+            }
+        }
+    }
+
+    /// Moves every accumulated zero-count out of this accumulator, calling
+    /// `f(bit, count)` for each nonzero lane and leaving the accumulator
+    /// empty. Part of the grouped-charge protocol (see
+    /// [`record_zeros`](Self::record_zeros)).
+    pub(crate) fn drain_zero_counts(&mut self, mut f: impl FnMut(usize, u64)) {
+        self.flush_planes();
+        for (i, zt) in self.zero_time.iter_mut().enumerate() {
+            if *zt != 0 {
+                f(i, *zt);
+                *zt = 0;
+            }
+        }
+    }
+
+    /// Adds externally accumulated zero-cycles to one bit position (the
+    /// receiving half of the grouped-charge protocol).
+    pub(crate) fn credit_zero_cycles(&mut self, bit: usize, count: u64) {
+        self.zero_time[bit] += count;
+    }
+
+    /// Adds observed time without charging any bit (the grouped charge
+    /// accounts zero-time and total-time separately).
+    pub(crate) fn credit_total_time(&mut self, duration: u64) {
+        self.total_time += duration;
+    }
+
+    /// Takes the accumulated total time, leaving zero. A group-charge
+    /// accumulator's span time covers every member field, so the owner
+    /// credits it to each of them at drain and resets the staging count.
+    pub(crate) fn take_total_time(&mut self) -> u64 {
+        std::mem::take(&mut self.total_time)
     }
 
     /// Drains the carry-save planes into the exact `zero_time` lanes.
@@ -197,10 +297,10 @@ impl BitResidency {
 
     /// The worst *cell* duty over all bit positions: each cell ages at
     /// `max(bias, 1 − bias)` because of the complementary PMOS pair.
+    /// Allocation-free: telemetry samples this for every structure.
     pub fn worst_cell_duty(&self) -> Duty {
-        self.biases()
-            .into_iter()
-            .map(Duty::cell_worst)
+        (0..self.width())
+            .map(|i| self.bias(i).cell_worst())
             .fold(Duty::ZERO, |w, d| if d > w { d } else { w })
     }
 
@@ -441,6 +541,30 @@ impl OccupancyTracker {
         self.advance(now);
         assert!(self.busy > 0, "occupancy underflow");
         self.busy -= 1;
+    }
+
+    /// Notes that `n` entries became busy at time `now` in one step: one
+    /// integral advance instead of `n`, identical accounting (the integral
+    /// only changes when time moves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` entries are free.
+    pub fn acquire_n(&mut self, n: u64, now: u64) {
+        self.advance(now);
+        assert!(self.busy + n <= self.capacity, "occupancy overflow");
+        self.busy += n;
+    }
+
+    /// Notes that `n` entries became free at time `now` in one step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` entries are busy.
+    pub fn release_n(&mut self, n: u64, now: u64) {
+        self.advance(now);
+        assert!(self.busy >= n, "occupancy underflow");
+        self.busy -= n;
     }
 
     /// Entries currently busy.

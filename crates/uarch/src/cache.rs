@@ -240,6 +240,12 @@ pub struct SetAssocCache {
     epoch: u64,
     /// Per-line valid-bit residency (word-parallel accounting).
     valid_bits: ValidBits,
+    /// Running count of lines in the Valid state. Kept in step by
+    /// [`SetAssocCache::set_line_state`] so the per-cycle scheme decisions
+    /// and telemetry samples read a counter instead of scanning every line.
+    valid_lines: usize,
+    /// Running count of lines in the Inverted state (INVCOUNT).
+    inverted_lines: usize,
 }
 
 impl SetAssocCache {
@@ -256,6 +262,8 @@ impl SetAssocCache {
             inverted_time: 0,
             epoch: 0,
             valid_bits: ValidBits::new(config.lines()),
+            valid_lines: 0,
+            inverted_lines: 0,
             config,
         }
     }
@@ -269,6 +277,19 @@ impl SetAssocCache {
     /// in step. Every state change must go through here.
     fn set_line_state(&mut self, set: usize, way: usize, state: LineState, now: u64) {
         let line = self.line_index(set, way);
+        let old = self.sets[set][way].state;
+        if old != state {
+            match old {
+                LineState::Valid => self.valid_lines -= 1,
+                LineState::Inverted => self.inverted_lines -= 1,
+                LineState::Invalid => {}
+            }
+            match state {
+                LineState::Valid => self.valid_lines += 1,
+                LineState::Inverted => self.inverted_lines += 1,
+                LineState::Invalid => {}
+            }
+        }
         self.sets[set][way].state = state;
         self.valid_bits.set(line, state == LineState::Valid, now);
     }
@@ -446,22 +467,16 @@ impl SetAssocCache {
         }
     }
 
-    /// Number of lines currently in the Inverted state (INVCOUNT).
+    /// Number of lines currently in the Inverted state (INVCOUNT). O(1):
+    /// the count is maintained at every state transition, which turns the
+    /// per-cycle scheme top-up check from a full line scan into a compare.
     pub fn inverted_count(&self) -> usize {
-        self.sets
-            .iter()
-            .flatten()
-            .filter(|l| l.state == LineState::Inverted)
-            .count()
+        self.inverted_lines
     }
 
-    /// Number of currently valid lines.
+    /// Number of currently valid lines. O(1), maintained per transition.
     pub fn valid_count(&self) -> usize {
-        self.sets
-            .iter()
-            .flatten()
-            .filter(|l| l.state == LineState::Valid)
-            .count()
+        self.valid_lines
     }
 
     /// Number of currently invalid lines (neither valid nor inverted).
@@ -726,6 +741,27 @@ mod tests {
         c.sync_valid_bits(60);
         // Valid over [0, 30), invalid over [30, 60).
         assert!((c.valid_bit_zero_bias(0, 0).fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_state_counters_match_scans() {
+        let mut c = tiny();
+        let scan = |c: &SetAssocCache, state: LineState| {
+            c.sets.iter().flatten().filter(|l| l.state == state).count()
+        };
+        let addrs = [0x0000u64, 0x0400, 0x0040, 0x0440, 0x0080, 0x0480];
+        for (t, &a) in addrs.iter().enumerate() {
+            c.access(a, t as u64);
+        }
+        c.invert_lru_line(0, 10);
+        c.invert_line_in(1, 11);
+        c.access(0x0000, 12); // refills an inverted victim
+        assert_eq!(c.valid_count(), scan(&c, LineState::Valid));
+        assert_eq!(c.inverted_count(), scan(&c, LineState::Inverted));
+        c.invalidate_all(20);
+        assert_eq!(c.valid_count(), 0);
+        assert_eq!(c.inverted_count(), 0);
+        assert_eq!(c.invalid_count(), c.config().lines());
     }
 
     #[test]

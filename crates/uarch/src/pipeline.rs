@@ -19,6 +19,9 @@
 //! the structures — exactly the points where Penelope's balancing writes
 //! happen.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
 use crate::btb::Btb;
 use crate::cache::{AccessOutcome, CacheConfig, SetAssocCache};
 use crate::error::{validate_cache, validate_regfile, PipelineError};
@@ -26,6 +29,7 @@ use crate::mob::MobAllocator;
 use crate::regfile::{PhysReg, RegFileConfig, RegisterFile};
 use crate::scheduler::{DataUsage, EntryValues, Field, Scheduler, SlotId};
 use crate::tlb::Dtlb;
+use tracegen::soa::ChunkedUops;
 use tracegen::uop::{Uop, UopClass};
 
 /// Which register file an event concerns.
@@ -197,13 +201,33 @@ pub trait Hooks {
 
     /// End of cycle; periodic maintenance goes here.
     fn cycle_end(&mut self, _parts: &mut Parts, _now: u64) {}
+
+    /// A span of idle cycles `start..=end` (inclusive) that the event-driven
+    /// core skipped over in one step: the pipeline proves no retire, issue,
+    /// allocation, or register release can happen in the span, so the only
+    /// thing that would have run is `cycle_end` once per cycle.
+    ///
+    /// The default implementation replays exactly that, so every existing
+    /// hook observes the same call sequence as under the cycle-accurate
+    /// loop. Span-aware hooks may override this with a closed-form update,
+    /// but overrides must stay observably equivalent to the replay —
+    /// including any RNG draw sequence — or run-to-run byte-identity breaks.
+    fn on_idle_span(&mut self, parts: &mut Parts, start: u64, end: u64) {
+        for t in start..=end {
+            self.cycle_end(parts, t);
+        }
+    }
 }
 
 /// A no-op hook set: the unmodified baseline processor.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoHooks;
 
-impl Hooks for NoHooks {}
+impl Hooks for NoHooks {
+    fn on_idle_span(&mut self, _parts: &mut Parts, _start: u64, _end: u64) {
+        // `cycle_end` is a no-op, so the replay loop would be too.
+    }
+}
 
 /// Forwarding impl so hook chains can be composed by mutable borrow: a
 /// wrapper (telemetry, fault injection) can hold `&mut H` instead of
@@ -262,6 +286,10 @@ impl<H: Hooks + ?Sized> Hooks for &mut H {
 
     fn cycle_end(&mut self, parts: &mut Parts, now: u64) {
         (**self).cycle_end(parts, now);
+    }
+
+    fn on_idle_span(&mut self, parts: &mut Parts, start: u64, end: u64) {
+        (**self).on_idle_span(parts, start, end);
     }
 }
 
@@ -359,7 +387,32 @@ pub struct Pipeline {
     int_ready: Vec<bool>,
     fp_ready: Vec<bool>,
     in_flight: Vec<Option<InFlight>>,
-    pending_release: Vec<(u64, RegClass, PhysReg)>,
+    /// Occupied `in_flight` slots (allocations minus retires): the drain
+    /// check without the window scan.
+    in_flight_count: usize,
+    /// Delayed physical-register releases, sorted by due time: every push
+    /// uses `now + release_delay` with a fixed delay and a monotonic clock,
+    /// so the queue is ordered by construction and the front is the next
+    /// release event.
+    pending_release: VecDeque<(u64, RegClass, PhysReg)>,
+    /// Issued in-flight uops keyed by completion time: the retire stage
+    /// pops the due set instead of rescanning the window, and the front is
+    /// the next retire event for skip-ahead. Entries are unique (a uop
+    /// issues once) and `finish_at` never changes after issue.
+    retire_q: BinaryHeap<Reverse<(u64, SlotId)>>,
+    /// Scratch for the due set, sorted to slot order (the order the window
+    /// scan would retire in). Reused to stay allocation-free.
+    retire_buf: Vec<SlotId>,
+    /// Ready-but-unissued uops per port, keyed by age (`seq`): the issue
+    /// stage pops the oldest instead of rescanning the window. A uop is
+    /// pushed exactly once — at allocation if both sources are ready, or at
+    /// the wakeup that completes its readiness — and popped when issued.
+    ready_q: [BinaryHeap<Reverse<(u64, SlotId)>>; 5],
+    /// Per-physical-register wakeup lists (integer / FP): slots whose
+    /// sources were not ready at allocation, visited once when the producer
+    /// writes back. Replaces the O(window) wake scan.
+    waiters_int: Vec<Vec<SlotId>>,
+    waiters_fp: Vec<Vec<SlotId>>,
     stall_until: u64,
     alu_rr: u8,
     agu_rr: u8,
@@ -466,7 +519,13 @@ impl Pipeline {
             int_ready,
             fp_ready,
             in_flight: vec![None; config.sched_entries],
-            pending_release: Vec::new(),
+            in_flight_count: 0,
+            pending_release: VecDeque::new(),
+            retire_q: BinaryHeap::new(),
+            retire_buf: Vec::new(),
+            ready_q: std::array::from_fn(|_| BinaryHeap::new()),
+            waiters_int: vec![Vec::new(); usize::from(config.int_rf.entries)],
+            waiters_fp: vec![Vec::new(); usize::from(config.fp_rf.entries)],
             stall_until: 0,
             alu_rr: 0,
             agu_rr: 0,
@@ -496,7 +555,47 @@ impl Pipeline {
     /// Runs a trace to completion (drains in-flight uops afterwards) and
     /// returns this run's statistics. May be called repeatedly; structures
     /// and the clock carry over, mimicking back-to-back trace execution.
+    ///
+    /// This is the event-driven core: cycles in which nothing can happen —
+    /// front-end bubbles with the window waiting on long misses, structural
+    /// stalls, drain tails — are skipped in one step, with hooks notified
+    /// through [`Hooks::on_idle_span`]. Observable behavior (results, hook
+    /// call sequence, residency accounting) is identical to
+    /// [`Pipeline::run_cycle_accurate`].
     pub fn run<I, H>(&mut self, trace: I, hooks: &mut H) -> RunResult
+    where
+        I: IntoIterator<Item = Uop>,
+        H: Hooks,
+    {
+        self.run_inner(trace, hooks, true)
+    }
+
+    /// Runs a chunked (structure-of-arrays) uop stream to completion: the
+    /// generator side runs a block of uops at a time into parallel arrays
+    /// (see [`tracegen::soa`]), and allocation decodes them sequentially.
+    /// Yields exactly the results of [`Pipeline::run`] over the same uops —
+    /// batching changes generation timing, never content or order.
+    pub fn run_chunked<I, H>(&mut self, chunks: ChunkedUops<I>, hooks: &mut H) -> RunResult
+    where
+        I: Iterator<Item = Uop>,
+        H: Hooks,
+    {
+        self.run_inner(chunks.into_uops(), hooks, true)
+    }
+
+    /// The cycle-by-cycle reference loop: identical to [`Pipeline::run`]
+    /// but ticking every simulated cycle. Kept as the differential oracle
+    /// for the event-driven core (and as the baseline leg of the
+    /// `pipeline_run` Criterion bench).
+    pub fn run_cycle_accurate<I, H>(&mut self, trace: I, hooks: &mut H) -> RunResult
+    where
+        I: IntoIterator<Item = Uop>,
+        H: Hooks,
+    {
+        self.run_inner(trace, hooks, false)
+    }
+
+    fn run_inner<I, H>(&mut self, trace: I, hooks: &mut H, skip_ahead: bool) -> RunResult
     where
         I: IntoIterator<Item = Uop>,
         H: Hooks,
@@ -505,20 +604,30 @@ impl Pipeline {
         let start_uops = self.uops_retired;
         let start_issues = self.port_issues;
         let start_adder = self.adder_ops;
-        let mut trace = trace.into_iter();
+        let mut trace = trace.into_iter().fuse();
         let mut pending: Option<Uop> = None;
+        let mut trace_done = false;
         loop {
             self.now += 1;
             let now = self.now;
             self.retire(now, hooks);
             self.issue(now, hooks);
             // Allocate (unless the front-end is refilling after a
-            // mispredict bubble).
+            // mispredict bubble). `blocked` records a structural stall: the
+            // head uop found no slot/register/MOB id, which cannot resolve
+            // before the next retire or release event.
             let mut allocated = 0;
+            let mut blocked = false;
             while now >= self.stall_until && allocated < self.config.alloc_width {
-                let uop = match pending.take().or_else(|| trace.next()) {
+                let uop = match pending.take() {
                     Some(u) => u,
-                    None => break,
+                    None => match trace.next() {
+                        Some(u) => u,
+                        None => {
+                            trace_done = true;
+                            break;
+                        }
+                    },
                 };
                 match self.try_allocate(&uop, now, hooks) {
                     true => {
@@ -541,19 +650,42 @@ impl Pipeline {
                     }
                     false => {
                         pending = Some(uop);
+                        blocked = true;
                         break;
                     }
                 }
             }
             hooks.cycle_end(&mut self.parts, now);
-            let drained =
-                self.in_flight.iter().all(Option::is_none) && self.pending_release.is_empty();
+            let drained = self.in_flight_count == 0 && self.pending_release.is_empty();
             if pending.is_none() && drained {
                 // Probe the iterator for more work.
                 match trace.next() {
                     Some(u) => pending = Some(u),
                     None => break,
                 }
+            }
+            if !skip_ahead {
+                continue;
+            }
+            // Skip ahead: the next interesting cycle is the earliest of the
+            // next retire, the next delayed register release, the next issue
+            // (something is ready now), and the next allocation attempt
+            // (immediately, unless the front end is bubbled or structurally
+            // blocked). Anything strictly between is an idle span in which
+            // no event fires and no state changes except hook maintenance.
+            let mut next = self.retire_q.peek().map_or(u64::MAX, |&Reverse((t, _))| t);
+            if let Some(&(t, _, _)) = self.pending_release.front() {
+                next = next.min(t);
+            }
+            if self.ready_q.iter().any(|q| !q.is_empty()) {
+                next = next.min(now + 1);
+            }
+            if !blocked && (pending.is_some() || !trace_done) {
+                next = next.min((now + 1).max(self.stall_until));
+            }
+            if next > now + 1 && next != u64::MAX {
+                hooks.on_idle_span(&mut self.parts, now + 1, next - 1);
+                self.now = next - 1;
             }
         }
         let mut port_issues = [0u64; 5];
@@ -579,72 +711,111 @@ impl Pipeline {
     }
 
     fn retire<H: Hooks>(&mut self, now: u64, hooks: &mut H) {
-        for slot in 0..self.in_flight.len() {
-            let Some(fl) = self.in_flight[slot] else {
-                continue;
-            };
-            if !fl.issued || fl.finish_at > now {
-                continue;
+        // Pop the due set off the completion heap and replay it in slot
+        // order — exactly the set, and the order, the full window scan
+        // retired in. Heap entries are unique and `finish_at` is immutable
+        // after issue, so nothing here can be stale.
+        if self
+            .retire_q
+            .peek()
+            .is_some_and(|&Reverse((t, _))| t <= now)
+        {
+            self.retire_buf.clear();
+            while let Some(&Reverse((t, slot))) = self.retire_q.peek() {
+                if t > now {
+                    break;
+                }
+                self.retire_q.pop();
+                self.retire_buf.push(slot);
             }
-            // Writeback.
-            if let Some((dst, prev)) = fl.dst {
-                let class = if fl.fp { RegClass::Fp } else { RegClass::Int };
-                let rf = match class {
-                    RegClass::Int => &mut self.parts.int_rf,
-                    RegClass::Fp => &mut self.parts.fp_rf,
+            self.retire_buf.sort_unstable();
+            for i in 0..self.retire_buf.len() {
+                let slot = self.retire_buf[i];
+                let Some(fl) = self.in_flight[slot] else {
+                    continue;
                 };
-                rf.write(dst, fl.result, now);
-                hooks.regfile_written(rf, class, dst, fl.result, now);
-                if fl.fp {
-                    self.fp_ready[usize::from(dst)] = true;
-                } else {
-                    self.int_ready[usize::from(dst)] = true;
-                }
-                if let Some(prev) = prev {
-                    self.pending_release
-                        .push((now + self.config.release_delay, class, prev));
-                }
-                // Wake dependents.
-                for (other_slot, other) in self.in_flight.iter_mut().enumerate() {
-                    let Some(o) = other else { continue };
-                    if o.fp != fl.fp {
-                        continue;
+                // Writeback.
+                if let Some((dst, prev)) = fl.dst {
+                    let class = if fl.fp { RegClass::Fp } else { RegClass::Int };
+                    let rf = match class {
+                        RegClass::Int => &mut self.parts.int_rf,
+                        RegClass::Fp => &mut self.parts.fp_rf,
+                    };
+                    rf.write(dst, fl.result, now);
+                    hooks.regfile_written(rf, class, dst, fl.result, now);
+                    if fl.fp {
+                        self.fp_ready[usize::from(dst)] = true;
+                    } else {
+                        self.int_ready[usize::from(dst)] = true;
                     }
-                    if !o.ready1 && o.src1 == Some(dst) {
-                        o.ready1 = true;
-                        self.parts
-                            .sched
-                            .write_field(other_slot, Field::Ready1, 1, now);
+                    if let Some(prev) = prev {
+                        self.pending_release.push_back((
+                            now + self.config.release_delay,
+                            class,
+                            prev,
+                        ));
                     }
-                    if !o.ready2 && o.src2 == Some(dst) {
-                        o.ready2 = true;
-                        self.parts
-                            .sched
-                            .write_field(other_slot, Field::Ready2, 1, now);
+                    // Wake dependents: exactly the slots that registered on
+                    // this physical register at allocation. Visit order may
+                    // differ from the old window scan, but every update is a
+                    // commutative flag/residency write and the ready queues
+                    // key on unique (seq, slot), so observable behavior is
+                    // unchanged.
+                    let waiters = if fl.fp {
+                        &mut self.waiters_fp
+                    } else {
+                        &mut self.waiters_int
+                    };
+                    let mut list = std::mem::take(&mut waiters[usize::from(dst)]);
+                    for &other_slot in &list {
+                        let Some(o) = self.in_flight[other_slot].as_mut() else {
+                            continue;
+                        };
+                        let was_ready = o.ready1 && o.ready2;
+                        if !o.ready1 && o.src1 == Some(dst) {
+                            o.ready1 = true;
+                            self.parts
+                                .sched
+                                .write_field(other_slot, Field::Ready1, 1, now);
+                        }
+                        if !o.ready2 && o.src2 == Some(dst) {
+                            o.ready2 = true;
+                            self.parts
+                                .sched
+                                .write_field(other_slot, Field::Ready2, 1, now);
+                        }
+                        if !was_ready && o.ready1 && o.ready2 && !o.issued {
+                            self.ready_q[usize::from(o.port)].push(Reverse((o.seq, other_slot)));
+                        }
                     }
+                    list.clear();
+                    let waiters = if fl.fp {
+                        &mut self.waiters_fp
+                    } else {
+                        &mut self.waiters_int
+                    };
+                    waiters[usize::from(dst)] = list;
                 }
+                if let Some(mob) = fl.mob {
+                    self.parts.mob.release(mob);
+                }
+                self.parts.sched.release(slot, now);
+                hooks.scheduler_released(&mut self.parts.sched, slot, now);
+                self.in_flight[slot] = None;
+                self.in_flight_count -= 1;
+                self.uops_retired += 1;
             }
-            if let Some(mob) = fl.mob {
-                self.parts.mob.release(mob);
-            }
-            self.parts.sched.release(slot, now);
-            hooks.scheduler_released(&mut self.parts.sched, slot, now);
-            self.in_flight[slot] = None;
-            self.uops_retired += 1;
         }
 
         // Delayed physical-register releases (commit lag), after the
         // cycle's writebacks so the paper's "port available at release"
-        // statistic sees real write-port pressure.
-        let due: Vec<(u64, RegClass, PhysReg)> = {
-            let (due, rest): (Vec<_>, Vec<_>) = self
-                .pending_release
-                .drain(..)
-                .partition(|&(t, _, _)| t <= now);
-            self.pending_release = rest;
-            due
-        };
-        for (_, class, preg) in due {
+        // statistic sees real write-port pressure. The queue is sorted by
+        // due time, so the due set is exactly the front run.
+        while let Some(&(t, class, preg)) = self.pending_release.front() {
+            if t > now {
+                break;
+            }
+            self.pending_release.pop_front();
             let rf = match class {
                 RegClass::Int => &mut self.parts.int_rf,
                 RegClass::Fp => &mut self.parts.fp_rf,
@@ -656,16 +827,13 @@ impl Pipeline {
 
     fn issue<H: Hooks>(&mut self, now: u64, hooks: &mut H) {
         for port in 0u8..5 {
-            // Oldest ready, unissued uop bound to this port.
-            let candidate = self
-                .in_flight
-                .iter()
-                .enumerate()
-                .filter_map(|(slot, fl)| fl.as_ref().map(|f| (slot, f)))
-                .filter(|(_, f)| !f.issued && f.port == port && f.ready1 && f.ready2)
-                .min_by_key(|(_, f)| f.seq)
-                .map(|(slot, _)| slot);
-            let Some(slot) = candidate else { continue };
+            // Oldest ready, unissued uop bound to this port: the front of
+            // the port's ready queue (entries are pushed exactly when a uop
+            // becomes ready and popped here, so the queue never holds a
+            // stale slot).
+            let Some(Reverse((_, slot))) = self.ready_q[usize::from(port)].pop() else {
+                continue;
+            };
 
             let mut extra = 0;
             if let Some(addr) = self.in_flight[slot].as_ref().and_then(|f| f.mem_addr) {
@@ -692,7 +860,9 @@ impl Pipeline {
             };
             fl.issued = true;
             fl.finish_at = now + u64::from(fl.class.latency()) + extra;
+            let finish_at = fl.finish_at;
             let class = fl.class;
+            self.retire_q.push(Reverse((finish_at, slot)));
             self.parts.sched.issue(slot, now);
             self.port_issues[usize::from(port)] += 1;
             if class == UopClass::IntAlu || class.is_memory() {
@@ -787,6 +957,22 @@ impl Pipeline {
         let src2 = map_src(uop.src2, &self.int_map, &self.fp_map);
         let ready1 = src1.is_none_or(|p| self.ready_flag(fp, p));
         let ready2 = src2.is_none_or(|p| self.ready_flag(fp, p));
+        // Register on the producers' wakeup lists. A duplicate entry (both
+        // sources on one register) is harmless: the second visit finds the
+        // flags already set.
+        {
+            let waiters = if fp {
+                &mut self.waiters_fp
+            } else {
+                &mut self.waiters_int
+            };
+            if let (false, Some(p)) = (ready1, src1) {
+                waiters[usize::from(p)].push(slot);
+            }
+            if let (false, Some(p)) = (ready2, src2) {
+                waiters[usize::from(p)].push(slot);
+            }
+        }
 
         // Update the rename map.
         let dst = dst.map(|(arch, preg)| {
@@ -828,6 +1014,10 @@ impl Pipeline {
 
         self.slot_rr = (slot + 1) % n;
         self.seq += 1;
+        if ready1 && ready2 {
+            self.ready_q[usize::from(port)].push(Reverse((self.seq, slot)));
+        }
+        self.in_flight_count += 1;
         self.in_flight[slot] = Some(InFlight {
             class: uop.class,
             fp,

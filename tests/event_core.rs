@@ -1,0 +1,169 @@
+//! Differential suite for the event-driven pipeline core.
+//!
+//! [`Pipeline::run`] (skip-ahead scheduling) must be observably identical
+//! to [`Pipeline::run_cycle_accurate`] (the per-cycle reference loop):
+//! same retired cycles and uops, same residency accounting down to the
+//! bit, same telemetry report content. Randomized traces probe the
+//! general case; the boundary tests pin the empty trace and a
+//! maximally-stalled dependency chain where skip-ahead does all the work.
+
+use penelope_telemetry::{TelemetryHooks, TelemetryOutput};
+use proptest::prelude::*;
+use tracegen::suite::Suite;
+use tracegen::trace::TraceSpec;
+use tracegen::uop::{Uop, UopClass};
+use uarch::pipeline::{Hooks, NoHooks, Parts, Pipeline, PipelineConfig};
+use uarch::scheduler::Field;
+
+/// Everything an outside observer can see of a finished run: retire
+/// totals, per-structure residency integrals (bit-exact, not fractions)
+/// and cache statistics.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    cycles: u64,
+    uops: u64,
+    port_issues: [u64; 5],
+    sched_fields: Vec<(u64, Vec<u64>)>,
+    int_rf: (u64, Vec<u64>),
+    fp_rf: (u64, Vec<u64>),
+    dl0_stats: uarch::cache::CacheStats,
+}
+
+fn residency(r: &uarch::bitstats::BitResidency) -> (u64, Vec<u64>) {
+    (
+        r.total_time(),
+        (0..r.width()).map(|b| r.zero_cycles(b)).collect(),
+    )
+}
+
+fn observe<I: IntoIterator<Item = Uop>>(trace: I, event_driven: bool) -> Observed {
+    let mut pipe = Pipeline::new(PipelineConfig::default());
+    let result = if event_driven {
+        pipe.run(trace, &mut NoHooks)
+    } else {
+        pipe.run_cycle_accurate(trace, &mut NoHooks)
+    };
+    let now = pipe.now();
+    pipe.parts.sched.sync(now);
+    pipe.parts.int_rf.sync(now);
+    pipe.parts.fp_rf.sync(now);
+    Observed {
+        cycles: result.cycles,
+        uops: result.uops,
+        port_issues: result.port_issues,
+        sched_fields: Field::ALL
+            .iter()
+            .map(|&f| residency(pipe.parts.sched.field_residency(f)))
+            .collect(),
+        int_rf: residency(pipe.parts.int_rf.residency()),
+        fp_rf: residency(pipe.parts.fp_rf.residency()),
+        dl0_stats: pipe.parts.dl0.stats().clone(),
+    }
+}
+
+/// Telemetry report content for a run (counters, series, histograms) —
+/// the simulated-domain body of the JSON run report.
+fn telemetry<I: IntoIterator<Item = Uop>>(trace: I, event_driven: bool) -> TelemetryOutput {
+    let mut pipe = Pipeline::new(PipelineConfig::default());
+    let mut hooks = TelemetryHooks::new(NoHooks, 64, 4096);
+    if event_driven {
+        pipe.run(trace, &mut hooks);
+    } else {
+        pipe.run_cycle_accurate(trace, &mut hooks);
+    }
+    hooks.into_parts().1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_traces_match_the_cycle_accurate_reference(
+        suite in 0usize..Suite::ALL.len(),
+        seed in 0usize..1024,
+        len in 0usize..1500,
+    ) {
+        let suite = Suite::ALL[suite];
+        let spec = TraceSpec::new(suite, seed % suite.trace_count());
+        let event = observe(spec.generate(len), true);
+        let cycle = observe(spec.generate(len), false);
+        prop_assert_eq!(event, cycle);
+    }
+
+    #[test]
+    fn random_traces_produce_identical_telemetry_reports(
+        suite in 0usize..Suite::ALL.len(),
+        seed in 0usize..1024,
+        len in 1usize..800,
+    ) {
+        let suite = Suite::ALL[suite];
+        let spec = TraceSpec::new(suite, seed % suite.trace_count());
+        let event = telemetry(spec.generate(len), true);
+        let cycle = telemetry(spec.generate(len), false);
+        prop_assert_eq!(event, cycle);
+    }
+}
+
+#[test]
+fn zero_length_trace_is_a_fixed_point_of_both_cores() {
+    let event = observe(Vec::new(), true);
+    let cycle = observe(Vec::new(), false);
+    assert_eq!(event.uops, 0);
+    assert_eq!(event, cycle);
+}
+
+/// A serial dependency chain at the longest execution latency (FpMul, 6
+/// cycles): every uop waits on the previous one's result, so most cycles
+/// are idle spans the event core can skip in one step.
+fn maximal_stall_chain(len: usize) -> Vec<Uop> {
+    (0..len)
+        .map(|i| {
+            let mut u = Uop::int_alu(1, 1, 2);
+            u.class = UopClass::FpMul;
+            u.port = UopClass::FpMul.port();
+            u.latency = UopClass::FpMul.latency();
+            u.pc = i as u64 * 4;
+            u
+        })
+        .collect()
+}
+
+#[test]
+fn maximal_stall_chain_matches_and_actually_skips() {
+    /// Counts how the run's cycles were delivered: ticked one at a time
+    /// (`cycle_end`) or covered by a skip-ahead span (`on_idle_span`).
+    #[derive(Default)]
+    struct SpanCounter {
+        ticked: u64,
+        spanned: u64,
+    }
+    impl Hooks for SpanCounter {
+        fn cycle_end(&mut self, _parts: &mut Parts, _now: u64) {
+            self.ticked += 1;
+        }
+        fn on_idle_span(&mut self, _parts: &mut Parts, start: u64, end: u64) {
+            self.spanned += end - start + 1;
+        }
+    }
+
+    let trace = maximal_stall_chain(64);
+    let event = observe(trace.clone(), true);
+    let cycle = observe(trace.clone(), false);
+    assert_eq!(event, cycle);
+
+    let mut pipe = Pipeline::new(PipelineConfig::default());
+    let mut counter = SpanCounter::default();
+    let result = pipe.run(trace, &mut counter);
+    assert_eq!(
+        counter.ticked + counter.spanned,
+        result.cycles,
+        "every cycle is either ticked or covered by exactly one span"
+    );
+    assert!(
+        counter.spanned > result.cycles / 2,
+        "a serial max-latency chain must be dominated by skipped spans \
+         ({} of {} cycles spanned)",
+        counter.spanned,
+        result.cycles
+    );
+}
