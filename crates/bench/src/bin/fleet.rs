@@ -1,0 +1,55 @@
+//! Fleet-scale Monte Carlo aging sweep: the distribution of NBTI
+//! guardband, worst-cell duty and Vmin increase across N core instances
+//! with per-instance process variation, behind a shared L2 (see
+//! `penelope::fleet`).
+use std::process::ExitCode;
+
+use penelope::error::Error;
+use penelope::fleet::FleetConfig;
+use penelope::{fleet, report};
+use penelope_bench::ExtraFlag;
+
+const EXTRAS: &[ExtraFlag] = &[
+    ExtraFlag {
+        flag: "--fleet-size",
+        value_name: "<N>",
+        help: "core instances in the fleet (default: 256/4096/32768 by scale)",
+    },
+    ExtraFlag {
+        flag: "--variation-sigma",
+        value_name: "<f>",
+        help: "process-variation sigma in [0, 0.5] (default 0.08)",
+    },
+];
+
+fn main() -> ExitCode {
+    penelope_bench::run_main_with(
+        "fleet",
+        "Fleet distribution",
+        "Monte Carlo extension beyond §4.7",
+        EXTRAS,
+        |scale, extras| {
+            let mut config = FleetConfig::for_scale(scale);
+            for (flag, value) in extras {
+                match flag.as_str() {
+                    "--fleet-size" => {
+                        config.fleet_size = value.trim().parse().map_err(|_| {
+                            Error::config(format!(
+                                "invalid fleet size {value:?} (expected a positive integer)"
+                            ))
+                        })?;
+                    }
+                    "--variation-sigma" => {
+                        config.variation_sigma = value.trim().parse().map_err(|_| {
+                            Error::config(format!(
+                                "invalid variation sigma {value:?} (expected a number)"
+                            ))
+                        })?;
+                    }
+                    _ => {}
+                }
+            }
+            Ok(report::render_fleet(&fleet::fleet(scale, config)?))
+        },
+    )
+}

@@ -34,8 +34,8 @@
 //!   (minimum) wall time; timing reruns execute with telemetry suspended
 //!   so the report's simulated totals stay single-run, and only the
 //!   non-golden `wall_seconds` / `*_per_sec` fields are affected.
-//!   Incompatible with `--checkpoint` / `--resume` / `--stream`, which
-//!   assume a single execution;
+//!   Incompatible with `--checkpoint` / `--resume` / `--stream` /
+//!   `--trace`, which assume a single recorded execution;
 //! - `-h` / `--help` — print usage and exit successfully.
 //!
 //! When a report path is active the recorder is installed before the
@@ -144,12 +144,19 @@ pub fn parse_jobs(value: &str) -> Result<usize, String> {
 
 /// Reads the worker count from `PENELOPE_JOBS`. Unset or empty means
 /// "use the machine's available parallelism"; unparseable values warn —
-/// on stderr and in the run report — and fall back the same way.
+/// on stderr and in the run report — and fall back the same way. `0` is
+/// special-cased: unlike garbage (where the user's intent is unknowable),
+/// a zero asks for "as little parallelism as possible", so it clamps to
+/// one worker with a warning instead of silently going wide.
 pub fn jobs_from_env() -> Option<usize> {
     let raw = std::env::var("PENELOPE_JOBS").ok()?;
     let trimmed = raw.trim();
     if trimmed.is_empty() {
         return None;
+    }
+    if trimmed.parse::<usize>() == Ok(0) {
+        degraded("PENELOPE_JOBS: job count 0 clamped to 1 worker".to_string());
+        return Some(1);
     }
     match parse_jobs(trimmed) {
         Ok(jobs) => Some(jobs),
@@ -262,6 +269,20 @@ pub fn header(what: &str, paper_ref: &str, scale: Scale) {
     );
 }
 
+/// An experiment-specific flag a binary registers on top of the shared
+/// set (e.g. the fleet driver's `--fleet-size`). Extras always take a
+/// value; parsed values are handed to the experiment closure unvalidated
+/// — the driver owns the parse, and a bad value is a hard error there.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtraFlag {
+    /// The flag itself, including the leading dashes (`"--fleet-size"`).
+    pub flag: &'static str,
+    /// The value placeholder printed in usage (`"<N>"`).
+    pub value_name: &'static str,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
 /// Command-line options shared by every bench binary, after merging flags
 /// with the environment.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -276,11 +297,25 @@ struct Args {
     progress: bool,
     repeat: Option<u32>,
     help: bool,
+    /// Registered experiment-specific flags, as `(flag, value)` pairs in
+    /// the order they appeared (a repeated flag keeps the last value).
+    extras: Vec<(String, String)>,
 }
 
-/// Parses the shared flag set. Pure function over the argument list so it
-/// is unit-testable; `run_main` feeds it `std::env::args().skip(1)`.
+/// Parses the shared flag set with no extras registered (the common
+/// case; unit tests exercise the shared flags through this entry).
+#[cfg(test)]
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    parse_args_with(args, &[])
+}
+
+/// Parses the shared flag set plus a binary's registered [`ExtraFlag`]s.
+/// Pure function over the argument list so it is unit-testable;
+/// `run_main_with` feeds it `std::env::args().skip(1)`.
+fn parse_args_with<I: IntoIterator<Item = String>>(
+    args: I,
+    extra_flags: &[ExtraFlag],
+) -> Result<Args, String> {
     let mut parsed = Args::default();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -316,14 +351,22 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
             "--repeat" => parsed.repeat = Some(parse_repeat(&value("--repeat")?)?),
             "-h" | "--help" => parsed.help = true,
             other => {
-                return Err(format!("unknown argument {other:?} (try --help)"));
+                if let Some(extra) = extra_flags.iter().find(|e| e.flag == other) {
+                    let v = value(extra.flag)?;
+                    match parsed.extras.iter_mut().find(|(k, _)| k == extra.flag) {
+                        Some((_, old)) => *old = v,
+                        None => parsed.extras.push((extra.flag.to_string(), v)),
+                    }
+                } else {
+                    return Err(format!("unknown argument {other:?} (try --help)"));
+                }
             }
         }
     }
     Ok(parsed)
 }
 
-fn usage(slug: &str) {
+fn usage_with(slug: &str, extra_flags: &[ExtraFlag]) {
     println!(
         "USAGE: {slug} [--scale <quick|standard|thorough>] [--jobs <N>] [--json <path>]\n\
          \x20               [--checkpoint <path>] [--resume] [--stream <path|->]\n\
@@ -350,7 +393,7 @@ fn usage(slug: &str) {
          \x20 --repeat <N>        run the experiment N times and report the best wall\n\
          \x20                     time (timing reruns record no telemetry; only the\n\
          \x20                     non-golden wall_seconds/*_per_sec fields change);\n\
-         \x20                     incompatible with --checkpoint/--resume/--stream\n\
+         \x20                     incompatible with --checkpoint/--resume/--stream/--trace\n\
          \x20 -h, --help          print this help\n\
          \n\
          Environment:\n\
@@ -364,6 +407,16 @@ fn usage(slug: &str) {
          \x20 PENELOPE_CELL_BUDGET quarantine any sweep cell whose telemetry exceeds\n\
          \x20                      this many simulated cycles"
     );
+    if !extra_flags.is_empty() {
+        println!("\nExperiment options ({slug}):");
+        for extra in extra_flags {
+            println!(
+                "  {:<19} {}",
+                format!("{} {}", extra.flag, extra.value_name),
+                extra.help
+            );
+        }
+    }
 }
 
 /// Parses a best-of-N repeat count: a positive integer (1 means a single
@@ -502,7 +555,23 @@ pub fn run_main(
     paper_ref: &str,
     experiment: impl Fn(Scale) -> Result<String, Error> + UnwindSafe,
 ) -> ExitCode {
-    let args = match parse_args(std::env::args().skip(1)) {
+    run_main_with(slug, what, paper_ref, &[], move |scale, _extras| {
+        experiment(scale)
+    })
+}
+
+/// [`run_main`] plus experiment-specific [`ExtraFlag`]s: the registered
+/// flags parse alongside the shared set, show under their own usage
+/// heading, and their `(flag, value)` pairs reach the experiment closure
+/// verbatim (the driver owns value validation).
+pub fn run_main_with(
+    slug: &str,
+    what: &str,
+    paper_ref: &str,
+    extra_flags: &[ExtraFlag],
+    experiment: impl Fn(Scale, &[(String, String)]) -> Result<String, Error> + UnwindSafe,
+) -> ExitCode {
+    let args = match parse_args_with(std::env::args().skip(1), extra_flags) {
         Ok(args) => args,
         Err(message) => {
             eprintln!("{slug}: {message}");
@@ -510,7 +579,7 @@ pub fn run_main(
         }
     };
     if args.help {
-        usage(slug);
+        usage_with(slug, extra_flags);
         return ExitCode::SUCCESS;
     }
     let (report, metrics_warning) = report_path(args.json);
@@ -573,10 +642,12 @@ pub fn run_main(
     let plan = fault_plan_from_env();
     let checkpoint = checkpoint_path(args.checkpoint);
     let repeat = args.repeat.unwrap_or(1);
-    if repeat > 1 && (checkpoint.is_some() || args.resume || args.stream.is_some()) {
+    if repeat > 1
+        && (checkpoint.is_some() || args.resume || args.stream.is_some() || args.trace.is_some())
+    {
         eprintln!(
-            "{slug}: --repeat cannot be combined with --checkpoint, --resume \
-             or --stream (timing reruns assume a single recorded execution)"
+            "{slug}: --repeat cannot be combined with --checkpoint, --resume, \
+             --stream or --trace (timing reruns assume a single recorded execution)"
         );
         let _ = recorder::finish();
         return ExitCode::FAILURE;
@@ -590,10 +661,18 @@ pub fn run_main(
         return ExitCode::FAILURE;
     }
     if let Some(path) = &checkpoint {
+        // The supervisor policy is stamped into the header: a journal
+        // written under one retry/budget regime holds results another
+        // regime might never have produced (a cell that succeeded on its
+        // second attempt, a budget-truncated run), so resuming under a
+        // different policy must refuse rather than silently mix them.
+        let policy = par::supervisor();
         let journal_header = JournalHeader {
             binary: slug.to_string(),
             scale: scale_json(&scale),
             fault_seed: plan.as_ref().map_or(0, |p| p.seed),
+            retries: policy.retries,
+            cell_budget: policy.cycle_budget,
         };
         let context = if args.resume {
             CheckpointContext::resume(path, &journal_header)
@@ -661,7 +740,7 @@ pub fn run_main(
         // functions, so re-entering one after a caught panic is safe; a
         // panicking run fails the process anyway.
         let started = std::time::Instant::now();
-        let first = catch_unwind(AssertUnwindSafe(|| experiment(scale)));
+        let first = catch_unwind(AssertUnwindSafe(|| experiment(scale, &args.extras)));
         let mut best_wall = started.elapsed().as_secs_f64();
         if repeat > 1 && matches!(first, Ok(Ok(_))) {
             // Timing reruns: telemetry is suspended so the report's
@@ -671,7 +750,7 @@ pub fn run_main(
             let suspended = recorder::suspend();
             for _ in 1..repeat {
                 let rerun_started = std::time::Instant::now();
-                let rerun = catch_unwind(AssertUnwindSafe(|| experiment(scale)));
+                let rerun = catch_unwind(AssertUnwindSafe(|| experiment(scale, &args.extras)));
                 let wall = rerun_started.elapsed().as_secs_f64();
                 if matches!(rerun, Ok(Ok(_))) {
                     best_wall = best_wall.min(wall);
@@ -975,6 +1054,44 @@ mod tests {
         assert!(parse_args(strings(&["--repeat", "0"]))
             .unwrap_err()
             .contains("positive integer"));
+    }
+
+    #[test]
+    fn registered_extra_flags_parse_in_both_styles_and_keep_the_last_value() {
+        const EXTRAS: &[ExtraFlag] = &[ExtraFlag {
+            flag: "--fleet-size",
+            value_name: "<N>",
+            help: "test flag",
+        }];
+        let parsed = parse_args_with(
+            strings(&["--fleet-size", "512", "--scale", "quick"]),
+            EXTRAS,
+        )
+        .unwrap();
+        assert_eq!(
+            parsed.extras,
+            vec![("--fleet-size".to_string(), "512".to_string())]
+        );
+        assert_eq!(parsed.scale, Some(Scale::quick()));
+        // Inline style, and a repeated flag overrides (last one wins, like
+        // the shared flags).
+        let parsed =
+            parse_args_with(strings(&["--fleet-size=8", "--fleet-size=64"]), EXTRAS).unwrap();
+        assert_eq!(
+            parsed.extras,
+            vec![("--fleet-size".to_string(), "64".to_string())]
+        );
+        assert!(parse_args_with(strings(&["--fleet-size"]), EXTRAS)
+            .unwrap_err()
+            .contains("requires a value"));
+        // Registering extras must not open the door to arbitrary flags.
+        assert!(parse_args_with(strings(&["--warp-factor", "9"]), EXTRAS)
+            .unwrap_err()
+            .contains("unknown argument"));
+        // And an extra is unknown to binaries that did not register it.
+        assert!(parse_args(strings(&["--fleet-size", "512"]))
+            .unwrap_err()
+            .contains("unknown argument"));
     }
 
     #[test]

@@ -28,6 +28,6 @@
 pub mod cli;
 
 pub use cli::{
-    fault_plan_from_env, header, jobs_from_env, parse_jobs, parse_scale, run_main, scale_from_env,
-    scale_name,
+    fault_plan_from_env, header, jobs_from_env, parse_jobs, parse_scale, run_main, run_main_with,
+    scale_from_env, scale_name, ExtraFlag,
 };

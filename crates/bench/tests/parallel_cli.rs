@@ -142,6 +142,70 @@ fn unparseable_jobs_env_degrades_into_report_warnings() {
 }
 
 #[test]
+fn jobs_flag_zero_is_a_hard_error() {
+    let output = fig6()
+        .args(["--scale", "quick", "--jobs", "0"])
+        .output()
+        .expect("fig6 binary runs");
+    assert!(!output.status.success(), "--jobs 0 must not run anything");
+    assert!(
+        stderr_of(&output).contains("positive integer"),
+        "stderr: {}",
+        stderr_of(&output)
+    );
+}
+
+#[test]
+fn jobs_env_zero_clamps_to_one_worker_with_a_report_warning() {
+    // Unlike the strict flag, the env var degrades: a CI matrix exporting
+    // PENELOPE_JOBS=0 gets a serial run plus a warning, not a dead job.
+    let path = tmp_path("fig6-jobs-env-zero.json");
+    let output = fig6()
+        .env("PENELOPE_JOBS", "0")
+        .args(["--scale", "quick", "--json"])
+        .arg(&path)
+        .output()
+        .expect("fig6 binary runs");
+    assert!(
+        output.status.success(),
+        "PENELOPE_JOBS=0 must clamp, not fail: {}",
+        stderr_of(&output)
+    );
+    let report = read_report(&path);
+    let warnings = report
+        .get("warnings")
+        .and_then(Json::as_array)
+        .expect("report carries a warnings array");
+    assert!(
+        warnings
+            .iter()
+            .filter_map(Json::as_str)
+            .any(|w| w.contains("clamped")),
+        "clamp missing from warnings: {warnings:?}"
+    );
+}
+
+#[test]
+fn repeat_refuses_to_combine_with_trace() {
+    let trace_path = tmp_path("fig6-repeat-trace.json");
+    let output = fig6()
+        .args(["--scale", "quick", "--repeat", "2", "--trace"])
+        .arg(&trace_path)
+        .output()
+        .expect("fig6 binary runs");
+    assert!(
+        !output.status.success(),
+        "--repeat with --trace must refuse: a timing rerun would overwrite \
+         the recorded timeline"
+    );
+    let stderr = stderr_of(&output);
+    assert!(
+        stderr.contains("--repeat") && stderr.contains("--trace"),
+        "refusal must name both flags: {stderr}"
+    );
+}
+
+#[test]
 fn faulted_parallel_run_exits_nonzero_and_reports_the_faults() {
     let path = tmp_path("fig6-faulted-jobs4.json");
     let output = fig6()

@@ -119,6 +119,14 @@ pub struct JournalHeader {
     pub scale: Json,
     /// The fault-injection seed (0 when faults are disabled).
     pub fault_seed: u64,
+    /// The supervisor retry count the journal's cells ran under. A cell
+    /// that quarantined at `retries: 0` might have succeeded at
+    /// `retries: 2` (and vice versa), so mixing policies across a resume
+    /// would merge results no single configuration could produce.
+    pub retries: u32,
+    /// The supervisor per-cell cycle budget (`None` when unbounded), for
+    /// the same reason: budget-truncated cells are policy artifacts.
+    pub cell_budget: Option<u64>,
 }
 
 impl JournalHeader {
@@ -129,6 +137,11 @@ impl JournalHeader {
         obj.set("binary", Json::Str(self.binary.clone()));
         obj.set("scale", self.scale.clone());
         obj.set("fault_seed", Json::UInt(self.fault_seed));
+        obj.set("retries", Json::UInt(u64::from(self.retries)));
+        obj.set(
+            "cell_budget",
+            self.cell_budget.map_or(Json::Null, Json::UInt),
+        );
         // Cells are hermetic and merged in index order, so journal state
         // is valid at any worker count; recorded for the reader's benefit.
         obj.set("jobs_independent", Json::Bool(true));
@@ -173,6 +186,29 @@ impl JournalHeader {
             return Err(refuse(format!(
                 "journal fault seed {seed:?} != this run's seed {}",
                 self.fault_seed
+            )));
+        }
+        let retries = field("retries")?.as_u64();
+        if retries != Some(u64::from(self.retries)) {
+            let written = retries.map_or("none".to_string(), |r| r.to_string());
+            return Err(refuse(format!(
+                "journal was written with supervisor retries {written}, \
+                 this run uses {}",
+                self.retries
+            )));
+        }
+        let budget = match field("cell_budget")? {
+            Json::Null => None,
+            other => Some(other.as_u64().ok_or_else(|| {
+                refuse("journal cell_budget must be null or an unsigned integer".to_string())
+            })?),
+        };
+        if budget != self.cell_budget {
+            let show = |b: Option<u64>| b.map_or("none".to_string(), |v| v.to_string());
+            return Err(refuse(format!(
+                "journal was written with cell budget {}, this run uses {}",
+                show(budget),
+                show(self.cell_budget)
             )));
         }
         if field("jobs_independent")? != &Json::Bool(true) {
@@ -603,6 +639,8 @@ mod tests {
             binary: "test".to_string(),
             scale,
             fault_seed: 7,
+            retries: 1,
+            cell_budget: None,
         }
     }
 
@@ -671,6 +709,34 @@ mod tests {
         };
         let err = CheckpointContext::resume(&path, &other).expect_err("wrong seed");
         assert!(err.to_string().contains("fault seed"), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_refuses_a_different_supervisor_policy() {
+        let path = tmp_path("policy");
+        let ctx = CheckpointContext::create(&path, &header()).expect("create");
+        ctx.append("fig6", 0, Json::Float(1.0), None);
+        drop(ctx);
+
+        let more_retries = JournalHeader {
+            retries: 3,
+            ..header()
+        };
+        let err = CheckpointContext::resume(&path, &more_retries).expect_err("retries differ");
+        assert!(err.to_string().contains("resume refused"), "{err}");
+        assert!(err.to_string().contains("retries"), "{err}");
+
+        let budgeted = JournalHeader {
+            cell_budget: Some(10_000),
+            ..header()
+        };
+        let err = CheckpointContext::resume(&path, &budgeted).expect_err("budget differs");
+        assert!(err.to_string().contains("cell budget"), "{err}");
+
+        // The matching policy still resumes.
+        let resumed = CheckpointContext::resume(&path, &header()).expect("same policy resumes");
+        assert_eq!(resumed.restored_cells(), 1);
         let _ = fs::remove_file(&path);
     }
 

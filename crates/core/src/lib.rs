@@ -47,7 +47,11 @@
 //!   deterministic retry, cycle-budget watchdog, quarantine);
 //! - [`journal`]: the crash-safe checkpoint journal the engine persists
 //!   completed cells into, so interrupted sweeps resume instead of
-//!   restarting ([`journal::CheckpointContext`], [`journal::CellPayload`]).
+//!   restarting ([`journal::CheckpointContext`], [`journal::CellPayload`]);
+//! - [`fleet`]: fleet-scale Monte Carlo aging sweeps — N core instances
+//!   with seeded process-variation draws and per-suite workload anchors,
+//!   aggregated through compact mergeable sketches
+//!   ([`fleet::FleetSketch`]) into guardband/duty/Vmin distributions.
 //!
 //! # Quickstart
 //!
@@ -85,6 +89,7 @@ pub mod checked;
 pub mod error;
 pub mod experiments;
 pub mod fault;
+pub mod fleet;
 pub mod invert_mode;
 pub mod journal;
 pub mod l2_study;

@@ -268,6 +268,44 @@ pub fn render_vmin(rows: &[crate::experiments::VminRow]) -> String {
     out
 }
 
+/// Renders the fleet-wide aging distribution summary.
+pub fn render_fleet(summary: &crate::fleet::FleetSummary) -> String {
+    let s = &summary.sketch;
+    let mut out = format!(
+        "Fleet: Monte Carlo aging across {} core instances \
+         (variation sigma {:.3}, seed {})\n\
+         metric          mean     std     p50     p95     p99     max\n",
+        summary.config.fleet_size, summary.config.variation_sigma, summary.config.seed,
+    );
+    for (name, m) in [
+        ("guardband", &s.guardband),
+        ("worst duty", &s.duty),
+        ("Vmin incr.", &s.vmin),
+    ] {
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
+            name,
+            pct(m.moments.mean),
+            pct(m.moments.std()),
+            pct(m.histogram.quantile(0.50)),
+            pct(m.histogram.quantile(0.95)),
+            pct(m.histogram.quantile(0.99)),
+            pct(m.moments.max),
+        ));
+    }
+    match &s.worst {
+        Some(w) => out.push_str(&format!(
+            "worst core: #{} ({}) needs {} Vmin increase at {} guardband\n",
+            w.index,
+            summary.worst_suite,
+            pct(w.vmin_increase),
+            pct(w.guardband),
+        )),
+        None => out.push_str("worst core: none (empty fleet)\n"),
+    }
+    out
+}
+
 /// Renders the design-parameter ablation.
 pub fn render_ablation(rows: &[crate::experiments::AblationRow]) -> String {
     let mut out = String::from(
@@ -314,6 +352,42 @@ mod tests {
     #[test]
     fn percentage_formatting() {
         assert_eq!(pct(0.058), "5.80%");
+    }
+
+    #[test]
+    fn fleet_rendering_names_the_worst_core() {
+        use crate::fleet::{FleetConfig, FleetSketch, FleetSummary};
+        let mut sketch = FleetSketch::empty();
+        for i in 0..8u64 {
+            let x = i as f64 / 8.0;
+            sketch.observe(i, 0.02 + 0.02 * x, 0.5 + 0.4 * x, 0.01 + 0.01 * x);
+        }
+        let summary = FleetSummary {
+            config: FleetConfig {
+                fleet_size: 8,
+                variation_sigma: 0.08,
+                seed: 42,
+            },
+            sketch,
+            worst_suite: "Office",
+        };
+        let text = render_fleet(&summary);
+        assert!(text.contains("8 core instances"));
+        assert!(text.contains("guardband"));
+        assert!(text.contains("worst core: #7 (Office)"));
+
+        // An empty fleet renders the degenerate line, not NaN quantiles.
+        let empty = FleetSummary {
+            config: FleetConfig {
+                fleet_size: 8,
+                variation_sigma: 0.08,
+                seed: 42,
+            },
+            sketch: FleetSketch::empty(),
+            worst_suite: "-",
+        };
+        let text = render_fleet(&empty);
+        assert!(text.contains("worst core: none (empty fleet)"));
     }
 
     #[test]

@@ -140,6 +140,13 @@ impl GuardbandModel {
     pub fn best_case(&self) -> Guardband {
         Guardband(self.floor)
     }
+
+    /// The duty→guardband slope (36%/duty for the paper calibration).
+    /// Exposed so per-instance process variation (see
+    /// [`crate::variation`]) can scale the anchor.
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
 }
 
 impl Default for GuardbandModel {
@@ -169,6 +176,52 @@ impl VminModel {
             shift_slope: 0.18,
             shift_cap: 0.10,
         }
+    }
+
+    /// Creates a custom Vth-shift model with the given floor, slope and
+    /// cap, under the same validity rules as
+    /// [`GuardbandModel::with_parameters`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any parameter is not finite, if `shift_floor`
+    /// or `shift_slope` is negative, or if `shift_cap < shift_floor`.
+    pub fn with_parameters(shift_floor: f64, shift_slope: f64, shift_cap: f64) -> Result<Self> {
+        for (what, value) in [
+            ("shift_floor", shift_floor),
+            ("shift_slope", shift_slope),
+            ("shift_cap", shift_cap),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(Error::NonPositiveParameter { what, value });
+            }
+        }
+        if shift_cap < shift_floor {
+            return Err(Error::NonPositiveParameter {
+                what: "shift_cap (must be >= shift_floor)",
+                value: shift_cap,
+            });
+        }
+        Ok(VminModel {
+            shift_floor,
+            shift_slope,
+            shift_cap,
+        })
+    }
+
+    /// The Vth-shift floor (1% for the paper calibration).
+    pub fn shift_floor(&self) -> f64 {
+        self.shift_floor
+    }
+
+    /// The duty→Vth-shift slope (18%/duty for the paper calibration).
+    pub fn shift_slope(&self) -> f64 {
+        self.shift_slope
+    }
+
+    /// The Vth-shift cap (10% for the paper calibration).
+    pub fn shift_cap(&self) -> f64 {
+        self.shift_cap
     }
 
     /// Relative threshold-voltage shift at end of life for the worst cell

@@ -18,6 +18,8 @@
 //!   factors when duty is reduced (the "at least 4X" claim of the paper).
 //! - [`metric`]: the `NBTIefficiency` metric (equation 1) and the
 //!   processor-level aggregation rules (equations 2–4).
+//! - [`variation`]: seeded per-instance process variation on the model
+//!   anchors, for fleet-scale Monte Carlo studies (`penelope::fleet`).
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@ pub mod guardband;
 pub mod lifetime;
 pub mod metric;
 pub mod rd;
+pub mod variation;
 
 mod error;
 

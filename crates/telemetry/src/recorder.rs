@@ -84,6 +84,12 @@ pub struct Collector {
     pub wall_seconds: f64,
     /// Completed tracing spans, in open order (parents precede children).
     pub spans: Vec<SpanRecord>,
+    /// Driver-contributed report sections: each becomes a top-level key of
+    /// the run report (e.g. the fleet driver's `fleet` distribution
+    /// summary). Sections are set on the installing thread after a sweep's
+    /// merge — they carry their own `<name>_schema` version and do not
+    /// ride cell snapshots.
+    pub sections: Vec<(String, Json)>,
     /// Merged structure telemetry from every instrumented run.
     pub output: TelemetryOutput,
 }
@@ -157,6 +163,7 @@ fn fresh(settings: Settings, epoch: Instant) -> ActiveCollector {
             total_uops: 0,
             wall_seconds: 0.0,
             spans: Vec::new(),
+            sections: Vec::new(),
             output: TelemetryOutput::default(),
         },
         started: Instant::now(),
@@ -249,6 +256,23 @@ pub fn manifest_entry(key: &str, value: Json) {
             match manifest.iter_mut().find(|(k, _)| k == key) {
                 Some((_, v)) => *v = value,
                 None => manifest.push((key.to_string(), value)),
+            }
+        }
+    });
+}
+
+/// Adds (or replaces) a driver-contributed report section: `value` is
+/// emitted verbatim as the top-level report key `name`. Reserved top-level
+/// keys (`schema_version`, `manifest`, …) are rejected by report
+/// validation, so sections must pick fresh names and version themselves
+/// with a `<name>_schema` field. No-op when disabled.
+pub fn section(name: &str, value: Json) {
+    ACTIVE.with(|slot| {
+        if let Some(active) = slot.borrow_mut().as_mut() {
+            let sections = &mut active.collector.sections;
+            match sections.iter_mut().find(|(k, _)| k == name) {
+                Some((_, v)) => *v = value,
+                None => sections.push((name.to_string(), value)),
             }
         }
     });

@@ -125,8 +125,30 @@ pub fn build_report(collector: &Collector) -> Json {
         series.set(name, ring.to_json());
     }
     report.set("series", series);
+
+    // Driver-contributed sections last: each becomes its own top-level
+    // key. Reserved keys are skipped so a misbehaving driver cannot
+    // clobber the core schema.
+    for (name, value) in &collector.sections {
+        if !RESERVED_KEYS.contains(&name.as_str()) {
+            report.set(name, value.clone());
+        }
+    }
     report
 }
+
+/// Top-level keys owned by the core report schema; driver sections may
+/// not shadow them.
+const RESERVED_KEYS: &[&str] = &[
+    "schema_version",
+    "manifest",
+    "warnings",
+    "phases",
+    "spans",
+    "totals",
+    "metrics",
+    "series",
+];
 
 fn rate(count: u64, seconds: f64) -> f64 {
     if seconds > 0.0 {
@@ -298,6 +320,12 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
         }
     }
 
+    // The fleet driver's distribution section is optional; when present it
+    // must carry its own schema version and well-formed quantile blocks.
+    if let Some(fleet) = report.get("fleet") {
+        validate_fleet_section(fleet)?;
+    }
+
     if let Some(series) = report.get("series").and_then(Json::as_object) {
         for (name, points) in series {
             let points = points
@@ -323,6 +351,65 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
                     ));
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+/// Version of the optional `fleet` report section's schema. The fleet
+/// driver stamps this into the section it contributes; validation pins it
+/// so readers of the distribution summary can trust the field layout.
+pub const FLEET_SCHEMA: u64 = 1;
+
+/// Quantile keys every fleet metric block must carry, alongside the
+/// moment summary.
+const FLEET_QUANTILES: &[&str] = &["count", "mean", "std", "min", "max", "p50", "p95", "p99"];
+
+fn validate_fleet_section(fleet: &Json) -> Result<(), String> {
+    if fleet.as_object().is_none() {
+        return Err(format!(
+            "fleet must be an object, got {}",
+            fleet.type_name()
+        ));
+    }
+    let version = fleet
+        .get("fleet_schema")
+        .ok_or("fleet missing key: fleet_schema")?
+        .as_u64()
+        .ok_or("fleet.fleet_schema must be an unsigned integer")?;
+    if version != FLEET_SCHEMA {
+        return Err(format!(
+            "fleet.fleet_schema {version} != expected {FLEET_SCHEMA}"
+        ));
+    }
+    if fleet.get("fleet_size").and_then(Json::as_u64).is_none() {
+        return Err("fleet.fleet_size must be an unsigned integer".to_string());
+    }
+    for metric in ["guardband", "duty", "vmin"] {
+        let block = fleet
+            .get(metric)
+            .ok_or_else(|| format!("fleet missing key: {metric}"))?;
+        for key in FLEET_QUANTILES {
+            let value = block
+                .get(key)
+                .ok_or_else(|| format!("fleet.{metric} missing key: {key}"))?;
+            if value.as_f64().is_none() {
+                return Err(format!(
+                    "fleet.{metric}.{key} must be a number, got {}",
+                    value.type_name()
+                ));
+            }
+        }
+    }
+    let worst = fleet
+        .get("worst_core")
+        .ok_or("fleet missing key: worst_core")?;
+    if worst.get("index").and_then(Json::as_u64).is_none() {
+        return Err("fleet.worst_core.index must be an unsigned integer".to_string());
+    }
+    for key in ["vmin_increase", "guardband"] {
+        if worst.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("fleet.worst_core.{key} must be a number"));
         }
     }
     Ok(())
@@ -379,6 +466,7 @@ mod tests {
                     wall_seconds: 0.4,
                 },
             ],
+            sections: Vec::new(),
             output: crate::hooks::TelemetryOutput::default(),
         };
         let id = collector.output.registry.counter("uops");
@@ -506,6 +594,73 @@ mod tests {
         report.set("spans", Json::Array(vec![forward]));
         let err = validate_report(&report).expect_err("forward parent");
         assert!(err.contains("must precede"), "{err}");
+    }
+
+    fn sample_fleet_section() -> Json {
+        let metric_block = || {
+            let mut block = Json::object();
+            for key in FLEET_QUANTILES {
+                block.set(key, Json::Float(0.5));
+            }
+            block
+        };
+        let mut fleet = Json::object();
+        fleet.set("fleet_schema", Json::UInt(FLEET_SCHEMA));
+        fleet.set("fleet_size", Json::UInt(4096));
+        fleet.set("variation_sigma", Json::Float(0.1));
+        fleet.set("guardband", metric_block());
+        fleet.set("duty", metric_block());
+        fleet.set("vmin", metric_block());
+        let mut worst = Json::object();
+        worst.set("index", Json::UInt(17));
+        worst.set("vmin_increase", Json::Float(0.08));
+        worst.set("guardband", Json::Float(0.19));
+        fleet.set("worst_core", worst);
+        fleet
+    }
+
+    #[test]
+    fn sections_become_top_level_keys_but_cannot_shadow_the_schema() {
+        let mut collector = sample_collector();
+        collector
+            .sections
+            .push(("fleet".to_string(), sample_fleet_section()));
+        collector
+            .sections
+            .push(("totals".to_string(), Json::from("clobbered")));
+        let report = build_report(&collector);
+        validate_report(&report).expect("report with fleet section validates");
+        assert!(report.get("fleet").is_some(), "section emitted");
+        assert!(
+            report.get("totals").and_then(|t| t.get("cycles")).is_some(),
+            "reserved key survives a shadowing section"
+        );
+    }
+
+    #[test]
+    fn malformed_fleet_sections_are_rejected() {
+        let mut collector = sample_collector();
+        let mut fleet = sample_fleet_section();
+        fleet.set("fleet_schema", Json::UInt(FLEET_SCHEMA + 1));
+        collector.sections.push(("fleet".to_string(), fleet));
+        let err = validate_report(&build_report(&collector)).expect_err("wrong schema");
+        assert!(err.contains("fleet_schema"), "{err}");
+
+        let mut fleet = sample_fleet_section();
+        if let Json::Object(fields) = &mut fleet {
+            fields.retain(|(key, _)| key != "guardband");
+        }
+        collector.sections = vec![("fleet".to_string(), fleet)];
+        let err = validate_report(&build_report(&collector)).expect_err("missing block");
+        assert!(err.contains("guardband"), "{err}");
+
+        let mut fleet = sample_fleet_section();
+        let mut bad = fleet.get("duty").cloned().unwrap_or_else(Json::object);
+        bad.set("p99", Json::from("high"));
+        fleet.set("duty", bad);
+        collector.sections = vec![("fleet".to_string(), fleet)];
+        let err = validate_report(&build_report(&collector)).expect_err("mistyped quantile");
+        assert!(err.contains("duty.p99"), "{err}");
     }
 
     #[test]

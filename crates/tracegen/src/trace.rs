@@ -306,6 +306,18 @@ impl Workload {
         Workload { specs }
     }
 
+    /// A deterministic subsample of ~`count` traces of a *single* suite,
+    /// spread across the suite's Table 1 population. Fleet-scale studies
+    /// (`penelope::fleet`) use one of these per workload mix: every core
+    /// instance assigned the mix replays the same trace population.
+    pub fn suite_sample(suite: Suite, count: usize) -> Self {
+        let n = count.min(suite.trace_count());
+        let specs = (0..n)
+            .map(|i| TraceSpec::new(suite, i * suite.trace_count() / n.max(1)))
+            .collect();
+        Workload { specs }
+    }
+
     /// The trace specs.
     pub fn specs(&self) -> &[TraceSpec] {
         &self.specs
@@ -429,6 +441,20 @@ mod tests {
         for s in Suite::ALL {
             assert!(w.specs().iter().any(|t| t.suite() == s));
         }
+    }
+
+    #[test]
+    fn suite_sample_stays_inside_one_suite() {
+        let w = Workload::suite_sample(Suite::SpecInt2000, 3);
+        assert_eq!(w.len(), 3);
+        assert!(w.specs().iter().all(|t| t.suite() == Suite::SpecInt2000));
+        // Oversampling clamps to the suite population, indices all valid.
+        let w = Workload::suite_sample(Suite::Spec2006, 10_000);
+        assert_eq!(w.len(), Suite::Spec2006.trace_count());
+        let mut indices: Vec<usize> = w.specs().iter().map(|t| t.index()).collect();
+        indices.dedup();
+        assert_eq!(indices.len(), w.len(), "indices are distinct");
+        assert!(Workload::suite_sample(Suite::Office, 0).is_empty());
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Degenerate-input regression tests: empty and single-uop traces through
+//! both pipeline loops must produce finite statistics, and zero-span
+//! residency windows must report duty 0.0 instead of NaN.
+//!
+//! These pin the `total_time == 0` / `span == 0` guards in
+//! `uarch::bitstats` — a fleet profiling pass over a trivial workload must
+//! never leak NaN into the aging model.
+
+use tracegen::suite::Suite;
+use tracegen::trace::TraceSpec;
+use uarch::pipeline::{NoHooks, Pipeline, PipelineConfig, RunResult};
+
+fn pipeline() -> Pipeline {
+    Pipeline::try_new(PipelineConfig::default()).expect("default configuration is valid")
+}
+
+/// Every duty readout a driver consumes after a run, asserted finite and
+/// in range.
+fn assert_finite_duties(pipe: &mut Pipeline, result: &RunResult) {
+    assert!(result.cpi().is_finite(), "cpi must be finite: {result:?}");
+    let now = pipe.now();
+    pipe.parts.int_rf.sync(now);
+    pipe.parts.fp_rf.sync(now);
+    pipe.parts.sched.sync(now);
+    for (name, bias) in [
+        ("int_rf", pipe.parts.int_rf.residency().biases()),
+        ("fp_rf", pipe.parts.fp_rf.residency().biases()),
+    ] {
+        for (bit, duty) in bias.iter().enumerate() {
+            let f = duty.fraction();
+            assert!(
+                f.is_finite() && (0.0..=1.0).contains(&f),
+                "{name} bit {bit}: bias {f} out of range"
+            );
+        }
+    }
+    for rf in [&pipe.parts.int_rf, &pipe.parts.fp_rf] {
+        let worst = rf.residency().worst_cell_duty().fraction();
+        assert!(
+            worst.is_finite() && (0.0..=1.0).contains(&worst),
+            "worst cell duty {worst} out of range"
+        );
+    }
+    let occupancy = pipe.parts.sched.occupancy_at(now);
+    assert!(
+        occupancy.is_finite() && (0.0..=1.0).contains(&occupancy),
+        "scheduler occupancy {occupancy} out of range"
+    );
+}
+
+#[test]
+fn a_fresh_pipeline_reports_zero_duty_not_nan() {
+    // Zero observed span: no run at all. Every bias must be exactly 0.0
+    // (the documented degenerate-window answer), never NaN from 0/0.
+    let mut pipe = pipeline();
+    let now = pipe.now();
+    pipe.parts.int_rf.sync(now);
+    assert_eq!(pipe.parts.int_rf.residency().total_time(), 0);
+    for duty in pipe.parts.int_rf.residency().biases() {
+        assert_eq!(duty.fraction(), 0.0, "zero-span bias must be 0.0");
+    }
+    assert_eq!(pipe.parts.sched.occupancy_at(now), 0.0);
+}
+
+#[test]
+fn an_empty_trace_runs_cleanly_through_the_event_driven_loop() {
+    let mut pipe = pipeline();
+    let result = pipe.run(std::iter::empty(), &mut NoHooks);
+    assert_eq!(result.uops, 0);
+    assert_eq!(result.cpi(), 0.0, "cpi of an empty run is defined as 0.0");
+    assert_finite_duties(&mut pipe, &result);
+}
+
+#[test]
+fn an_empty_trace_runs_cleanly_through_the_cycle_accurate_loop() {
+    let mut pipe = pipeline();
+    let result = pipe.run_cycle_accurate(std::iter::empty(), &mut NoHooks);
+    assert_eq!(result.uops, 0);
+    assert_eq!(result.cpi(), 0.0);
+    assert_finite_duties(&mut pipe, &result);
+}
+
+#[test]
+fn a_single_uop_trace_runs_cleanly_through_both_loops() {
+    let trace = TraceSpec::new(Suite::Office, 0);
+    let mut event = pipeline();
+    let fast = event.run(trace.generate(1), &mut NoHooks);
+    assert_eq!(fast.uops, 1);
+    assert_finite_duties(&mut event, &fast);
+
+    let mut reference = pipeline();
+    let slow = reference.run_cycle_accurate(trace.generate(1), &mut NoHooks);
+    assert_eq!(slow.uops, 1);
+    assert_finite_duties(&mut reference, &slow);
+
+    // The event-driven loop is observably identical to the reference even
+    // on a one-uop trace (all drain, no steady state).
+    assert_eq!(fast, slow);
+}

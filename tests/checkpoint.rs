@@ -46,6 +46,8 @@ fn header(binary: &str) -> JournalHeader {
         binary: binary.to_string(),
         scale: obs::scale_json(&Scale::quick()),
         fault_seed: 0,
+        retries: 1,
+        cell_budget: None,
     }
 }
 
@@ -240,6 +242,21 @@ fn a_mismatched_header_refuses_resume_with_a_typed_error() {
     let message = resume_error(&path, &wrong_scale);
     assert!(message.contains("resume refused"), "{message}");
     assert!(message.contains("scale"), "{message}");
+
+    // Same journal, different supervisor policy: refuse. A journal of
+    // cells that ran under `retries: 1` holds outcomes a zero-retry (or
+    // budget-truncated) run might never reproduce.
+    let mut wrong_retries = header("fig6");
+    wrong_retries.retries = 0;
+    let message = resume_error(&path, &wrong_retries);
+    assert!(message.contains("resume refused"), "{message}");
+    assert!(message.contains("retries"), "{message}");
+
+    let mut wrong_budget = header("fig6");
+    wrong_budget.cell_budget = Some(5_000);
+    let message = resume_error(&path, &wrong_budget);
+    assert!(message.contains("resume refused"), "{message}");
+    assert!(message.contains("cell budget"), "{message}");
 }
 
 #[test]
