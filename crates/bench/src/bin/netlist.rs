@@ -1,0 +1,92 @@
+//! Arbitrary-netlist aging study: a BLIF model (bundled fixture or
+//! `--blif` file) lowered through the gatesim front end, compiled by the
+//! pass pipeline (DCE, instance mapping, seeded partitioning) and aged
+//! partition-by-partition as hermetic sweep cells (see
+//! `penelope::netlist_study`).
+use std::process::ExitCode;
+
+use gatesim::passes::PassConfig;
+use penelope::error::Error;
+use penelope::netlist_study::{self, NetlistConfig, NetlistSource};
+use penelope::report;
+use penelope_bench::ExtraFlag;
+
+const EXTRAS: &[ExtraFlag] = &[
+    ExtraFlag {
+        flag: "--blif",
+        value_name: "<path>",
+        help: "age the BLIF netlist at <path> instead of a bundled fixture",
+    },
+    ExtraFlag {
+        flag: "--fixture",
+        value_name: "<name>",
+        help: "bundled fixture: decoder, multiplier or adder (default multiplier)",
+    },
+    ExtraFlag {
+        flag: "--passes",
+        value_name: "<spec>",
+        help: "pass pipeline: dce,map[:threshold],partition[:parts] (default dce,map,partition:4)",
+    },
+    ExtraFlag {
+        flag: "--vectors",
+        value_name: "<N>",
+        help: "stimulus vectors (default: 64/512/2048 by scale)",
+    },
+    ExtraFlag {
+        flag: "--seed",
+        value_name: "<N>",
+        help: "stimulus and partition-placement seed",
+    },
+];
+
+fn main() -> ExitCode {
+    penelope_bench::run_main_with(
+        "netlist",
+        "Arbitrary-netlist aging",
+        "generalizes the §4.3 combinational-block study",
+        EXTRAS,
+        |scale, extras| {
+            let mut config = NetlistConfig::for_scale(scale);
+            let mut seed: Option<u64> = None;
+            for (flag, value) in extras {
+                match flag.as_str() {
+                    "--blif" => {
+                        let text = std::fs::read_to_string(value.trim()).map_err(|e| {
+                            Error::config(format!("cannot read BLIF file {value:?}: {e}"))
+                        })?;
+                        config.source = NetlistSource::Text(text);
+                    }
+                    "--fixture" => {
+                        config.source = NetlistSource::from_fixture_name(value.trim())?;
+                    }
+                    "--passes" => {
+                        config.passes = PassConfig::parse(value.trim()).map_err(Error::from)?;
+                    }
+                    "--vectors" => {
+                        config.vectors = value.trim().parse().map_err(|_| {
+                            Error::config(format!(
+                                "invalid vector count {value:?} (expected a positive integer)"
+                            ))
+                        })?;
+                    }
+                    "--seed" => {
+                        seed = Some(value.trim().parse().map_err(|_| {
+                            Error::config(format!("invalid seed {value:?} (expected an integer)"))
+                        })?);
+                    }
+                    _ => {}
+                }
+            }
+            // `--seed` wins over the spec's default whatever the flag
+            // order: it reseeds both the stimulus campaign and the
+            // partitioner's placement scramble.
+            if let Some(seed) = seed {
+                config.seed = seed;
+                config.passes.seed = seed;
+            }
+            Ok(report::render_netlist(&netlist_study::netlist_study(
+                &config,
+            )?))
+        },
+    )
+}

@@ -59,6 +59,10 @@ pub enum Error {
         /// What was wrong.
         message: String,
     },
+    /// A gate-level netlist problem: BLIF rejections (with line
+    /// context), pass-pipeline misconfiguration, or stimulus that does
+    /// not fit the circuit ([`gatesim::error::Error`]).
+    Gatesim(gatesim::error::Error),
 }
 
 impl std::fmt::Display for Error {
@@ -86,6 +90,7 @@ impl std::fmt::Display for Error {
                 "quarantined: {sweep} cell {cell} failed after {attempts} attempt(s): {message}"
             ),
             Error::Journal { message } => write!(f, "checkpoint journal: {message}"),
+            Error::Gatesim(e) => write!(f, "gatesim: {e}"),
         }
     }
 }
@@ -97,6 +102,7 @@ impl std::error::Error for Error {
             Error::Trace(e) => Some(e),
             Error::Pipeline(e) => Some(e),
             Error::Technique(e) => Some(e),
+            Error::Gatesim(e) => Some(e),
             _ => None,
         }
     }
@@ -123,6 +129,12 @@ impl From<PipelineError> for Error {
 impl From<TechniqueError> for Error {
     fn from(e: TechniqueError) -> Self {
         Error::Technique(e)
+    }
+}
+
+impl From<gatesim::error::Error> for Error {
+    fn from(e: gatesim::error::Error) -> Self {
+        Error::Gatesim(e)
     }
 }
 
@@ -182,6 +194,24 @@ mod tests {
         assert!(Error::journal("resume refused: truncated record")
             .to_string()
             .starts_with("checkpoint journal:"));
+    }
+
+    #[test]
+    fn gatesim_errors_wrap_with_their_line_context() {
+        let e: Error = gatesim::error::Error::blif(7, "bad cover").into();
+        let msg = e.to_string();
+        assert!(
+            msg.starts_with("gatesim:") && msg.contains("line 7"),
+            "{msg}"
+        );
+        let e: Error = gatesim::error::Error::InputArity {
+            expected: 9,
+            got: 2,
+        }
+        .into();
+        assert!(matches!(e, Error::Gatesim(_)));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
     }
 
     #[test]

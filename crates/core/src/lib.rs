@@ -51,7 +51,12 @@
 //! - [`fleet`]: fleet-scale Monte Carlo aging sweeps — N core instances
 //!   with seeded process-variation draws and per-suite workload anchors,
 //!   aggregated through compact mergeable sketches
-//!   ([`fleet::FleetSketch`]) into guardband/duty/Vmin distributions.
+//!   ([`fleet::FleetSketch`]) into guardband/duty/Vmin distributions;
+//! - [`netlist_study`]: arbitrary-netlist aging — BLIF models lowered
+//!   through [`gatesim::blif`], compiled by the [`gatesim::passes`]
+//!   pipeline (dead-cone elimination, instance mapping, seeded
+//!   partitioning) and aged partition-by-partition as hermetic sweep
+//!   cells with a bit-exact integer-counter merge.
 //!
 //! # Quickstart
 //!
@@ -93,6 +98,7 @@ pub mod fleet;
 pub mod invert_mode;
 pub mod journal;
 pub mod l2_study;
+pub mod netlist_study;
 pub mod obs;
 pub mod par;
 pub mod processor;

@@ -306,6 +306,53 @@ pub fn render_fleet(summary: &crate::fleet::FleetSummary) -> String {
     out
 }
 
+/// Renders the arbitrary-netlist aging study.
+pub fn render_netlist(summary: &crate::netlist_study::NetlistSummary) -> String {
+    let mut out = format!(
+        "Netlist: {} ({}) — {} inputs, {} outputs, {} gates, {} PMOS ({} wide)\n\
+         passes: DCE removed {} gate(s); {} partition(s), seed {:#x}; \
+         {} vectors over {} cycles (stimulus seed {:#x})\n\
+         part   gates  transistors     p50     p95     max\n",
+        summary.model,
+        summary.source,
+        summary.inputs,
+        summary.outputs,
+        summary.gates,
+        summary.transistors,
+        summary.wide_transistors,
+        summary.dce_removed,
+        summary.partitions.len(),
+        summary.partition_seed,
+        summary.vectors,
+        summary.observed_time,
+        summary.stimulus_seed,
+    );
+    for p in &summary.partitions {
+        out.push_str(&format!(
+            "{:>4}  {:>6}  {:>11}  {:>6} {:>7} {:>7}\n",
+            p.part,
+            p.gates,
+            p.transistors,
+            pct(p.p50),
+            pct(p.p95),
+            pct(p.max),
+        ));
+    }
+    out.push_str(&format!(
+        "duty: p50 {} / p95 {} / p99 {} / max {}\n\
+         worst gate: duty {} (narrow {}), Vth shift {:.4}, guardband {}\n",
+        pct(summary.duty_p50),
+        pct(summary.duty_p95),
+        pct(summary.duty_p99),
+        pct(summary.worst_duty.fraction()),
+        pct(summary.worst_duty.fraction()),
+        pct(summary.worst_narrow_duty.fraction()),
+        summary.worst_vth_shift,
+        pct(summary.guardband),
+    ));
+    out
+}
+
 /// Renders the design-parameter ablation.
 pub fn render_ablation(rows: &[crate::experiments::AblationRow]) -> String {
     let mut out = String::from(

@@ -81,6 +81,36 @@ impl AdderNetlist {
             assert!(a < (1u64 << w), "operand a does not fit in {w} bits");
             assert!(b < (1u64 << w), "operand b does not fit in {w} bits");
         }
+        self.assignment_unchecked(a, b, cin)
+    }
+
+    /// Fallible twin of [`input_assignment`](Self::input_assignment):
+    /// rejects operands that do not fit the adder width with a typed
+    /// error, for callers holding externally supplied stimulus (trace
+    /// operands, workload samples) rather than values they constructed.
+    pub fn try_input_assignment(
+        &self,
+        a: u64,
+        b: u64,
+        cin: bool,
+    ) -> Result<Vec<bool>, crate::error::Error> {
+        let w = self.width;
+        if w < 64 {
+            for (operand, value) in [("a", a), ("b", b)] {
+                if value >= (1u64 << w) {
+                    return Err(crate::error::Error::OperandWidth {
+                        operand,
+                        width: w,
+                        value,
+                    });
+                }
+            }
+        }
+        Ok(self.assignment_unchecked(a, b, cin))
+    }
+
+    fn assignment_unchecked(&self, a: u64, b: u64, cin: bool) -> Vec<bool> {
+        let w = self.width;
         let mut v = Vec::with_capacity(2 * w + 1);
         v.extend((0..w).map(|i| (a >> i) & 1 == 1));
         v.extend((0..w).map(|i| (b >> i) & 1 == 1));

@@ -1,0 +1,145 @@
+//! Typed errors for the gate-level simulator.
+//!
+//! gatesim sits below `penelope` in the workspace graph, so it cannot use
+//! `penelope::error::Error` directly; instead it exposes its own error
+//! enum and the core crate wraps it (`penelope::error::Error::Gatesim`).
+//! Every BLIF rejection carries the 1-based source line so malformed
+//! netlists are diagnosable without re-parsing.
+
+use std::fmt;
+
+/// Everything that can go wrong importing, exporting, or stimulating a
+/// netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The BLIF text is malformed (bad directive syntax, inconsistent
+    /// cover, undefined net, ...). `line` is 1-based; 0 means the error
+    /// is about the file as a whole (e.g. a missing `.model`).
+    Blif { line: usize, message: String },
+    /// The BLIF uses a construct the importer deliberately rejects
+    /// (`.latch`, `.subckt`, `.gate`, ...): gatesim models combinational
+    /// single-model netlists only.
+    Unsupported { line: usize, construct: String },
+    /// A `.names` block has more inputs than the lowering supports.
+    Oversized {
+        line: usize,
+        inputs: usize,
+        limit: usize,
+    },
+    /// A primary-input assignment has the wrong arity for the netlist.
+    InputArity { expected: usize, got: usize },
+    /// An operand does not fit the adder's declared bit width.
+    OperandWidth {
+        operand: &'static str,
+        width: usize,
+        value: u64,
+    },
+    /// A pass-pipeline specification string is malformed.
+    Pass { message: String },
+}
+
+impl Error {
+    /// Shorthand for a malformed-BLIF error.
+    pub fn blif(line: usize, message: impl Into<String>) -> Self {
+        Error::Blif {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a pass-spec error.
+    pub fn pass(message: impl Into<String>) -> Self {
+        Error::Pass {
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based source line a BLIF-shaped error points at, if any.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            Error::Blif { line, .. }
+            | Error::Unsupported { line, .. }
+            | Error::Oversized { line, .. } => Some(*line),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Blif { line, message } => {
+                if *line == 0 {
+                    write!(f, "blif: {message}")
+                } else {
+                    write!(f, "blif line {line}: {message}")
+                }
+            }
+            Error::Unsupported { line, construct } => {
+                write!(
+                    f,
+                    "blif line {line}: unsupported construct `{construct}` \
+                     (gatesim imports combinational single-model netlists only)"
+                )
+            }
+            Error::Oversized {
+                line,
+                inputs,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "blif line {line}: .names with {inputs} inputs exceeds \
+                     the lowering limit of {limit}"
+                )
+            }
+            Error::InputArity { expected, got } => {
+                write!(
+                    f,
+                    "input vector arity mismatch: netlist has {expected} \
+                     primary inputs, assignment supplies {got}"
+                )
+            }
+            Error::OperandWidth {
+                operand,
+                width,
+                value,
+            } => {
+                write!(
+                    f,
+                    "operand `{operand}` value {value:#x} does not fit the \
+                     adder's {width}-bit width"
+                )
+            }
+            Error::Pass { message } => write!(f, "pass pipeline: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_line_context() {
+        let e = Error::blif(12, "duplicate .model");
+        assert_eq!(e.line(), Some(12));
+        assert!(e.to_string().contains("line 12"));
+
+        let e = Error::Unsupported {
+            line: 3,
+            construct: ".latch".to_string(),
+        };
+        assert!(e.to_string().contains(".latch"));
+        assert_eq!(e.line(), Some(3));
+
+        let e = Error::InputArity {
+            expected: 65,
+            got: 64,
+        };
+        assert_eq!(e.line(), None);
+        assert!(e.to_string().contains("65"));
+    }
+}

@@ -37,6 +37,13 @@ impl fmt::Display for NetId {
 pub struct GateId(pub(crate) u32);
 
 impl GateId {
+    /// Builds the id of the gate at `index` in a netlist's gate list
+    /// (for callers that enumerate `gates()` positionally, e.g. the
+    /// differential tests comparing width annotations).
+    pub fn from_index(index: usize) -> GateId {
+        GateId(index as u32)
+    }
+
     /// Index of this gate within its netlist.
     pub fn index(self) -> usize {
         self.0 as usize

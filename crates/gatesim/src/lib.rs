@@ -21,6 +21,13 @@
 //!   a ripple-carry baseline.
 //! - [`vectors`]: the eight synthetic idle vectors of §4.3 and round-robin
 //!   pair campaigns (Figures 4 and 5).
+//! - [`blif`]: a dependency-free BLIF front end (parse/export) so any
+//!   synthesized combinational circuit — decoders, multipliers, whole
+//!   datapaths — can be imported and aged like the hand-built adder.
+//! - [`passes`]: the netlist pass pipeline (dead-cone elimination,
+//!   instance mapping, seeded deterministic partitioning) and hermetic
+//!   per-partition stress accumulation.
+//! - [`error`]: typed errors (BLIF rejections carry line context).
 //!
 //! # Example
 //!
@@ -45,8 +52,11 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod adder;
+pub mod blif;
+pub mod error;
 pub mod gate;
 pub mod netlist;
+pub mod passes;
 pub mod pmos;
 pub mod stress;
 pub mod vectors;

@@ -4,6 +4,7 @@
 //! topological construction (a gate may only read nets that already exist),
 //! so evaluation is a single forward pass over the gate list.
 
+use crate::error::Error;
 use crate::gate::{Gate, GateId, GateKind, NetId};
 
 /// A sealed combinational netlist.
@@ -80,6 +81,24 @@ impl Netlist {
             self.inputs.len(),
             assignment.len()
         );
+        self.evaluate_unchecked(assignment)
+    }
+
+    /// Fallible twin of [`evaluate`](Self::evaluate): rejects an assignment
+    /// whose arity does not match the primary inputs with a typed error
+    /// instead of panicking, so callers holding externally supplied stimulus
+    /// (trace operands, BLIF test vectors) can surface the mismatch.
+    pub fn try_evaluate(&self, assignment: &[bool]) -> Result<NetValues, Error> {
+        if assignment.len() != self.inputs.len() {
+            return Err(Error::InputArity {
+                expected: self.inputs.len(),
+                got: assignment.len(),
+            });
+        }
+        Ok(self.evaluate_unchecked(assignment))
+    }
+
+    fn evaluate_unchecked(&self, assignment: &[bool]) -> NetValues {
         let mut values = vec![false; self.net_count as usize];
         for (net, &value) in self.inputs.iter().zip(assignment) {
             values[net.index()] = value;
@@ -204,7 +223,9 @@ impl NetlistBuilder {
         self.sizing_wide = wide;
     }
 
-    fn add_gate(&mut self, kind: GateKind, inputs: Vec<NetId>) -> NetId {
+    /// Adds one primitive gate of any kind (the pass pipeline rebuilds
+    /// netlists generically through this).
+    pub(crate) fn add_gate(&mut self, kind: GateKind, inputs: Vec<NetId>) -> NetId {
         debug_assert_eq!(inputs.len(), kind.arity());
         for &net in &inputs {
             self.check_net(net);
@@ -293,6 +314,20 @@ impl NetlistBuilder {
     pub fn ao21(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
         let n = self.aoi21(a, b, c);
         self.inv(n)
+    }
+
+    /// Marks the gate driving `net` as explicitly wide, after the fact.
+    /// Returns `false` if no gate drives the net (primary inputs have no
+    /// driver). The BLIF importer uses this to honour `.wide` annotations
+    /// that may appear anywhere in the file.
+    pub fn mark_wide(&mut self, net: NetId) -> bool {
+        match self.gates.iter().position(|g| g.output == net) {
+            Some(index) => {
+                self.wide_gates[index] = true;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Seals the netlist: computes fanout and freezes the gate list.

@@ -84,6 +84,24 @@ impl StressTracker {
     /// the tracker was built for a different netlist.
     pub fn apply(&mut self, netlist: &Netlist, assignment: &[bool], duration: u64) {
         let values = netlist.evaluate(assignment);
+        self.charge(&values, duration);
+    }
+
+    /// Fallible twin of [`apply`](Self::apply): a wrong-arity assignment
+    /// surfaces as a typed [`Error`](crate::error::Error) instead of a
+    /// panic, so externally supplied stimulus cannot silently misapply.
+    pub fn try_apply(
+        &mut self,
+        netlist: &Netlist,
+        assignment: &[bool],
+        duration: u64,
+    ) -> Result<(), crate::error::Error> {
+        let values = netlist.try_evaluate(assignment)?;
+        self.charge(&values, duration);
+        Ok(())
+    }
+
+    fn charge(&mut self, values: &crate::netlist::NetValues, duration: u64) {
         let transistors = self.table.transistors();
         for (b, block) in self.blocks.iter_mut().enumerate() {
             let base = b * BLOCK_BITS;

@@ -341,11 +341,38 @@ impl MixedCampaign {
     /// Durations are scaled so that the real stream collectively weighs
     /// `utilization` and the two synthetic vectors split the idle time
     /// evenly — the long-run effect of per-idle-period round-robin (§3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a real operand does not fit the adder width; use
+    /// [`try_run`](Self::try_run) for externally supplied streams.
     pub fn run<I>(&self, adder: &AdderNetlist, real_inputs: I) -> StressTracker
     where
         I: IntoIterator<Item = (u64, u64, bool)>,
     {
-        let reals: Vec<(u64, u64, bool)> = real_inputs.into_iter().collect();
+        match self.try_run(adder, real_inputs) {
+            Ok(tracker) => tracker,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`run`](Self::run): every real operand triple is
+    /// validated against the adder's declared width before any stimulus
+    /// is applied, so an out-of-range sample surfaces as a typed
+    /// [`Error`](crate::error::Error) instead of silently misapplying
+    /// (or panicking on) the vector.
+    pub fn try_run<I>(
+        &self,
+        adder: &AdderNetlist,
+        real_inputs: I,
+    ) -> Result<StressTracker, crate::error::Error>
+    where
+        I: IntoIterator<Item = (u64, u64, bool)>,
+    {
+        let reals: Vec<Vec<bool>> = real_inputs
+            .into_iter()
+            .map(|(a, b, cin)| adder.try_input_assignment(a, b, cin))
+            .collect::<Result<_, _>>()?;
         let mut tracker = StressTracker::new(adder.netlist());
         // Integer time units: give each real sample `busy_units` cycles and
         // each synthetic vector half of the idle budget.
@@ -361,32 +388,34 @@ impl MixedCampaign {
             let idle_each =
                 ((idle_total as f64) * (busy_spent as f64) / (busy_total.max(1) as f64) / 2.0)
                     .round() as u64;
-            for &(a, b, cin) in &reals {
-                tracker.apply(
-                    adder.netlist(),
-                    &adder.input_assignment(a, b, cin),
-                    busy_each,
-                );
+            for assignment in &reals {
+                tracker.try_apply(adder.netlist(), assignment, busy_each)?;
             }
             for v in [self.pair.first, self.pair.second] {
                 let (a, b, cin) = v.operands(adder.width());
-                tracker.apply(
+                tracker.try_apply(
                     adder.netlist(),
-                    &adder.input_assignment(a, b, cin),
+                    &adder.try_input_assignment(a, b, cin)?,
                     idle_each,
-                );
+                )?;
             }
         } else {
             for v in [self.pair.first, self.pair.second] {
                 let (a, b, cin) = v.operands(adder.width());
-                tracker.apply(adder.netlist(), &adder.input_assignment(a, b, cin), 1);
+                tracker.try_apply(adder.netlist(), &adder.try_input_assignment(a, b, cin)?, 1)?;
             }
         }
-        tracker
+        Ok(tracker)
     }
 
     /// Convenience: run the campaign and map the worst narrow duty to a
     /// guardband.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a real operand does not fit the adder width; use
+    /// [`try_guardband`](Self::try_guardband) for externally supplied
+    /// streams.
     pub fn guardband<I>(
         &self,
         adder: &AdderNetlist,
@@ -398,6 +427,21 @@ impl MixedCampaign {
     {
         self.run(adder, real_inputs)
             .guardband(adder.netlist(), model)
+    }
+
+    /// Fallible twin of [`guardband`](Self::guardband).
+    pub fn try_guardband<I>(
+        &self,
+        adder: &AdderNetlist,
+        real_inputs: I,
+        model: &GuardbandModel,
+    ) -> Result<Guardband, crate::error::Error>
+    where
+        I: IntoIterator<Item = (u64, u64, bool)>,
+    {
+        Ok(self
+            .try_run(adder, real_inputs)?
+            .guardband(adder.netlist(), model))
     }
 }
 
@@ -515,6 +559,47 @@ mod tests {
     #[should_panic(expected = "utilization")]
     fn campaign_rejects_bad_utilization() {
         let _ = MixedCampaign::new(1.5, VectorPair::best_of_paper());
+    }
+
+    #[test]
+    fn oversized_real_operands_surface_as_typed_errors() {
+        let adder = LadnerFischerAdder::new(8);
+        let campaign = MixedCampaign::new(0.5, VectorPair::best_of_paper());
+        // 0x1FF does not fit 8 bits: the old path panicked, the fallible
+        // path reports which operand overflowed.
+        let err = campaign
+            .try_run(&adder, [(0x1FFu64, 0u64, false)])
+            .expect_err("oversized operand is rejected");
+        match err {
+            crate::error::Error::OperandWidth {
+                operand,
+                width,
+                value,
+            } => {
+                assert_eq!(operand, "a");
+                assert_eq!(width, 8);
+                assert_eq!(value, 0x1FF);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        let err = campaign
+            .try_guardband(
+                &adder,
+                [(1u64, 0x400u64, true)],
+                &GuardbandModel::paper_calibrated(),
+            )
+            .expect_err("oversized b operand is rejected");
+        assert!(err.to_string().contains('b'), "{err}");
+
+        // In-range streams succeed and match the panicking path.
+        let ok = campaign
+            .try_run(&adder, [(3u64, 250u64, true)])
+            .expect("in-range stream runs");
+        let legacy = campaign.run(&adder, [(3u64, 250u64, true)]);
+        assert_eq!(
+            ok.worst_duty().fraction().to_bits(),
+            legacy.worst_duty().fraction().to_bits()
+        );
     }
 
     #[test]

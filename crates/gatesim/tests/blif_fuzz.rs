@@ -1,0 +1,256 @@
+//! Parser robustness: a seeded fuzz corpus of malformed, truncated and
+//! mutated BLIF must never panic — every rejection is a typed error with
+//! line context — and `export → parse` must round-trip generated
+//! netlists (print→parse property).
+
+use gatesim::blif::{self, fixtures, MAX_NAMES_INPUTS};
+use gatesim::error::Error;
+use gatesim::gate::GateId;
+use gatesim::netlist::{Netlist, NetlistBuilder};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+/// Splitmix-style scramble for the deterministic corpus.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ------------------------------------------------------- seeded corpus
+
+/// Hand-written malformed inputs: every parse must return a typed error
+/// (never panic), and BLIF-shaped rejections must carry a line.
+#[test]
+fn malformed_corpus_yields_line_contexted_errors() {
+    let corpus: &[&str] = &[
+        "",
+        "\n\n\n",
+        "garbage before model\n",
+        ".model\n",
+        ".model a b c\n",
+        ".model m\n.latch a b\n",
+        ".model m\n.subckt child x=a\n",
+        ".model m\n.gate nand2 a=x b=y o=z\n",
+        ".model m\n.exdc\n",
+        ".model m\n.inputs a\n.names\n",
+        ".model m\n.inputs a\n.names a y\n",
+        ".model m\n.inputs a\n.names a y\n11 1\n",
+        ".model m\n.inputs a\n.names a y\n1\n",
+        ".model m\n.inputs a\n.names a y\n1 1 1\n",
+        ".model m\n.inputs a\n.names a y\n2 1\n",
+        ".model m\n.inputs a\n.names a y\n1 -\n",
+        ".model m\n.inputs a b\n.names a b y\n11 1\n10 0\n",
+        ".model m\n.inputs a\n.outputs ghost\n.end\n",
+        ".model m\n.inputs a a\n.outputs y\n",
+        ".model m\n.inputs a\n.names a q\n1 1\n.names a q\n0 1\n",
+        ".model m\n.inputs a\n.wide\n",
+        ".model m\n.inputs a\n.wide a b\n",
+        ".model m\n.wat\n",
+        ".model m\n.names k\n1\n.outputs k\n", // constant with no PI
+        "# only a comment\n",
+        "\\\n\\\n\\\n",
+        ".model m\n.inputs a\n.names a y \\\n",
+    ];
+    for (i, text) in corpus.iter().enumerate() {
+        match blif::parse(text) {
+            Ok(_) => {}
+            Err(e) => {
+                // Typed, displayable, and (for BLIF-shaped errors) located.
+                let shown = e.to_string();
+                assert!(!shown.is_empty(), "case {i}");
+                if let Some(line) = e.line() {
+                    let physical = text.lines().count();
+                    assert!(
+                        line <= physical.max(1),
+                        "case {i}: line {line} beyond the {physical}-line input"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Truncating a valid file at every byte boundary must parse or reject
+/// cleanly — a torn write can never panic the importer.
+#[test]
+fn every_truncation_of_the_fixtures_is_handled() {
+    for text in [fixtures::DECODER, fixtures::MULTIPLIER] {
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            let _ = blif::parse(&text[..cut]);
+        }
+    }
+}
+
+/// Seeded random mutations (byte flips, splices, duplications, token
+/// swaps) of the fixtures: thousands of hostile inputs, zero panics.
+#[test]
+fn seeded_mutation_fuzzing_never_panics() {
+    let seeds: Vec<u64> = (0..400).collect();
+    for seed in seeds {
+        let base = if seed % 2 == 0 {
+            fixtures::DECODER
+        } else {
+            fixtures::MULTIPLIER
+        };
+        let mut bytes = base.as_bytes().to_vec();
+        let mutations = 1 + (mix64(seed) % 8) as usize;
+        for m in 0..mutations {
+            let r = mix64(seed ^ (m as u64) << 32);
+            if bytes.is_empty() {
+                break;
+            }
+            let pos = (r % bytes.len() as u64) as usize;
+            match r >> 60 {
+                0..=5 => {
+                    // Flip to a printable byte (keeps it text-shaped).
+                    bytes[pos] = b' ' + ((r >> 8) % 94) as u8;
+                }
+                6..=8 => {
+                    bytes.truncate(pos);
+                }
+                9..=11 => {
+                    let splice = b".names x y z\n01 1\n";
+                    let at = pos.min(bytes.len());
+                    bytes.splice(at..at, splice.iter().copied());
+                }
+                12..=13 => {
+                    let end = (pos + 1 + (r >> 16) as usize % 24).min(bytes.len());
+                    let chunk: Vec<u8> = bytes[pos..end].to_vec();
+                    bytes.extend(chunk);
+                }
+                _ => {
+                    bytes[pos] = if r & 1 == 0 { b'\\' } else { b'\n' };
+                }
+            }
+        }
+        if let Ok(text) = String::from_utf8(bytes) {
+            // Ok or a typed error — either way, no panic.
+            let _ = blif::parse(&text);
+        }
+    }
+}
+
+/// The oversized guard is exact: `MAX_NAMES_INPUTS` parses, one more is
+/// a typed `Oversized` rejection.
+#[test]
+fn oversized_boundary_is_exact() {
+    let build = |k: usize| {
+        let names: Vec<String> = (0..k).map(|i| format!("x{i}")).collect();
+        format!(
+            ".model m\n.inputs {}\n.outputs y\n.names {} y\n{} 1\n.end\n",
+            names.join(" "),
+            names.join(" "),
+            "1".repeat(k)
+        )
+    };
+    assert!(blif::parse(&build(MAX_NAMES_INPUTS)).is_ok());
+    match blif::parse(&build(MAX_NAMES_INPUTS + 1)) {
+        Err(Error::Oversized { inputs, limit, .. }) => {
+            assert_eq!(inputs, MAX_NAMES_INPUTS + 1);
+            assert_eq!(limit, MAX_NAMES_INPUTS);
+        }
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+}
+
+// ------------------------------------------------ print→parse round-trip
+
+/// Builds a random inputs-first netlist from a recipe of gate picks.
+fn random_netlist(recipe: &[u8], n_inputs: usize) -> Netlist {
+    let mut b = NetlistBuilder::new();
+    let mut nets = b.input_bus(n_inputs.max(1));
+    for (step, &byte) in recipe.iter().enumerate() {
+        let pick = |shift: usize| nets[(byte as usize >> shift ^ step) % nets.len()];
+        let (x, y, z) = (pick(0), pick(2), pick(4));
+        b.set_sizing_wide(byte & 0x80 != 0);
+        let out = match byte % 7 {
+            0 => b.inv(x),
+            1 => b.nand2(x, y),
+            2 => b.nand3(x, y, z),
+            3 => b.nor2(x, y),
+            4 => b.nor3(x, y, z),
+            5 => b.aoi21(x, y, z),
+            _ => b.oai21(x, y, z),
+        };
+        nets.push(out);
+    }
+    b.set_sizing_wide(false);
+    // Mark a deterministic subset of nets as outputs (always at least one).
+    let step = 1 + recipe.len() % 3;
+    for i in (0..nets.len()).step_by(step) {
+        b.mark_output(nets[i]);
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// export → parse reconstructs generated netlists gate-for-gate with
+    /// identical ids, and re-export is a byte-level fixpoint.
+    #[test]
+    fn export_parse_round_trips(
+        recipe in proptest::collection::vec(any::<u8>(), 1..60),
+        n_inputs in 1usize..6,
+    ) {
+        let original = random_netlist(&recipe, n_inputs);
+        let text = blif::export(&original, "rt");
+        let model = blif::parse(&text).expect("exported netlists parse");
+        let re = model.netlist();
+        prop_assert_eq!(original.inputs(), re.inputs());
+        prop_assert_eq!(original.outputs(), re.outputs());
+        prop_assert_eq!(original.gates().len(), re.gates().len());
+        for (gi, (a, b)) in original.gates().iter().zip(re.gates()).enumerate() {
+            prop_assert_eq!(a.kind().name(), b.kind().name(), "gate {}", gi);
+            prop_assert_eq!(a.inputs(), b.inputs(), "gate {}", gi);
+            prop_assert_eq!(a.output(), b.output(), "gate {}", gi);
+            let id = GateId::from_index(gi);
+            prop_assert_eq!(
+                original.is_explicitly_wide(id),
+                re.is_explicitly_wide(id),
+                "gate {} wide flag", gi
+            );
+        }
+        prop_assert_eq!(text, blif::export(re, "rt"));
+    }
+
+    /// Random printable garbage never panics the parser.
+    #[test]
+    fn arbitrary_text_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let text: String = bytes
+            .into_iter()
+            .map(|b| match b % 97 {
+                95 => '\n',
+                96 => '\\',
+                c => (b' ' + c) as char,
+            })
+            .collect();
+        let _ = blif::parse(&text);
+    }
+}
+
+/// TestRng-driven structured fuzz: assemble pseudo-BLIF from a token
+/// soup, biased toward almost-valid shapes the grammar must reject
+/// precisely.
+#[test]
+fn token_soup_fuzzing_never_panics() {
+    let tokens = [
+        ".model", ".inputs", ".outputs", ".names", ".latch", ".subckt", ".end", ".wide", "a", "b",
+        "c", "y", "0", "1", "-", "01", "10", "11", "0-1", "\\", "#x", "m",
+    ];
+    for seed in 0..200u64 {
+        let mut rng = TestRng::for_test(&format!("token_soup_{seed}"));
+        let len = 1 + rng.below(40);
+        let mut text = String::new();
+        for _ in 0..len {
+            text.push_str(tokens[rng.below(tokens.len())]);
+            text.push(if rng.below(4) == 0 { '\n' } else { ' ' });
+        }
+        let _ = blif::parse(&text);
+    }
+}

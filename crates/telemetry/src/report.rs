@@ -326,6 +326,11 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
         validate_fleet_section(fleet)?;
     }
 
+    // Likewise the netlist study's section.
+    if let Some(netlist) = report.get("netlist") {
+        validate_netlist_section(netlist)?;
+    }
+
     if let Some(series) = report.get("series").and_then(Json::as_object) {
         for (name, points) in series {
             let points = points
@@ -410,6 +415,79 @@ fn validate_fleet_section(fleet: &Json) -> Result<(), String> {
     for key in ["vmin_increase", "guardband"] {
         if worst.get(key).and_then(Json::as_f64).is_none() {
             return Err(format!("fleet.worst_core.{key} must be a number"));
+        }
+    }
+    Ok(())
+}
+
+/// Version of the optional `netlist` report section's schema (the
+/// arbitrary-netlist aging study). Stamped by the netlist driver and
+/// pinned here so readers can trust the field layout.
+pub const NETLIST_SCHEMA: u64 = 1;
+
+fn validate_netlist_section(netlist: &Json) -> Result<(), String> {
+    if netlist.as_object().is_none() {
+        return Err(format!(
+            "netlist must be an object, got {}",
+            netlist.type_name()
+        ));
+    }
+    let version = netlist
+        .get("netlist_schema")
+        .ok_or("netlist missing key: netlist_schema")?
+        .as_u64()
+        .ok_or("netlist.netlist_schema must be an unsigned integer")?;
+    if version != NETLIST_SCHEMA {
+        return Err(format!(
+            "netlist.netlist_schema {version} != expected {NETLIST_SCHEMA}"
+        ));
+    }
+    if netlist.get("model").and_then(Json::as_str).is_none() {
+        return Err("netlist.model must be a string".to_string());
+    }
+    for key in [
+        "inputs",
+        "outputs",
+        "gates",
+        "transistors",
+        "wide_transistors",
+        "dce_removed",
+        "vectors",
+        "observed_time",
+    ] {
+        if netlist.get(key).and_then(Json::as_u64).is_none() {
+            return Err(format!("netlist.{key} must be an unsigned integer"));
+        }
+    }
+    let duty = netlist.get("duty").ok_or("netlist missing key: duty")?;
+    for key in ["p50", "p95", "p99", "max"] {
+        if duty.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("netlist.duty.{key} must be a number"));
+        }
+    }
+    let worst = netlist.get("worst").ok_or("netlist missing key: worst")?;
+    for key in ["duty", "narrow_duty", "vth_shift", "guardband"] {
+        if worst.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("netlist.worst.{key} must be a number"));
+        }
+    }
+    let partitions = netlist
+        .get("partitions")
+        .ok_or("netlist missing key: partitions")?
+        .as_array()
+        .ok_or("netlist.partitions must be an array")?;
+    for (i, part) in partitions.iter().enumerate() {
+        for key in ["part", "gates", "transistors"] {
+            if part.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!(
+                    "netlist.partitions[{i}].{key} must be an unsigned integer"
+                ));
+            }
+        }
+        for key in ["p50", "p95", "max"] {
+            if part.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("netlist.partitions[{i}].{key} must be a number"));
+            }
         }
     }
     Ok(())
@@ -661,6 +739,89 @@ mod tests {
         collector.sections = vec![("fleet".to_string(), fleet)];
         let err = validate_report(&build_report(&collector)).expect_err("mistyped quantile");
         assert!(err.contains("duty.p99"), "{err}");
+    }
+
+    fn sample_netlist_section() -> Json {
+        let mut netlist = Json::object();
+        netlist.set("netlist_schema", Json::UInt(NETLIST_SCHEMA));
+        netlist.set("model", Json::from("mul4x4"));
+        netlist.set("source", Json::from("multiplier"));
+        for key in [
+            "inputs",
+            "outputs",
+            "gates",
+            "transistors",
+            "wide_transistors",
+            "dce_removed",
+            "vectors",
+            "observed_time",
+        ] {
+            netlist.set(key, Json::UInt(8));
+        }
+        netlist.set("partition_seed", Json::UInt(1));
+        netlist.set("stimulus_seed", Json::UInt(2));
+        let mut duty = Json::object();
+        for key in ["p50", "p95", "p99", "max"] {
+            duty.set(key, Json::Float(0.5));
+        }
+        netlist.set("duty", duty);
+        let mut worst = Json::object();
+        for key in ["duty", "narrow_duty", "vth_shift", "guardband"] {
+            worst.set(key, Json::Float(0.5));
+        }
+        netlist.set("worst", worst);
+        let mut part = Json::object();
+        part.set("part", Json::UInt(0));
+        part.set("gates", Json::UInt(4));
+        part.set("transistors", Json::UInt(8));
+        for key in ["p50", "p95", "max"] {
+            part.set(key, Json::Float(0.5));
+        }
+        netlist.set("partitions", Json::Array(vec![part]));
+        netlist
+    }
+
+    #[test]
+    fn well_formed_netlist_sections_validate() {
+        let mut collector = sample_collector();
+        collector
+            .sections
+            .push(("netlist".to_string(), sample_netlist_section()));
+        let report = build_report(&collector);
+        validate_report(&report).expect("report with netlist section validates");
+        assert!(report.get("netlist").is_some(), "section emitted");
+    }
+
+    #[test]
+    fn malformed_netlist_sections_are_rejected() {
+        let mut collector = sample_collector();
+        let mut netlist = sample_netlist_section();
+        netlist.set("netlist_schema", Json::UInt(NETLIST_SCHEMA + 1));
+        collector.sections.push(("netlist".to_string(), netlist));
+        let err = validate_report(&build_report(&collector)).expect_err("wrong schema");
+        assert!(err.contains("netlist_schema"), "{err}");
+
+        let mut netlist = sample_netlist_section();
+        if let Json::Object(fields) = &mut netlist {
+            fields.retain(|(key, _)| key != "duty");
+        }
+        collector.sections = vec![("netlist".to_string(), netlist)];
+        let err = validate_report(&build_report(&collector)).expect_err("missing duty");
+        assert!(err.contains("duty"), "{err}");
+
+        let mut netlist = sample_netlist_section();
+        let mut bad = Json::object();
+        bad.set("part", Json::from("zero"));
+        netlist.set("partitions", Json::Array(vec![bad]));
+        collector.sections = vec![("netlist".to_string(), netlist)];
+        let err = validate_report(&build_report(&collector)).expect_err("mistyped partition");
+        assert!(err.contains("partitions[0].part"), "{err}");
+
+        let mut netlist = sample_netlist_section();
+        netlist.set("transistors", Json::Float(-1.0));
+        collector.sections = vec![("netlist".to_string(), netlist)];
+        let err = validate_report(&build_report(&collector)).expect_err("mistyped count");
+        assert!(err.contains("transistors"), "{err}");
     }
 
     #[test]
